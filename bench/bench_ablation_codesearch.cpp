@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: reproducing the paper's genetic-algorithm design step
+ * for the SEC-2bEC code.
+ *
+ * Runs the randomized code search at several budgets and compares
+ * the resulting non-aligned 2-bit miscorrection risk against the
+ * published Equation 3 matrix, demonstrating that the published
+ * code sits at the quality level the search converges to.
+ */
+
+#include <cstdio>
+
+#include "codes/code_search.hpp"
+#include "codes/linear_code.hpp"
+#include "codes/sec2bec.hpp"
+#include "common/table.hpp"
+
+using namespace gpuecc;
+
+int
+main()
+{
+    const Code72 paper(sec2becPaperMatrix(), Code72::adjacentPairs());
+    std::printf("published Eq. 3 matrix: %.2f%% of non-aligned 2-bit "
+                "errors alias to an aligned-pair syndrome\n\n",
+                100.0 * paper.nonAligned2bMiscorrectionRate());
+
+    TextTable table({"search budget", "seed", "miscorrection",
+                     "vs paper code"});
+    for (const int budget : {1000, 5000, 20000, 60000}) {
+        for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+            Rng rng(seed);
+            const CodeSearchResult r = searchSec2bEcCode(rng, budget);
+            char rel[32];
+            std::snprintf(rel, sizeof(rel), "%+.1f%%",
+                          100.0 * (r.miscorrection_rate -
+                                   paper.nonAligned2bMiscorrectionRate()));
+            table.addRow({std::to_string(budget),
+                          std::to_string(seed),
+                          formatPercent(r.miscorrection_rate, 2), rel});
+        }
+    }
+    table.print();
+
+    std::printf("\nEvery searched code is SEC-DED with unique "
+                "aligned-pair syndromes by construction;\nthe search "
+                "only optimizes the miscorrection tail that TrioECC's "
+                "sanity check then suppresses.\n");
+
+    // The DAEC comparison behind the paper's "~20% reduction" claim:
+    // correcting all 71 adjacent pairs (Dutta & Touba style) exposes
+    // roughly twice as many alias targets as the 36 aligned pairs.
+    std::printf("\n== vs SEC-DED-DAEC (corrects all adjacent pairs) "
+                "==\n");
+    TextTable daec({"code", "correctable pairs", "miscorrection"});
+    double daec_rate = 0.0;
+    {
+        Rng rng(1);
+        const CodeSearchResult r = searchDaecCode(rng, 30000);
+        daec_rate = r.miscorrection_rate;
+        daec.addRow({"searched DAEC", "71",
+                     formatPercent(r.miscorrection_rate, 2)});
+    }
+    daec.addRow({"paper Eq. 3 (aligned only)", "36",
+                 formatPercent(paper.nonAligned2bMiscorrectionRate(),
+                               2)});
+    daec.print();
+    std::printf("\naligned-only reduces the non-correctable 2-bit "
+                "miscorrection risk by %.0f%% relative to our\n"
+                "searched DAEC (structurally, 36 alias targets vs 71; "
+                "the paper quotes ~20%%, consistent with\ncomparing "
+                "against the stronger published Dutta-Touba "
+                "construction rather than a hill-climbed\nDAEC). "
+                "Either way the interleave maps byte errors onto "
+                "exactly the aligned symbols, so\nnothing is lost by "
+                "not correcting the other adjacent pairs.\n",
+                100.0 * (1.0 - paper.nonAligned2bMiscorrectionRate() /
+                                   daec_rate));
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Graceful degradation under permanent faults (Section 2.5).
+ *
+ * The paper preserves single-pin correction in every proposed binary
+ * organization so GPUs can degrade gracefully when a TSV/microbump
+ * fails in the field, and notes that byte correction carries over to
+ * permanent local-wordline failures. This bench quantifies both: the
+ * permanent fault alone, and the fault plus a fresh single-bit soft
+ * error on the same entry.
+ */
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "ecc/registry.hpp"
+#include "faultsim/permanent.hpp"
+
+using namespace gpuecc;
+
+namespace {
+
+std::string
+cell(const DegradationCounts& c)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%4.1f/%4.1f/%4.1f",
+                  100.0 * c.dceRate(), 100.0 * c.dueRate(),
+                  100.0 * c.sdcRate());
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli;
+    cli.addFlag("trials", "5000", "random trials per cell");
+    cli.parse(argc, argv,
+              "Graceful degradation under permanent pin/wordline "
+              "faults (DCE/DUE/SDC %).");
+    const auto trials =
+        static_cast<std::uint64_t>(cli.getInt("trials"));
+
+    TextTable table({"scheme", "stuck pin", "pin + 1bit soft",
+                     "stuck byte", "byte + 1bit soft"});
+    for (const auto& scheme : paperSchemes()) {
+        DegradationEvaluator ev(*scheme);
+        table.addRow(
+            {scheme->name(),
+             cell(ev.faultAlone(PermanentFaultKind::stuckPin, trials)),
+             cell(ev.faultPlusSoftError(PermanentFaultKind::stuckPin,
+                                        ErrorPattern::oneBit, trials)),
+             cell(ev.faultAlone(PermanentFaultKind::stuckByte,
+                                trials)),
+             cell(ev.faultPlusSoftError(PermanentFaultKind::stuckByte,
+                                        ErrorPattern::oneBit,
+                                        trials))});
+    }
+    table.print();
+    std::printf("\ncells are corrected/detected/silent percentages. "
+                "Paper context: every scheme except\nSSC-DSD+ "
+                "corrects a stuck pin (graceful degradation); "
+                "TrioECC additionally corrects\npermanent wordline "
+                "(stuck byte) failures outright.\n");
+
+    std::printf("\n== Diagnosed-pin erasure mode (library extension) "
+                "==\n");
+    TextTable erasure({"scheme", "stuck pin (erasure)",
+                       "pin + 1bit soft (erasure)"});
+    for (const char* id : {"ni-secded", "duet", "trio", "i-ssc",
+                           "ssc-dsd+"}) {
+        const auto scheme = makeScheme(id);
+        DegradationEvaluator ev(*scheme);
+        erasure.addRow(
+            {scheme->name(),
+             cell(ev.pinErasureMode(false, ErrorPattern::oneBit,
+                                    trials)),
+             cell(ev.pinErasureMode(true, ErrorPattern::oneBit,
+                                    trials))});
+    }
+    erasure.print();
+    std::printf("\nonce the failed pin is diagnosed, the binary "
+                "schemes regain full single-bit correction\n(d = 4: "
+                "erasure + 1 error per codeword) and even SSC-DSD+ "
+                "tolerates the pin - though its\nfour-symbol fill "
+                "spends all residual detection, so an extra error "
+                "can slip through.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: protect one 32B HBM2 memory entry with each of the
+ * paper's ECC organizations and watch how they respond to a
+ * byte error (the dominant severe soft-error pattern in GPU DRAM).
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "ecc/registry.hpp"
+#include "interleave/swizzle.hpp"
+
+using namespace gpuecc;
+
+namespace {
+
+const char*
+statusName(EntryDecode::Status s)
+{
+    switch (s) {
+      case EntryDecode::Status::clean: return "clean";
+      case EntryDecode::Status::corrected: return "corrected (DCE)";
+      case EntryDecode::Status::due: return "detected (DUE)";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    // 32B of user data: four 64-bit words.
+    const EntryData data{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull,
+                         0xA5A5A5A5A5A5A5A5ull, 0x5A5A5A5A5A5A5A5Aull};
+
+    std::printf("Protecting one 32B entry (+4B ECC) and injecting a "
+                "full byte error\n(physical byte 5, all 8 bits "
+                "flipped) under every organization:\n\n");
+    std::printf("%-28s %-18s %s\n", "scheme", "outcome",
+                "data intact?");
+    std::printf("%s\n", std::string(60, '-').c_str());
+
+    for (const auto& scheme : paperSchemes()) {
+        // Encode to the 288-bit physical entry (4 beats x 72 pins).
+        Bits288 entry = scheme->encode(data);
+
+        // A mat-local failure: one aligned byte is corrupted.
+        for (int t = 0; t < 8; ++t)
+            entry.flip(8 * 5 + t);
+
+        const EntryDecode decoded = scheme->decode(entry);
+        const bool intact =
+            decoded.status != EntryDecode::Status::due &&
+            decoded.data == data;
+        std::printf("%-28s %-18s %s\n", scheme->name().c_str(),
+                    statusName(decoded.status),
+                    decoded.status == EntryDecode::Status::due
+                        ? "n/a (entry discarded)"
+                        : (intact ? "yes" : "NO - SILENT CORRUPTION"));
+    }
+
+    std::printf("\nSingle-bit errors are corrected by every scheme; "
+                "pin errors by every\nscheme except SSC-DSD+. Try "
+                "examples/ecc_explorer for the full matrix.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+#include "beam/campaign.hpp"
+
+namespace gpuecc {
+namespace beam {
+
+Campaign::Campaign(const CampaignConfig& config)
+    : config_(config),
+      device_(hbm2::Geometry(config.stacks)),
+      damage_(config.damage, Rng(config.seed ^ 0xDA3A6Eull)),
+      events_(config.events, hbm2::Geometry(config.stacks),
+              Rng(config.seed ^ 0xE7E27ull)),
+      micro_(config.micro),
+      rng_(config.seed)
+{
+}
+
+void
+Campaign::runInBeam()
+{
+    const double event_rate = EventGenerator::eventsPerBeamSecond(
+        config_.beam, device_.geometry());
+    const double run_seconds =
+        config_.micro.pass_seconds *
+        (config_.micro.write_phases *
+         (1 + config_.micro.reads_per_write));
+
+    for (int run = 0; run < config_.runs; ++run) {
+        // Damage from this run's fluence lands before the run; at
+        // this granularity the distinction is invisible to the log.
+        const double run_fluence =
+            config_.beam.flux_n_cm2_s * run_seconds;
+        damage_.expose(device_, run_fluence);
+        fluence_ += run_fluence;
+
+        std::vector<LogRecord> run_log =
+            micro_.run(device_, events_, event_rate, time_s_, run, rng_);
+        log_.insert(log_.end(), run_log.begin(), run_log.end());
+        accumulation_.push_back(
+            {fluence_, visibleWeakCells(device_.refreshPeriod())});
+    }
+}
+
+std::uint64_t
+Campaign::visibleWeakCells(double refresh_ms) const
+{
+    std::uint64_t n = 0;
+    for (const hbm2::WeakCell& cell : device_.weakCells()) {
+        if (cell.retention_ms < refresh_ms)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<std::pair<double, std::uint64_t>>
+Campaign::refreshSweep(const std::vector<double>& periods_ms) const
+{
+    std::vector<std::pair<double, std::uint64_t>> out;
+    out.reserve(periods_ms.size());
+    for (double period : periods_ms)
+        out.emplace_back(period, visibleWeakCells(period));
+    return out;
+}
+
+void
+Campaign::soak(double fluence_n_cm2)
+{
+    damage_.expose(device_, fluence_n_cm2);
+    fluence_ += fluence_n_cm2;
+}
+
+void
+Campaign::annealOutsideBeam(double hours)
+{
+    damage_.anneal(device_, hours);
+    time_s_ += hours * 3600.0;
+}
+
+} // namespace beam
+} // namespace gpuecc

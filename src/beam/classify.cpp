@@ -1,0 +1,239 @@
+#include "beam/classify.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace gpuecc {
+namespace beam {
+
+using hbm2::EntryMask;
+
+std::string
+errorShapeLabel(ErrorShape shape)
+{
+    switch (shape) {
+      case ErrorShape::oneBit: return "1 Bit";
+      case ErrorShape::onePin: return "1 Pin";
+      case ErrorShape::oneByte: return "1 Byte";
+      case ErrorShape::twoBits: return "2 Bits";
+      case ErrorShape::threeBits: return "3 Bits";
+      case ErrorShape::oneBeat: return "1 Beat";
+      case ErrorShape::wholeEntry: return "1 Entry";
+    }
+    panic("errorShapeLabel: unknown shape");
+}
+
+ErrorShape
+classifyDataMask(const EntryMask& mask)
+{
+    const int bits = mask.popcount();
+    require(bits > 0, "classifyDataMask: empty mask");
+    if (bits == 1)
+        return ErrorShape::oneBit;
+
+    bool same_pin = true;   // same bit lane across the four words
+    bool same_byte = true;  // one aligned byte of the entry
+    bool same_word = true;  // one 64-bit word ("beat")
+    int first = -1;
+    mask.forEachSetBit([&](int b) {
+        if (first < 0) {
+            first = b;
+            return;
+        }
+        if (b % 64 != first % 64)
+            same_pin = false;
+        if (b / 8 != first / 8)
+            same_byte = false;
+        if (b / 64 != first / 64)
+            same_word = false;
+    });
+
+    if (same_pin)
+        return ErrorShape::onePin;
+    if (same_byte)
+        return ErrorShape::oneByte;
+    if (bits == 2)
+        return ErrorShape::twoBits;
+    if (bits == 3)
+        return ErrorShape::threeBits;
+    if (same_word)
+        return ErrorShape::oneBeat;
+    return ErrorShape::wholeEntry;
+}
+
+namespace {
+
+/** Severity ordering used to pick an event's Table 1 shape. */
+int
+shapeRank(ErrorShape shape)
+{
+    return static_cast<int>(shape);
+}
+
+bool
+maskIsByteAligned(const EntryMask& mask)
+{
+    // Every word's erroneous bits must fit in one aligned byte.
+    for (int w = 0; w < 4; ++w) {
+        int byte_of_word = -1;
+        for (int t = 0; t < 64; ++t) {
+            if (!mask.get(64 * w + t))
+                continue;
+            const int byte = (64 * w + t) / 8;
+            if (byte_of_word < 0)
+                byte_of_word = byte;
+            else if (byte != byte_of_word)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+maskIsMultiBit(const EntryMask& mask)
+{
+    // Multi-bit means >= 2 erroneous bits in at least one word.
+    for (int w = 0; w < 4; ++w) {
+        if (popcount64(mask.extract(64 * w, 64)) >= 2)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+ClassificationResult
+classifyLog(const std::vector<LogRecord>& log)
+{
+    ClassificationResult result;
+
+    // Step 1: intermittent filtering. Soft errors persist only until
+    // the next write phase, so an entry that errs in two or more
+    // distinct (run, phase) write cycles is displacement-damaged.
+    std::map<std::uint64_t, std::set<std::pair<int, int>>> phases_of;
+    for (const LogRecord& rec : log)
+        phases_of[rec.entry].insert({rec.run, rec.write_phase});
+    for (const auto& [entry, phases] : phases_of) {
+        if (phases.size() >= 2)
+            result.damaged_entries.insert(entry);
+    }
+
+    // Step 2: event reconstruction. Keep each surviving entry's first
+    // observation; group first observations by observing scan.
+    std::map<std::uint64_t, const LogRecord*> first_of;
+    for (const LogRecord& rec : log) {
+        if (result.damaged_entries.count(rec.entry))
+            continue;
+        auto [it, inserted] = first_of.insert({rec.entry, &rec});
+        const LogRecord* cur = it->second;
+        if (!inserted && rec.time_s < cur->time_s)
+            it->second = &rec;
+    }
+    std::map<std::tuple<int, int, int>, ReconstructedEvent> grouped;
+    for (const auto& [entry, rec] : first_of) {
+        auto& ev = grouped[{rec->run, rec->write_phase, rec->read_pass}];
+        ev.run = rec->run;
+        ev.write_phase = rec->write_phase;
+        ev.read_pass = rec->read_pass;
+        ev.time_s = rec->time_s;
+        ev.entries.emplace_back(entry, rec->mask);
+    }
+
+    // Step 3: classification.
+    for (auto& [key, ev] : grouped) {
+        bool multi_bit = false;
+        bool byte_aligned = true;
+        ErrorShape shape = ErrorShape::oneBit;
+        for (const auto& [entry, mask] : ev.entries) {
+            multi_bit = multi_bit || maskIsMultiBit(mask);
+            byte_aligned = byte_aligned && maskIsByteAligned(mask);
+            const ErrorShape s = classifyDataMask(mask);
+            if (shapeRank(s) > shapeRank(shape))
+                shape = s;
+        }
+        ev.multi_bit = multi_bit;
+        ev.byte_aligned = multi_bit && byte_aligned;
+        ev.shape = shape;
+        const bool multi_entry = ev.entries.size() > 1;
+        ev.cls = multi_bit
+            ? (multi_entry ? SoftErrorEvent::Class::mbme
+                           : SoftErrorEvent::Class::mbse)
+            : (multi_entry ? SoftErrorEvent::Class::sbme
+                           : SoftErrorEvent::Class::sbse);
+        result.class_counts[ev.cls] += 1;
+        result.events.push_back(std::move(ev));
+    }
+    std::sort(result.events.begin(), result.events.end(),
+              [](const ReconstructedEvent& a, const ReconstructedEvent& b) {
+                  return a.time_s < b.time_s;
+              });
+    return result;
+}
+
+std::vector<std::uint64_t>
+mbmeBreadths(const ClassificationResult& result)
+{
+    std::vector<std::uint64_t> out;
+    for (const ReconstructedEvent& ev : result.events) {
+        if (ev.cls == SoftErrorEvent::Class::mbme)
+            out.push_back(ev.entries.size());
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+severityHistogram(const ClassificationResult& result, bool byte_aligned)
+{
+    std::vector<std::uint64_t> hist(65, 0);
+    for (const ReconstructedEvent& ev : result.events) {
+        if (!ev.multi_bit || ev.byte_aligned != byte_aligned)
+            continue;
+        for (const auto& [entry, mask] : ev.entries) {
+            for (int w = 0; w < 4; ++w) {
+                int bits = 0;
+                for (int t = 0; t < 64; ++t)
+                    bits += mask.get(64 * w + t);
+                if (bits > 0)
+                    ++hist[bits];
+            }
+        }
+    }
+    return hist;
+}
+
+std::vector<std::uint64_t>
+wordsPerEntryHistogram(const ClassificationResult& result,
+                       bool byte_aligned)
+{
+    std::vector<std::uint64_t> hist(5, 0);
+    for (const ReconstructedEvent& ev : result.events) {
+        if (!ev.multi_bit || ev.byte_aligned != byte_aligned)
+            continue;
+        for (const auto& [entry, mask] : ev.entries) {
+            int words = 0;
+            for (int w = 0; w < 4; ++w) {
+                bool any = false;
+                for (int t = 0; t < 64 && !any; ++t)
+                    any = mask.get(64 * w + t);
+                words += any;
+            }
+            ++hist[words];
+        }
+    }
+    return hist;
+}
+
+std::map<ErrorShape, std::uint64_t>
+shapeDistribution(const ClassificationResult& result)
+{
+    std::map<ErrorShape, std::uint64_t> out;
+    for (const ReconstructedEvent& ev : result.events)
+        out[ev.shape] += 1;
+    return out;
+}
+
+} // namespace beam
+} // namespace gpuecc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Post-processing of microbenchmark mismatch logs (Sections 4-5).
+ *
+ * The pipeline reproduces the paper's methodology end to end:
+ *
+ *  1. intermittent-error filtering - any memory entry that errs in
+ *     two or more distinct write phases is classified as
+ *     displacement-damaged and excluded from the soft-error analysis;
+ *  2. event reconstruction - remaining mismatches that first appear
+ *     in the same read pass form one single-event upset (events
+ *     hitting different loop iterations are never merged);
+ *  3. classification - each event gets its SBSE/SBME/MBSE/MBME class
+ *     (Figure 4a), breadth (Figure 4b), byte-alignment and
+ *     words-per-entry structure (Figure 4c), per-word severity
+ *     (Figure 5), and a Table 1 shape taken from its most severe
+ *     entry footprint.
+ */
+
+#ifndef GPUECC_BEAM_CLASSIFY_HPP
+#define GPUECC_BEAM_CLASSIFY_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "beam/events.hpp"
+#include "beam/microbenchmark.hpp"
+#include "hbm2/device.hpp"
+
+namespace gpuecc {
+namespace beam {
+
+/** Table 1 shapes in the data-bit domain (beam tests run with ECC
+ *  disabled, so only the 256 data bits of an entry are observed). */
+enum class ErrorShape
+{
+    oneBit,
+    onePin,
+    oneByte,
+    twoBits,
+    threeBits,
+    oneBeat,
+    wholeEntry
+};
+
+/** Human-readable label of a shape (Table 1 row names). */
+std::string errorShapeLabel(ErrorShape shape);
+
+/** Classify one entry's data-bit error mask (priority: easier wins). */
+ErrorShape classifyDataMask(const hbm2::EntryMask& mask);
+
+/** One reconstructed single-event upset. */
+struct ReconstructedEvent
+{
+    int run;
+    int write_phase;
+    int read_pass;
+    double time_s;
+    std::vector<std::pair<std::uint64_t, hbm2::EntryMask>> entries;
+
+    SoftErrorEvent::Class cls;
+    bool multi_bit;    //!< some word has >= 2 erroneous bits
+    bool byte_aligned; //!< every word's error fits one aligned byte
+    ErrorShape shape;  //!< Table 1 shape of the severest entry
+};
+
+/** Output of the post-processing pipeline. */
+struct ClassificationResult
+{
+    std::vector<ReconstructedEvent> events;
+    /** Entries filtered out as displacement-damaged. */
+    std::set<std::uint64_t> damaged_entries;
+
+    /** Events per class (Figure 4a numerators). */
+    std::map<SoftErrorEvent::Class, std::uint64_t> class_counts;
+
+    std::uint64_t numEvents() const { return events.size(); }
+};
+
+/** Run the full post-processing pipeline over a campaign log. */
+ClassificationResult classifyLog(const std::vector<LogRecord>& log);
+
+/** Breadths (affected-entry counts) of all MBME events. */
+std::vector<std::uint64_t>
+mbmeBreadths(const ClassificationResult& result);
+
+/**
+ * Per-word severity histogram of multi-bit events.
+ *
+ * @param byte_aligned select the byte-aligned or non-aligned subset
+ * @return histogram[bits] = number of affected words with that many
+ *         erroneous bits (index 0..64)
+ */
+std::vector<std::uint64_t>
+severityHistogram(const ClassificationResult& result, bool byte_aligned);
+
+/**
+ * Words-per-entry histogram of multi-bit events (Figure 4c stacks).
+ *
+ * @return histogram[w] = number of affected entries with w erroneous
+ *         words (index 0..4)
+ */
+std::vector<std::uint64_t>
+wordsPerEntryHistogram(const ClassificationResult& result,
+                       bool byte_aligned);
+
+/** Table 1 shape distribution over events. */
+std::map<ErrorShape, std::uint64_t>
+shapeDistribution(const ClassificationResult& result);
+
+} // namespace beam
+} // namespace gpuecc
+
+#endif // GPUECC_BEAM_CLASSIFY_HPP

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Neutron-beam campaign configuration (Section 3 of the paper).
+ */
+
+#ifndef GPUECC_BEAM_CONFIG_HPP
+#define GPUECC_BEAM_CONFIG_HPP
+
+namespace gpuecc {
+namespace beam {
+
+/** Beamline and field-environment parameters. */
+struct BeamConfig
+{
+    /** Average beam flux during the DRAM experiments. */
+    double flux_n_cm2_s = 9.8e5;
+
+    /** Terrestrial reference flux (NYC sea level, JESD89A). */
+    double terrestrial_n_cm2_h = 14.0;
+
+    /** Acceleration factor of the beam over the terrestrial flux. */
+    double
+    acceleration() const
+    {
+        return flux_n_cm2_s * 3600.0 / terrestrial_n_cm2_h;
+    }
+
+    /**
+     * Field soft-error rate assumed for system projections
+     * (Section 7.3; inspired by Titan's GDDR5 failure rates).
+     */
+    double fit_per_gbit = 12.51;
+};
+
+} // namespace beam
+} // namespace gpuecc
+
+#endif // GPUECC_BEAM_CONFIG_HPP

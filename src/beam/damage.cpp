@@ -1,0 +1,58 @@
+#include "beam/damage.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+namespace beam {
+
+DamageModel::DamageModel(const DamageConfig& config, Rng rng)
+    : config_(config),
+      rng_(rng),
+      retention_(config.retention_mu_ms, config.retention_sigma_ms,
+                 config.p_one_to_zero),
+      remaining_(config.leaky_pool)
+{
+    require(config.conversion_per_fluence > 0.0,
+            "DamageModel: conversion rate must be positive");
+}
+
+std::uint64_t
+DamageModel::expose(hbm2::Device& device, double fluence_n_cm2)
+{
+    require(fluence_n_cm2 >= 0.0, "DamageModel: negative fluence");
+    if (remaining_ == 0 || fluence_n_cm2 == 0.0)
+        return 0;
+
+    // Each remaining leaky cell converts independently.
+    const double p =
+        1.0 - std::exp(-config_.conversion_per_fluence * fluence_n_cm2);
+    const std::uint64_t converted = rng_.nextBinomial(remaining_, p);
+    remaining_ -= converted;
+
+    const std::uint64_t entries = device.geometry().numEntries();
+    for (std::uint64_t i = 0; i < converted; ++i) {
+        hbm2::WeakCell cell;
+        cell.entry_index = rng_.nextBounded(entries);
+        cell.bit = static_cast<int>(rng_.nextBounded(256));
+        cell.retention_ms = retention_.sampleRetention(rng_);
+        cell.one_to_zero = retention_.sampleOneToZero(rng_);
+        device.addWeakCell(cell);
+    }
+    return converted;
+}
+
+void
+DamageModel::anneal(hbm2::Device& device, double hours)
+{
+    require(hours >= 0.0, "DamageModel: negative annealing time");
+    // Annealing repairs transistor damage in already-converted cells;
+    // cells converted later start from the undamaged distribution.
+    const double shift = config_.anneal_ms_per_hour * hours;
+    for (hbm2::WeakCell& cell : device.weakCells())
+        cell.retention_ms += shift;
+}
+
+} // namespace beam
+} // namespace gpuecc

@@ -1,0 +1,239 @@
+#include "beam/events.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+namespace beam {
+
+using hbm2::EntryAddress;
+using hbm2::EntryMask;
+
+EventGenerator::EventGenerator(const EventConfig& config,
+                               const hbm2::Geometry& geometry, Rng rng)
+    : config_(config), geometry_(geometry), rng_(rng)
+{
+    const double total = config.p_sbse + config.p_sbme + config.p_mbse;
+    require(total < 1.0, "EventConfig: class probabilities exceed 1");
+}
+
+double
+EventGenerator::eventsPerBeamSecond(const BeamConfig& beam,
+                                    const hbm2::Geometry& geometry)
+{
+    const double field_per_hour =
+        beam.fit_per_gbit * geometry.capacityGbit() / 1e9;
+    return field_per_hour * beam.acceleration() / 3600.0;
+}
+
+std::uint64_t
+EventGenerator::sampleBreadth(std::uint64_t min_breadth)
+{
+    // Discrete truncated Pareto: P(B >= x) ~ x^-alpha.
+    const double u = std::max(rng_.nextDouble(), 1e-12);
+    const double v = static_cast<double>(min_breadth) *
+                     std::pow(u, -1.0 / config_.breadth_alpha);
+    const std::uint64_t b = static_cast<std::uint64_t>(v);
+    return std::clamp<std::uint64_t>(b, min_breadth, config_.breadth_max);
+}
+
+EntryMask
+EventGenerator::byteMask(int byte_index)
+{
+    // Random corruption of an aligned byte, >= 2 bits; with
+    // probability p_inversion the whole byte flips instead.
+    EntryMask mask;
+    if (rng_.nextBool(config_.p_inversion)) {
+        for (int t = 0; t < 8; ++t)
+            mask.set(8 * byte_index + t, 1);
+        return mask;
+    }
+    int bits = 0;
+    do {
+        mask = EntryMask{};
+        bits = 0;
+        for (int t = 0; t < 8; ++t) {
+            if (rng_.nextBool(0.5)) {
+                mask.set(8 * byte_index + t, 1);
+                ++bits;
+            }
+        }
+    } while (bits < 2);
+    return mask;
+}
+
+EntryMask
+EventGenerator::wordMask(int word)
+{
+    EntryMask mask;
+    if (rng_.nextBool(config_.p_inversion)) {
+        for (int t = 0; t < 64; ++t)
+            mask.set(64 * word + t, 1);
+        return mask;
+    }
+    int bits = 0;
+    do {
+        mask = EntryMask{};
+        bits = 0;
+        for (int t = 0; t < 64; ++t) {
+            if (rng_.nextBool(0.5)) {
+                mask.set(64 * word + t, 1);
+                ++bits;
+            }
+        }
+    } while (bits < 2);
+    return mask;
+}
+
+double
+EventGenerator::rateScale(double utilization) const
+{
+    require(utilization >= 0.0 && utilization <= 1.0,
+            "EventGenerator: utilization must be in [0, 1]");
+    // Array-error classes (SBSE/SBME) scale with exposure time;
+    // everything else (logic and interface errors) scales with the
+    // access rate.
+    const double array_weight = config_.p_sbse + config_.p_sbme;
+    return array_weight + (1.0 - array_weight) * utilization;
+}
+
+SoftErrorEvent
+EventGenerator::sample(double utilization)
+{
+    const std::uint64_t entries = geometry_.numEntries();
+    SoftErrorEvent ev;
+
+    // Re-weight the class mix: logic/interface classes carry an
+    // extra factor of `utilization` relative to the array classes
+    // (SBSE/SBME), whose absolute rate is exposure-time driven.
+    const double u = rng_.nextDouble() * rateScale(utilization);
+
+    // Rare interface/scattered patterns first (they are part of the
+    // multi-bit single-entry population).
+    const double p_pin_u = config_.p_pin * utilization;
+    const double p_2b_u = config_.p_two_bit * utilization;
+    const double p_3b_u = config_.p_three_bit * utilization;
+    const double p_rare = p_pin_u + p_2b_u + p_3b_u;
+    if (u < p_rare) {
+        ev.cls = SoftErrorEvent::Class::mbse;
+        ev.byte_aligned = false;
+        const std::uint64_t entry = rng_.nextBounded(entries);
+        EntryMask mask;
+        if (u < p_pin_u) {
+            // Same bit lane across 2-4 of the entry's four words.
+            const int pin = static_cast<int>(rng_.nextBounded(64));
+            int bits = 0;
+            do {
+                mask = EntryMask{};
+                bits = 0;
+                for (int w = 0; w < 4; ++w) {
+                    if (rng_.nextBool(0.5)) {
+                        mask.set(64 * w + pin, 1);
+                        ++bits;
+                    }
+                }
+            } while (bits < 2);
+        } else {
+            const int want = u < p_pin_u + p_2b_u ? 2 : 3;
+            while (mask.popcount() < want)
+                mask.set(static_cast<int>(rng_.nextBounded(256)), 1);
+        }
+        ev.flips.emplace_back(entry, mask);
+        return ev;
+    }
+
+    const double v = u - p_rare;
+    if (v < config_.p_sbse) {
+        ev.cls = SoftErrorEvent::Class::sbse;
+        EntryMask mask;
+        mask.set(static_cast<int>(rng_.nextBounded(256)), 1);
+        ev.flips.emplace_back(rng_.nextBounded(entries), mask);
+        return ev;
+    }
+
+    if (v < config_.p_sbse + config_.p_sbme) {
+        // Bitline-style: same subarray, same column, same bit,
+        // consecutive rows.
+        ev.cls = SoftErrorEvent::Class::sbme;
+        const std::uint64_t breadth = sampleBreadth(2);
+        EntryAddress a =
+            geometry_.decompose(rng_.nextBounded(entries));
+        const int bit = static_cast<int>(rng_.nextBounded(256));
+        for (std::uint64_t i = 0; i < breadth; ++i) {
+            EntryAddress b = a;
+            b.row = static_cast<int>(
+                (a.row + i) % hbm2::rows_per_subarray);
+            EntryMask mask;
+            mask.set(bit, 1);
+            ev.flips.emplace_back(geometry_.compose(b), mask);
+            if (i + 1 >= hbm2::rows_per_subarray)
+                break; // bitline exhausted
+        }
+        return ev;
+    }
+
+    // Multi-bit classes share the byte-aligned / non-aligned split.
+    const bool multi_entry =
+        v >= config_.p_sbse + config_.p_sbme +
+                 config_.p_mbse * utilization;
+    ev.cls = multi_entry ? SoftErrorEvent::Class::mbme
+                         : SoftErrorEvent::Class::mbse;
+    ev.byte_aligned = rng_.nextBool(config_.p_byte_aligned);
+    const std::uint64_t breadth = multi_entry ? sampleBreadth(2) : 1;
+    EntryAddress anchor = geometry_.decompose(rng_.nextBounded(entries));
+
+    if (ev.byte_aligned) {
+        // Mat-local / local-wordline failure: the same byte slice of
+        // consecutive entries within one subarray.
+        const int byte_index = static_cast<int>(rng_.nextBounded(32));
+        const bool second_word = rng_.nextBool(config_.p_second_word);
+        const int second_byte = (byte_index + 8) % 32;
+        for (std::uint64_t i = 0; i < breadth; ++i) {
+            const std::uint64_t flat =
+                (static_cast<std::uint64_t>(anchor.row) *
+                     hbm2::columns_per_row +
+                 anchor.column + i) %
+                hbm2::entries_per_subarray;
+            EntryAddress b = anchor;
+            b.row = static_cast<int>(flat / hbm2::columns_per_row);
+            b.column = static_cast<int>(flat % hbm2::columns_per_row);
+            EntryMask mask = byteMask(byte_index);
+            if (second_word)
+                mask |= byteMask(second_byte);
+            ev.flips.emplace_back(geometry_.compose(b), mask);
+        }
+    } else {
+        // Row/sense logic failure: whole words of consecutive entries.
+        for (std::uint64_t i = 0; i < breadth; ++i) {
+            const std::uint64_t flat =
+                (static_cast<std::uint64_t>(anchor.row) *
+                     hbm2::columns_per_row +
+                 anchor.column + i) %
+                hbm2::entries_per_subarray;
+            EntryAddress b = anchor;
+            b.row = static_cast<int>(flat / hbm2::columns_per_row);
+            b.column = static_cast<int>(flat % hbm2::columns_per_row);
+            EntryMask mask;
+            if (rng_.nextBool(config_.p_nonaligned_one_word)) {
+                mask = wordMask(static_cast<int>(rng_.nextBounded(4)));
+            } else {
+                for (int w = 0; w < 4; ++w)
+                    mask |= wordMask(w);
+            }
+            ev.flips.emplace_back(geometry_.compose(b), mask);
+        }
+    }
+    return ev;
+}
+
+void
+EventGenerator::apply(const SoftErrorEvent& event, hbm2::Device& device)
+{
+    for (const auto& [entry, mask] : event.flips)
+        device.injectFlips(entry, mask);
+}
+
+} // namespace beam
+} // namespace gpuecc

@@ -1,0 +1,54 @@
+#include "beam/microbenchmark.hpp"
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+namespace beam {
+
+Microbenchmark::Microbenchmark(const MicrobenchConfig& config)
+    : config_(config)
+{
+    require(config.write_phases > 0 && config.reads_per_write > 0,
+            "MicrobenchConfig: loop counts must be positive");
+    require(config.pass_seconds > 0.0,
+            "MicrobenchConfig: pass time must be positive");
+}
+
+std::vector<LogRecord>
+Microbenchmark::run(hbm2::Device& device, EventGenerator& events,
+                    double event_rate, double& time_s, int run_index,
+                    Rng& rng) const
+{
+    std::vector<LogRecord> log;
+    for (int phase = 0; phase < config_.write_phases; ++phase) {
+        // Alternate the pattern and its inverse between write phases.
+        device.writeAll(config_.pattern, phase % 2 == 1);
+        time_s += config_.pass_seconds;
+
+        for (int pass = 0; pass < config_.reads_per_write; ++pass) {
+            // Soft-error events arrive as a Poisson process during
+            // the pass; the rate and class mix depend on how hard
+            // the benchmark drives DRAM.
+            if (event_rate > 0.0) {
+                const double effective = event_rate *
+                    events.rateScale(config_.utilization);
+                const std::uint64_t n = rng.nextPoisson(
+                    effective * config_.pass_seconds);
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    EventGenerator::apply(
+                        events.sample(config_.utilization), device);
+                }
+            }
+            time_s += config_.pass_seconds;
+
+            for (const hbm2::Mismatch& mm : device.scanMismatches()) {
+                log.push_back({run_index, phase, pass, time_s, mm.entry,
+                               mm.mask});
+            }
+        }
+    }
+    return log;
+}
+
+} // namespace beam
+} // namespace gpuecc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The DRAM beam-testing microbenchmark (Section 3, "Accelerator DRAM
+ * Beam Testing Methodology").
+ *
+ * The real benchmark writes a known pattern to every entry and reads
+ * all of memory back repeatedly - 10 write phases per run, 20 read
+ * passes per write, alternating the pattern and its inverse between
+ * write phases to diagnose unidirectional intermittent errors - and
+ * logs every mismatch with a timestamp. The simulated version drives
+ * the functional Device the same way while soft-error events arrive
+ * as a Poisson process in beam time.
+ */
+
+#ifndef GPUECC_BEAM_MICROBENCHMARK_HPP
+#define GPUECC_BEAM_MICROBENCHMARK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "beam/events.hpp"
+#include "common/rng.hpp"
+#include "hbm2/device.hpp"
+
+namespace gpuecc {
+namespace beam {
+
+/** Microbenchmark loop parameters (paper defaults). */
+struct MicrobenchConfig
+{
+    hbm2::DataPattern pattern = hbm2::DataPattern::anEncoded;
+    int write_phases = 10;     //!< outer write loop per run
+    int reads_per_write = 20;  //!< inner read loop
+    /** Wall time of one full-memory pass (32GB at HBM2 bandwidth). */
+    double pass_seconds = 0.036;
+    /** DRAM access-rate fraction (Section 5, "Effect of DRAM
+     *  Utilization"): logic-error rates scale with it, array-error
+     *  rates do not. */
+    double utilization = 1.0;
+};
+
+/** One logged mismatch observation. */
+struct LogRecord
+{
+    int run;          //!< campaign run index
+    int write_phase;  //!< outer loop iteration
+    int read_pass;    //!< inner loop iteration
+    double time_s;    //!< campaign time of the observing scan
+    std::uint64_t entry;
+    hbm2::EntryMask mask; //!< observed XOR expected
+};
+
+/** Drives one microbenchmark run against a device. */
+class Microbenchmark
+{
+  public:
+    explicit Microbenchmark(const MicrobenchConfig& config);
+
+    const MicrobenchConfig& config() const { return config_; }
+
+    /**
+     * Execute one run (write_phases x reads_per_write passes).
+     *
+     * @param device      the DRAM under test
+     * @param events      soft-error source (used only in the beam)
+     * @param event_rate  events per second of beam time (0 outside)
+     * @param time_s      campaign clock, advanced in place
+     * @param run_index   tag for the log records
+     * @param rng         randomness for event arrival times
+     * @return mismatch log of this run
+     */
+    std::vector<LogRecord>
+    run(hbm2::Device& device, EventGenerator& events, double event_rate,
+        double& time_s, int run_index, Rng& rng) const;
+
+  private:
+    MicrobenchConfig config_;
+};
+
+} // namespace beam
+} // namespace gpuecc
+
+#endif // GPUECC_BEAM_MICROBENCHMARK_HPP

@@ -1,0 +1,145 @@
+#include "codes/code_search.hpp"
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+namespace {
+
+/**
+ * Cost of a candidate column multiset for a correctable-pair set: a
+ * large penalty per correctable pair that is not uniquely decodable,
+ * plus the count of non-correctable 2-bit errors whose syndrome
+ * collides with a correctable-pair syndrome.
+ *
+ * @param adjacent_daec false = the 36 aligned pairs (2t, 2t+1);
+ *                      true = all 71 adjacent pairs (i, i+1)
+ */
+int
+costOf(const std::array<unsigned, 72>& cols, bool adjacent_daec)
+{
+    std::set<unsigned> col_set(cols.begin(), cols.end());
+    std::set<unsigned> pair_syn;
+    int penalty = 0;
+    auto is_correctable = [adjacent_daec](int a, int b) {
+        return b == a + 1 && (adjacent_daec || a % 2 == 0);
+    };
+    for (int a = 0; a + 1 < 72; ++a) {
+        if (!is_correctable(a, a + 1))
+            continue;
+        const unsigned s = cols[a] ^ cols[a + 1];
+        if (s == 0 || col_set.count(s) || !pair_syn.insert(s).second)
+            penalty += 100000;
+    }
+    int collisions = 0;
+    for (int a = 0; a < 72; ++a) {
+        for (int b = a + 1; b < 72; ++b) {
+            if (is_correctable(a, b))
+                continue;
+            if (pair_syn.count(cols[a] ^ cols[b]))
+                ++collisions;
+        }
+    }
+    return penalty + collisions;
+}
+
+} // namespace
+
+namespace {
+
+CodeSearchResult
+searchPairCode(Rng& rng, int iterations, bool adjacent_daec)
+{
+    // Candidate pool: all odd-weight bytes except the 8 weight-1
+    // values reserved for the check bits.
+    std::vector<unsigned> pool;
+    for (unsigned v = 0; v < 256; ++v) {
+        const int w = popcount64(v);
+        if ((w & 1) && w > 1)
+            pool.push_back(v);
+    }
+    require(pool.size() == 120, "odd-weight pool should have 120 entries");
+
+    // Initial state: a random distinct selection of 64 data columns,
+    // plus the identity check columns at 64..71.
+    std::array<unsigned, 72> cols{};
+    {
+        std::vector<unsigned> shuffled = pool;
+        for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+            const std::size_t j = rng.nextBounded(i + 1);
+            std::swap(shuffled[i], shuffled[j]);
+        }
+        for (int c = 0; c < 64; ++c)
+            cols[c] = shuffled[c];
+        for (int row = 0; row < 8; ++row)
+            cols[64 + row] = 1u << row;
+    }
+
+    int cost = costOf(cols, adjacent_daec);
+    int evals = 1;
+    for (int it = 0; it < iterations; ++it) {
+        std::array<unsigned, 72> cand = cols;
+        if (rng.nextBool(0.5)) {
+            // Replace a data column with an unused pool value.
+            const int c = static_cast<int>(rng.nextBounded(64));
+            const unsigned v =
+                pool[rng.nextBounded(pool.size())];
+            bool in_use = false;
+            for (unsigned existing : cand) {
+                if (existing == v) {
+                    in_use = true;
+                    break;
+                }
+            }
+            if (in_use)
+                continue;
+            cand[c] = v;
+        } else {
+            // Swap two data columns (changes the pair structure).
+            const int a = static_cast<int>(rng.nextBounded(64));
+            const int b = static_cast<int>(rng.nextBounded(64));
+            if (a == b)
+                continue;
+            std::swap(cand[a], cand[b]);
+        }
+        const int cand_cost = costOf(cand, adjacent_daec);
+        ++evals;
+        if (cand_cost <= cost) {
+            cols = cand;
+            cost = cand_cost;
+        }
+    }
+    require(cost < 100000,
+            "code search failed to satisfy pair-syndrome uniqueness");
+
+    Gf2Matrix h(8, 72);
+    for (int c = 0; c < 72; ++c) {
+        for (int row = 0; row < 8; ++row)
+            h.set(row, c, (cols[c] >> row) & 1);
+    }
+    const int non_correctable_pairs =
+        72 * 71 / 2 - (adjacent_daec ? 71 : 36);
+    return {h, static_cast<double>(cost) / non_correctable_pairs,
+            evals};
+}
+
+} // namespace
+
+CodeSearchResult
+searchSec2bEcCode(Rng& rng, int iterations)
+{
+    return searchPairCode(rng, iterations, false);
+}
+
+CodeSearchResult
+searchDaecCode(Rng& rng, int iterations)
+{
+    return searchPairCode(rng, iterations, true);
+}
+
+} // namespace gpuecc

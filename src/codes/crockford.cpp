@@ -1,0 +1,74 @@
+#include "codes/crockford.hpp"
+
+#include <cctype>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+namespace {
+
+const char kAlphabet[] = "0123456789ABCDEFGHJKMNPQRSTVWXYZ";
+
+int
+digitValue(char c)
+{
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    // Crockford decoding aliases.
+    if (c == 'I' || c == 'L')
+        c = '1';
+    if (c == 'O')
+        c = '0';
+    for (int v = 0; v < 32; ++v) {
+        if (kAlphabet[v] == c)
+            return v;
+    }
+    fatal(std::string("invalid Crockford Base32 digit: '") + c + "'");
+}
+
+} // namespace
+
+std::vector<int>
+crockfordDecode(const std::string& text, int nbits)
+{
+    require(nbits > 0, "crockfordDecode: nbits must be positive");
+    std::vector<int> bits(nbits, 0);
+    for (char c : text) {
+        if (c == '-')
+            continue; // Crockford permits hyphen separators
+        const int v = digitValue(c);
+        // Shift the accumulated value left by one digit (5 bits); any
+        // set bit shifted past nbits means the value does not fit.
+        for (int k = nbits - 1; k > nbits - 1 - 5; --k) {
+            if (k >= 0 && bits[k]) {
+                fatal("crockfordDecode: value does not fit in " +
+                      std::to_string(nbits) + " bits");
+            }
+        }
+        for (int k = nbits - 1; k >= 5; --k)
+            bits[k] = bits[k - 5];
+        for (int k = 0; k < 5 && k < nbits; ++k)
+            bits[k] = (v >> k) & 1;
+    }
+    return bits;
+}
+
+std::string
+crockfordEncode(const std::vector<int>& bits)
+{
+    const int nbits = static_cast<int>(bits.size());
+    const int ndigits = (nbits + 4) / 5;
+    std::string out(ndigits, '0');
+    for (int d = 0; d < ndigits; ++d) {
+        int v = 0;
+        for (int k = 0; k < 5; ++k) {
+            const int bit = d * 5 + k;
+            if (bit < nbits && bits[bit])
+                v |= 1 << k;
+        }
+        out[ndigits - 1 - d] = kAlphabet[v];
+    }
+    return out;
+}
+
+} // namespace gpuecc

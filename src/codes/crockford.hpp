@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Crockford Base32 decoding.
+ *
+ * The paper publishes its SEC-2bEC parity-check matrix (Eq. 3) with
+ * one Crockford-Base32 integer per row; this decodes that text form.
+ */
+
+#ifndef GPUECC_CODES_CROCKFORD_HPP
+#define GPUECC_CODES_CROCKFORD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpuecc {
+
+/**
+ * Decode a Crockford Base32 string into a bit vector.
+ *
+ * @param text  Base32 digits, most significant first; the decode
+ *              aliases I/L -> 1 and O -> 0 per the Crockford spec
+ * @param nbits width of the resulting integer; the decoded value must
+ *              fit in nbits or the call is a fatal error
+ * @return bits[k] is bit k of the integer (LSB-first), size nbits
+ */
+std::vector<int> crockfordDecode(const std::string& text, int nbits);
+
+/** Encode the LSB-first bit vector back to Crockford Base32. */
+std::string crockfordEncode(const std::vector<int>& bits);
+
+} // namespace gpuecc
+
+#endif // GPUECC_CODES_CROCKFORD_HPP

@@ -1,0 +1,262 @@
+#include "codes/linear_code.hpp"
+
+#include <set>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+std::vector<std::pair<int, int>>
+Code72::adjacentPairs()
+{
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(n / 2);
+    for (int t = 0; t < n / 2; ++t)
+        pairs.emplace_back(2 * t, 2 * t + 1);
+    return pairs;
+}
+
+std::vector<std::pair<int, int>>
+Code72::stride4Pairs()
+{
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(n / 2);
+    for (int g = 0; g < n / 8; ++g) {
+        for (int m = 0; m < 4; ++m)
+            pairs.emplace_back(8 * g + m, 8 * g + m + 4);
+    }
+    return pairs;
+}
+
+Code72::Code72(const Gf2Matrix& h, std::vector<std::pair<int, int>> pairs)
+    : h_(h), pairs_(std::move(pairs))
+{
+    require(h.rows() == r && h.cols() == n,
+            "Code72 expects an 8x72 parity-check matrix");
+    require(static_cast<int>(pairs_.size()) == n / 2,
+            "Code72 expects 36 aligned symbol pairs");
+    {
+        std::set<int> covered;
+        for (const auto& [a, b] : pairs_) {
+            require(a >= 0 && a < n && b >= 0 && b < n && a != b,
+                    "Code72 pair positions out of range");
+            covered.insert(a);
+            covered.insert(b);
+        }
+        require(static_cast<int>(covered.size()) == n,
+                "Code72 pairs must tile all 72 bit positions");
+    }
+
+    // Row-reduce so columns 64..71 are the identity; then the check
+    // byte is a linear function of the data bits and the syndrome of
+    // a received word is recomputed-check XOR received-check.
+    std::vector<int> check_cols;
+    for (int c = k; c < n; ++c)
+        check_cols.push_back(c);
+    const auto t_inv = h.selectColumns(check_cols).inverse();
+    require(t_inv.has_value(),
+            "Code72: check columns 64..71 are not invertible");
+    h_ = t_inv->multiply(h);
+
+    for (int row = 0; row < r; ++row) {
+        Bits72 mask;
+        std::uint64_t enc = 0;
+        for (int c = 0; c < n; ++c) {
+            if (h_.get(row, c)) {
+                mask.set(c, 1);
+                if (c < k)
+                    enc |= bit64(c);
+            }
+        }
+        row_masks_[row] = mask;
+        encoder_masks_[row] = enc;
+    }
+    for (int c = 0; c < n; ++c) {
+        std::uint8_t s = 0;
+        for (int row = 0; row < r; ++row)
+            s |= static_cast<std::uint8_t>(h_.get(row, c)) << row;
+        col_syn_[c] = s;
+    }
+
+    syn_to_bit_.fill(-1);
+    for (int c = 0; c < n; ++c) {
+        if (col_syn_[c] != 0 && syn_to_bit_[col_syn_[c]] == -1)
+            syn_to_bit_[col_syn_[c]] = c;
+    }
+    syn_to_pair_.fill(-1);
+    for (int p = 0; p < static_cast<int>(pairs_.size()); ++p) {
+        const std::uint8_t s = static_cast<std::uint8_t>(
+            col_syn_[pairs_[p].first] ^ col_syn_[pairs_[p].second]);
+        if (s != 0 && syn_to_bit_[s] == -1 && syn_to_pair_[s] == -1)
+            syn_to_pair_[s] = p;
+    }
+}
+
+Bits72
+Code72::encode(std::uint64_t data) const
+{
+    Bits72 cw;
+    cw.setWord(0, data);
+    std::uint64_t check = 0;
+    for (int row = 0; row < r; ++row) {
+        if (parity64(encoder_masks_[row] & data))
+            check |= bit64(row);
+    }
+    cw.insert(k, r, check);
+    return cw;
+}
+
+std::uint64_t
+Code72::extractData(const Bits72& cw) const
+{
+    return cw.word(0);
+}
+
+std::uint8_t
+Code72::syndrome(const Bits72& received) const
+{
+    std::uint8_t s = 0;
+    for (int row = 0; row < r; ++row) {
+        s |= static_cast<std::uint8_t>(row_masks_[row].andParity(received))
+             << row;
+    }
+    return s;
+}
+
+CodewordDecode
+Code72::decode(const Bits72& received, Mode mode) const
+{
+    const std::uint8_t s = syndrome(received);
+    if (s == 0)
+        return {CodewordDecode::Status::clean, Bits72{}};
+
+    if (const int pos = syn_to_bit_[s]; pos >= 0) {
+        Bits72 fix;
+        fix.set(pos, 1);
+        return {CodewordDecode::Status::corrected, fix};
+    }
+    if (mode == Mode::sec2bEc) {
+        if (const int p = syn_to_pair_[s]; p >= 0) {
+            Bits72 fix;
+            fix.set(pairs_[p].first, 1);
+            fix.set(pairs_[p].second, 1);
+            return {CodewordDecode::Status::corrected, fix};
+        }
+    }
+    return {CodewordDecode::Status::due, Bits72{}};
+}
+
+CodewordDecode
+Code72::decodeWithErasure(const Bits72& received, int erased_pos) const
+{
+    require(erased_pos >= 0 && erased_pos < n,
+            "decodeWithErasure: bad position");
+    // Interpretation A: the erased bit's received value is right.
+    const std::uint8_t s = syndrome(received);
+    // Interpretation B: it is flipped.
+    const std::uint8_t s_flip =
+        static_cast<std::uint8_t>(s ^ col_syn_[erased_pos]);
+
+    auto resolves = [this, erased_pos](std::uint8_t syn,
+                                       Bits72& fix) -> bool {
+        if (syn == 0)
+            return true;
+        const int pos = syn_to_bit_[syn];
+        if (pos < 0)
+            return false;
+        // Correcting at the erased position is interpretation B's
+        // job; rejecting it here keeps the two cases disjoint.
+        if (pos == erased_pos)
+            return false;
+        fix.set(pos, 1);
+        return true;
+    };
+
+    Bits72 fix_a, fix_b;
+    const bool a_ok = resolves(s, fix_a);
+    const bool b_ok = resolves(s_flip, fix_b);
+    // Odd-weight columns make the two interpretations' syndrome
+    // parities differ, so at most one resolves.
+    if (a_ok) {
+        return {fix_a.none() ? CodewordDecode::Status::clean
+                             : CodewordDecode::Status::corrected,
+                fix_a};
+    }
+    if (b_ok) {
+        fix_b.set(erased_pos, 1);
+        return {CodewordDecode::Status::corrected, fix_b};
+    }
+    return {CodewordDecode::Status::due, Bits72{}};
+}
+
+bool
+Code72::isSec() const
+{
+    std::set<std::uint8_t> seen;
+    for (int c = 0; c < n; ++c) {
+        if (col_syn_[c] == 0 || !seen.insert(col_syn_[c]).second)
+            return false;
+    }
+    return true;
+}
+
+bool
+Code72::isDed() const
+{
+    // A double-bit error must be neither zero (distinct columns) nor
+    // equal to any single column; both properties are invariant under
+    // the row reduction applied in the constructor.
+    std::set<std::uint8_t> cols(col_syn_.begin(), col_syn_.end());
+    for (int a = 0; a < n; ++a) {
+        for (int b = a + 1; b < n; ++b) {
+            const std::uint8_t s =
+                static_cast<std::uint8_t>(col_syn_[a] ^ col_syn_[b]);
+            if (s == 0 || cols.count(s))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+Code72::isAligned2bEc() const
+{
+    std::set<std::uint8_t> cols(col_syn_.begin(), col_syn_.end());
+    std::set<std::uint8_t> pair_syn;
+    for (const auto& [a, b] : pairs_) {
+        const std::uint8_t s =
+            static_cast<std::uint8_t>(col_syn_[a] ^ col_syn_[b]);
+        if (s == 0 || cols.count(s) || !pair_syn.insert(s).second)
+            return false;
+    }
+    return true;
+}
+
+double
+Code72::nonAligned2bMiscorrectionRate() const
+{
+    std::set<std::uint8_t> pair_syn;
+    std::set<std::pair<int, int>> aligned;
+    for (const auto& [a, b] : pairs_) {
+        pair_syn.insert(
+            static_cast<std::uint8_t>(col_syn_[a] ^ col_syn_[b]));
+        aligned.insert({std::min(a, b), std::max(a, b)});
+    }
+    int collisions = 0;
+    int total = 0;
+    for (int a = 0; a < n; ++a) {
+        for (int b = a + 1; b < n; ++b) {
+            if (aligned.count({a, b}))
+                continue;
+            ++total;
+            const std::uint8_t s =
+                static_cast<std::uint8_t>(col_syn_[a] ^ col_syn_[b]);
+            if (pair_syn.count(s))
+                ++collisions;
+        }
+    }
+    return static_cast<double>(collisions) / static_cast<double>(total);
+}
+
+} // namespace gpuecc

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The (72, 64) binary linear block code engine.
+ *
+ * Every binary scheme in the paper builds on (72, 64) codewords: one
+ * 64-bit data word plus one 8-bit check byte per DRAM beat. Code72
+ * wraps an arbitrary 8x72 parity-check matrix, derives a systematic
+ * encoder, and provides the two decode modes used by the paper:
+ *
+ *  - Mode::secDed  - single-bit correction, double-bit detection;
+ *  - Mode::sec2bEc - additionally corrects an error confined to one
+ *    aligned 2-bit symbol, where the symbol pairing is a constructor
+ *    parameter (bit-adjacent pairs for non-interleaved use, stride-4
+ *    pairs for interleaved use, per Section 6.1 of the paper).
+ */
+
+#ifndef GPUECC_CODES_LINEAR_CODE_HPP
+#define GPUECC_CODES_LINEAR_CODE_HPP
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "gf2/matrix.hpp"
+
+namespace gpuecc {
+
+/** Outcome of decoding one 72-bit codeword. */
+struct CodewordDecode
+{
+    /** What the decoder concluded. */
+    enum class Status
+    {
+        clean,      //!< zero syndrome, nothing to do
+        corrected,  //!< a correction was applied
+        due         //!< detected-yet-uncorrectable
+    };
+
+    Status status;
+    /** Mask of bits the decoder flipped (empty unless corrected). */
+    Bits72 correction;
+};
+
+/** A (72, 64) binary linear block code defined by its H matrix. */
+class Code72
+{
+  public:
+    static constexpr int n = 72;
+    static constexpr int k = 64;
+    static constexpr int r = 8;
+
+    /** Decoder operating mode (TrioECC toggles between these). */
+    enum class Mode
+    {
+        secDed,
+        sec2bEc
+    };
+
+    /** The bit-adjacent symbol pairing {(0,1), (2,3), ...}. */
+    static std::vector<std::pair<int, int>> adjacentPairs();
+
+    /**
+     * The stride-4 symbol pairing {(8g+m, 8g+m+4)} induced by the
+     * paper's logical codeword interleaving: a physical byte error
+     * deposits exactly one such symbol error in each codeword.
+     */
+    static std::vector<std::pair<int, int>> stride4Pairs();
+
+    /**
+     * Build the code from a parity-check matrix.
+     *
+     * @param h     8x72 parity-check matrix of full rank whose columns
+     *              64..71 form an invertible submatrix (check bits
+     *              live in the top byte of the codeword)
+     * @param pairs the 36 disjoint aligned 2-bit symbols used by
+     *              Mode::sec2bEc
+     */
+    explicit Code72(const Gf2Matrix& h,
+                    std::vector<std::pair<int, int>> pairs =
+                        adjacentPairs());
+
+    /** Encode a 64-bit data word into a codeword (data in bits 0..63). */
+    Bits72 encode(std::uint64_t data) const;
+
+    /** Extract the data bits (positions 0..63) from a codeword. */
+    std::uint64_t extractData(const Bits72& cw) const;
+
+    /** 8-bit syndrome of a received word (0 means a valid codeword). */
+    std::uint8_t syndrome(const Bits72& received) const;
+
+    /** Decode a received word in the given mode. */
+    CodewordDecode decode(const Bits72& received, Mode mode) const;
+
+    /**
+     * Decode with one known-erased position (e.g. a diagnosed
+     * permanent pin failure crossing this codeword). With d = 4 the
+     * code corrects the erasure *plus* one additional error:
+     * interpret the erased bit as 0 or 1, and exactly one
+     * interpretation leaves a zero or single-bit-correctable
+     * syndrome (odd/even weight separates the two). The returned
+     * correction mask is relative to the received word, covering
+     * both the erasure fill and any error correction.
+     */
+    CodewordDecode decodeWithErasure(const Bits72& received,
+                                     int erased_pos) const;
+
+    /** The (row-reduced, systematic) parity-check matrix in use. */
+    const Gf2Matrix& parityCheck() const { return h_; }
+
+    /** Syndrome of a single-bit error at the given position. */
+    std::uint8_t columnSyndrome(int pos) const { return col_syn_[pos]; }
+
+    /** The aligned symbol pairing in use. */
+    const std::vector<std::pair<int, int>>& pairs() const
+    {
+        return pairs_;
+    }
+
+    /** @name Code property checks (used by tests and the code search)
+     *  @{ */
+    /** All 72 single-bit syndromes nonzero and distinct. */
+    bool isSec() const;
+    /** No double-bit error aliases to zero or to a single-bit syndrome. */
+    bool isDed() const;
+    /** The 36 aligned-pair syndromes are nonzero, distinct, and
+     *  disjoint from single-bit syndromes. */
+    bool isAligned2bEc() const;
+    /** Fraction of non-aligned 2-bit errors whose syndrome collides
+     *  with an aligned-pair syndrome (the sec2bEc miscorrection risk
+     *  the paper's genetic algorithm minimizes). */
+    double nonAligned2bMiscorrectionRate() const;
+    /** @} */
+
+  private:
+    Gf2Matrix h_;                       //!< row-reduced systematic H
+    std::array<Bits72, r> row_masks_;   //!< H rows for fast syndromes
+    std::array<std::uint8_t, n> col_syn_;
+    std::array<std::uint64_t, r> encoder_masks_; //!< data-bit masks
+    std::vector<std::pair<int, int>> pairs_;
+    std::array<int, 256> syn_to_bit_;   //!< -1 when no single-bit match
+    std::array<int, 256> syn_to_pair_;  //!< -1 when no pair match
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_CODES_LINEAR_CODE_HPP

@@ -1,0 +1,65 @@
+#include "codes/sec2bec.hpp"
+
+#include "codes/crockford.hpp"
+#include "codes/linear_code.hpp"
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+const std::array<std::string, 8>&
+sec2becPaperRows()
+{
+    static const std::array<std::string, 8> rows = {
+        "2JZXMJP4K6FNWM0",
+        "0CRW9M5962TJMA0",
+        "1N9NJ8ZACKPQGH0",
+        "1B5B40P8S9A8H0G",
+        "2V3K9DWNJE0Z6G8",
+        "1ZDTJP8Z0CHGQR4",
+        "3MMQ5N4E4H1CA02",
+        "1FEYAZNM9J64DR1",
+    };
+    return rows;
+}
+
+Gf2Matrix
+sec2becPaperMatrix()
+{
+    Gf2Matrix h(8, 72);
+    for (int row = 0; row < 8; ++row) {
+        // crockfordDecode returns LSB-first bits of the row integer;
+        // printed column j is bit (71 - j).
+        const std::vector<int> bits =
+            crockfordDecode(sec2becPaperRows()[row], 72);
+        for (int c = 0; c < 72; ++c)
+            h.set(row, c, bits[71 - c]);
+    }
+    return h;
+}
+
+std::array<int, 72>
+sec2becInterleavePermutation()
+{
+    const auto stride4 = Code72::stride4Pairs();
+    std::array<int, 72> perm{};
+    for (int t = 0; t < 36; ++t) {
+        perm[2 * t] = stride4[t].first;
+        perm[2 * t + 1] = stride4[t].second;
+    }
+    return perm;
+}
+
+Gf2Matrix
+sec2becInterleavedMatrix()
+{
+    const Gf2Matrix printed = sec2becPaperMatrix();
+    const auto perm = sec2becInterleavePermutation();
+    Gf2Matrix h(8, 72);
+    for (int m = 0; m < 72; ++m) {
+        for (int row = 0; row < 8; ++row)
+            h.set(row, perm[m], printed.get(row, m));
+    }
+    return h;
+}
+
+} // namespace gpuecc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The paper's SEC-2bEC code (Equation 3).
+ *
+ * Equation 3 of the paper publishes the 8x72 parity-check matrix of a
+ * SEC-DED code that additionally maps every aligned 2-bit error to a
+ * unique syndrome, found by the authors with a genetic algorithm. We
+ * decode the printed Crockford-Base32 rows verbatim; validation (all
+ * columns odd-weight and distinct, aligned pairs unique) lives in
+ * Code72's property checks and is asserted by the test suite.
+ */
+
+#ifndef GPUECC_CODES_SEC2BEC_HPP
+#define GPUECC_CODES_SEC2BEC_HPP
+
+#include <array>
+#include <string>
+
+#include "gf2/matrix.hpp"
+
+namespace gpuecc {
+
+/** The eight Crockford-Base32 row strings exactly as printed. */
+const std::array<std::string, 8>& sec2becPaperRows();
+
+/**
+ * The paper's SEC-2bEC parity-check matrix.
+ *
+ * Column j of the matrix is printed column j (leftmost bit of each
+ * Base32 row integer is column 0); columns 64..71 come out as the
+ * identity, i.e. the printed matrix is already systematic. The
+ * aligned 2-bit symbols of this matrix are the bit-adjacent pairs
+ * (2t, 2t+1) - for interleaved use, swizzle with
+ * sec2becInterleavedMatrix().
+ */
+Gf2Matrix sec2becPaperMatrix();
+
+/**
+ * The paper's SEC-2bEC matrix with columns permuted for interleaved
+ * use.
+ *
+ * Logical codeword interleaving converts a physical byte error into
+ * one stride-4 symbol {8g+m, 8g+m+4} per codeword, so the interleaved
+ * decoder must treat those positions as its aligned symbols. The
+ * printed matrix only guarantees unique syndromes for bit-adjacent
+ * pairs; this permutation maps printed pair (2t, 2t+1) onto stride-4
+ * pair t so the guarantee transfers. Use with Code72 and
+ * Code72::stride4Pairs().
+ */
+Gf2Matrix sec2becInterleavedMatrix();
+
+/**
+ * The column permutation used by sec2becInterleavedMatrix().
+ *
+ * @return perm such that interleaved column perm[m] = printed column
+ *         m; pair t of the stride-4 pairing receives printed columns
+ *         (2t, 2t+1)
+ */
+std::array<int, 72> sec2becInterleavePermutation();
+
+} // namespace gpuecc
+
+#endif // GPUECC_CODES_SEC2BEC_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the library.
+ */
+
+#ifndef GPUECC_COMMON_BITOPS_HPP
+#define GPUECC_COMMON_BITOPS_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace gpuecc {
+
+/** Number of set bits in a 64-bit word. */
+inline int
+popcount64(std::uint64_t x)
+{
+    return std::popcount(x);
+}
+
+/** Even/odd parity (1 if an odd number of bits are set). */
+inline int
+parity64(std::uint64_t x)
+{
+    return std::popcount(x) & 1;
+}
+
+/** Extract bit i (0 = LSB) of a 64-bit word. */
+inline int
+getBit64(std::uint64_t x, int i)
+{
+    return static_cast<int>((x >> i) & 1u);
+}
+
+/** A 64-bit word with only bit i set. */
+inline std::uint64_t
+bit64(int i)
+{
+    return std::uint64_t{1} << i;
+}
+
+/** Mask with the low n bits set (n in [0, 64]). */
+inline std::uint64_t
+lowMask64(int n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_BITOPS_HPP

@@ -1,0 +1,80 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+void
+Cli::addFlag(const std::string& name, const std::string& def,
+             const std::string& help)
+{
+    flags_[name] = {def, help};
+}
+
+void
+Cli::parse(int argc, char** argv, const std::string& program_desc)
+{
+    auto usage = [&](int code) {
+        std::printf("%s\n\nflags:\n", program_desc.c_str());
+        for (const auto& [name, flag] : flags_) {
+            std::printf("  --%-18s %s (default: %s)\n", name.c_str(),
+                        flag.help.c_str(), flag.value.c_str());
+        }
+        std::exit(code);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument: " + arg);
+        arg = arg.substr(2);
+        std::string name = arg, value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            value = argv[++i];
+        } else {
+            value = "true"; // boolean switch form
+        }
+        const auto it = flags_.find(name);
+        if (it == flags_.end())
+            fatal("unknown flag --" + name + " (try --help)");
+        it->second.value = value;
+    }
+}
+
+std::string
+Cli::getString(const std::string& name) const
+{
+    const auto it = flags_.find(name);
+    require(it != flags_.end(), "undeclared flag: " + name);
+    return it->second.value;
+}
+
+std::int64_t
+Cli::getInt(const std::string& name) const
+{
+    return std::strtoll(getString(name).c_str(), nullptr, 0);
+}
+
+double
+Cli::getDouble(const std::string& name) const
+{
+    return std::strtod(getString(name).c_str(), nullptr);
+}
+
+bool
+Cli::getBool(const std::string& name) const
+{
+    const std::string v = getString(name);
+    return v == "1" || v == "true" || v == "yes";
+}
+
+} // namespace gpuecc

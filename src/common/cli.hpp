@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the bench and example binaries.
+ *
+ * Supports "--name value" and "--name=value" forms plus boolean
+ * switches; unknown flags are a fatal user error so typos don't pass
+ * silently.
+ */
+
+#ifndef GPUECC_COMMON_CLI_HPP
+#define GPUECC_COMMON_CLI_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpuecc {
+
+/** Parsed command line with typed accessors and defaults. */
+class Cli
+{
+  public:
+    /**
+     * Declare a flag before parsing.
+     *
+     * @param name flag name without the leading dashes
+     * @param def  default value as text
+     * @param help one-line description for --help output
+     */
+    void addFlag(const std::string& name, const std::string& def,
+                 const std::string& help);
+
+    /**
+     * Parse argv; exits with usage text on --help or unknown flags.
+     *
+     * @param program_desc one-line description printed by --help
+     */
+    void parse(int argc, char** argv, const std::string& program_desc);
+
+    /** Value of a declared flag as a string. */
+    std::string getString(const std::string& name) const;
+
+    /** Value of a declared flag as a 64-bit integer. */
+    std::int64_t getInt(const std::string& name) const;
+
+    /** Value of a declared flag as a double. */
+    double getDouble(const std::string& name) const;
+
+    /** Value of a declared flag as a boolean ("1"/"true" are true). */
+    bool getBool(const std::string& name) const;
+
+  private:
+    struct Flag
+    {
+        std::string value;
+        std::string help;
+    };
+    std::map<std::string, Flag> flags_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_CLI_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a library bug), fatal() is for unrecoverable user error
+ * (bad configuration or arguments), warn()/inform() are non-fatal
+ * notices.
+ */
+
+#ifndef GPUECC_COMMON_LOG_HPP
+#define GPUECC_COMMON_LOG_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace gpuecc {
+
+/** Print an internal-bug message and abort. Never returns. */
+[[noreturn]] inline void
+panic(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Print a user-error message and exit(1). Never returns. */
+[[noreturn]] inline void
+fatal(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Print a non-fatal warning to stderr. */
+inline void
+warn(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Print an informational status message to stderr. */
+inline void
+inform(const std::string& msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** Abort with a message unless cond holds. Enabled in all build types. */
+inline void
+require(bool cond, const std::string& msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_LOG_HPP

@@ -1,0 +1,234 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+void
+OnlineStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Interval
+wilsonInterval(std::uint64_t successes, std::uint64_t trials, double z)
+{
+    if (trials == 0)
+        return {0.0, 1.0};
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z * M_SQRT1_2);
+}
+
+double
+normalPdf(double z)
+{
+    return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+LineFit
+linearRegression(const std::vector<double>& x, const std::vector<double>& y)
+{
+    require(x.size() == y.size() && x.size() >= 2,
+            "linearRegression needs >= 2 matched points");
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+    const double sxx_c = sxx - sx * sx / n;
+    const double sxy_c = sxy - sx * sy / n;
+    const double syy_c = syy - sy * sy / n;
+    require(sxx_c > 0.0, "linearRegression: x values are all identical");
+    const double slope = sxy_c / sxx_c;
+    const double intercept = (sy - slope * sx) / n;
+    const double r2 = syy_c <= 0.0 ? 1.0 : (sxy_c * sxy_c) / (sxx_c * syy_c);
+    return {intercept, slope, r2};
+}
+
+LineFit
+exponentialRegression(const std::vector<double>& x,
+                      const std::vector<double>& y)
+{
+    std::vector<double> logy;
+    logy.reserve(y.size());
+    for (double v : y) {
+        require(v > 0.0, "exponentialRegression needs positive y values");
+        logy.push_back(std::log(v));
+    }
+    LineFit f = linearRegression(x, logy);
+    // Report A (not log A) in the intercept slot for convenience.
+    return {std::exp(f.intercept), f.slope, f.r2};
+}
+
+std::vector<double>
+nelderMead(const std::function<double(const std::vector<double>&)>& f,
+           std::vector<double> start, double step, int iters)
+{
+    const std::size_t n = start.size();
+    require(n >= 1, "nelderMead needs at least one dimension");
+
+    struct Vertex
+    {
+        std::vector<double> x;
+        double fx;
+    };
+    std::vector<Vertex> simplex;
+    simplex.reserve(n + 1);
+    simplex.push_back({start, f(start)});
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> v = start;
+        v[i] += (v[i] != 0.0) ? step * v[i] : step;
+        simplex.push_back({v, f(v)});
+    }
+
+    const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+    for (int it = 0; it < iters; ++it) {
+        std::sort(simplex.begin(), simplex.end(),
+                  [](const Vertex& a, const Vertex& b) {
+                      return a.fx < b.fx;
+                  });
+        // Centroid of all but the worst vertex.
+        std::vector<double> c(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j)
+                c[j] += simplex[i].x[j];
+        }
+        for (double& v : c)
+            v /= static_cast<double>(n);
+
+        auto blend = [&](const std::vector<double>& from, double coef) {
+            std::vector<double> out(n);
+            for (std::size_t j = 0; j < n; ++j)
+                out[j] = c[j] + coef * (from[j] - c[j]);
+            return out;
+        };
+
+        Vertex& worst = simplex.back();
+        std::vector<double> xr = blend(worst.x, -alpha);
+        const double fr = f(xr);
+        if (fr < simplex[0].fx) {
+            std::vector<double> xe = blend(worst.x, -gamma);
+            const double fe = f(xe);
+            worst = fe < fr ? Vertex{xe, fe} : Vertex{xr, fr};
+        } else if (fr < simplex[n - 1].fx) {
+            worst = {xr, fr};
+        } else {
+            std::vector<double> xc = blend(worst.x, rho);
+            const double fc = f(xc);
+            if (fc < worst.fx) {
+                worst = {xc, fc};
+            } else {
+                for (std::size_t i = 1; i <= n; ++i) {
+                    for (std::size_t j = 0; j < n; ++j) {
+                        simplex[i].x[j] = simplex[0].x[j] +
+                            sigma * (simplex[i].x[j] - simplex[0].x[j]);
+                    }
+                    simplex[i].fx = f(simplex[i].x);
+                }
+            }
+        }
+    }
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.fx < b.fx; });
+    return simplex[0].x;
+}
+
+NormalCdfFit
+fitNormalCdf(const std::vector<double>& x, const std::vector<double>& y)
+{
+    require(x.size() == y.size() && x.size() >= 3,
+            "fitNormalCdf needs >= 3 matched points");
+    const double ymax = *std::max_element(y.begin(), y.end());
+    const double xmid = x[x.size() / 2];
+    const double xspan =
+        *std::max_element(x.begin(), x.end()) -
+        *std::min_element(x.begin(), x.end());
+
+    auto rss = [&](const std::vector<double>& p) {
+        const double n = p[0], mu = p[1], sigma = std::abs(p[2]) + 1e-9;
+        double s = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double pred = n * normalCdf((x[i] - mu) / sigma);
+            const double d = pred - y[i];
+            s += d * d;
+        }
+        return s;
+    };
+
+    std::vector<double> best = nelderMead(
+        rss, {ymax, xmid, std::max(xspan / 4.0, 1e-6)}, 0.25, 4000);
+    return {best[0], best[1], std::abs(best[2]), rss(best)};
+}
+
+ExponentialHistogram::ExponentialHistogram(std::uint64_t max_value)
+{
+    int bins = 1;
+    std::uint64_t hi = 2;
+    while (hi <= max_value) {
+        hi *= 2;
+        ++bins;
+    }
+    counts_.assign(bins, 0);
+}
+
+void
+ExponentialHistogram::add(std::uint64_t value)
+{
+    require(value >= 1, "ExponentialHistogram values must be >= 1");
+    int b = 0;
+    std::uint64_t hi = 2;
+    while (value >= hi && b + 1 < numBins()) {
+        hi *= 2;
+        ++b;
+    }
+    ++counts_[b];
+    ++total_;
+}
+
+std::uint64_t
+ExponentialHistogram::binLo(int b) const
+{
+    return std::uint64_t{1} << b;
+}
+
+std::uint64_t
+ExponentialHistogram::binHi(int b) const
+{
+    return (std::uint64_t{1} << (b + 1)) - 1;
+}
+
+} // namespace gpuecc

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Statistics utilities: online moments, proportion confidence
+ * intervals, histograms, regressions, and a small derivative-free
+ * optimizer used for the paper's non-linear retention-time fit.
+ */
+
+#ifndef GPUECC_COMMON_STATS_HPP
+#define GPUECC_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace gpuecc {
+
+/** Streaming mean/variance accumulator (Welford). */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/** A two-sided confidence interval [lo, hi]. */
+struct Interval
+{
+    double lo;
+    double hi;
+};
+
+/**
+ * Wilson score interval for a binomial proportion.
+ *
+ * @param successes number of positive outcomes
+ * @param trials    total trials (may be 0, giving [0, 1])
+ * @param z         normal quantile (1.96 for 95%, 2.576 for 99%)
+ */
+Interval wilsonInterval(std::uint64_t successes, std::uint64_t trials,
+                        double z = 1.96);
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double z);
+
+/** Standard normal density. */
+double normalPdf(double z);
+
+/** Result of an ordinary least squares line fit y = a + b*x. */
+struct LineFit
+{
+    double intercept;
+    double slope;
+    double r2;
+};
+
+/** Fit y = a + b*x by least squares; requires >= 2 points. */
+LineFit linearRegression(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+/**
+ * Fit y = A * exp(b*x) by log-linear least squares (all y must be > 0).
+ *
+ * Matches the "exponential regressions of the historical data" in the
+ * paper's Figure 1.
+ */
+LineFit exponentialRegression(const std::vector<double>& x,
+                              const std::vector<double>& y);
+
+/**
+ * Nelder-Mead simplex minimizer.
+ *
+ * @param f     objective over a parameter vector
+ * @param start initial guess
+ * @param step  initial simplex displacement per dimension
+ * @param iters maximum iterations
+ * @return the best parameter vector found
+ */
+std::vector<double> nelderMead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, double step = 0.1, int iters = 2000);
+
+/** Parameters of a scaled normal CDF fit count(x) = n * Phi((x-mu)/sigma). */
+struct NormalCdfFit
+{
+    double n;
+    double mu;
+    double sigma;
+    /** Residual sum of squares at the optimum. */
+    double rss;
+};
+
+/**
+ * Non-linear least squares fit of a scaled normal CDF, reproducing the
+ * weak-cell retention-time model of the paper's Figure 3b.
+ */
+NormalCdfFit fitNormalCdf(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/** Fixed-bin histogram with exponentially growing bin edges. */
+class ExponentialHistogram
+{
+  public:
+    /**
+     * Bins are [1,2), [2,4), [4,8), ... doubling up to >= max_value.
+     *
+     * @param max_value largest value that must be representable
+     */
+    explicit ExponentialHistogram(std::uint64_t max_value);
+
+    /** Record one value (>= 1). */
+    void add(std::uint64_t value);
+
+    /** Number of bins. */
+    int numBins() const { return static_cast<int>(counts_.size()); }
+
+    /** Inclusive lower edge of bin b. */
+    std::uint64_t binLo(int b) const;
+
+    /** Exclusive upper edge of bin b. */
+    std::uint64_t binHi(int b) const;
+
+    /** Count in bin b. */
+    std::uint64_t count(int b) const { return counts_[b]; }
+
+    /** Total recorded values. */
+    std::uint64_t total() const { return total_; }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_STATS_HPP

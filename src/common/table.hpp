@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows of the paper table or the series
+ * of the paper figure it regenerates; TextTable keeps that output
+ * aligned and diff-friendly.
+ */
+
+#ifndef GPUECC_COMMON_TABLE_HPP
+#define GPUECC_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace gpuecc {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with padded columns, a header rule, and newlines. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string formatFixed(double v, int precision);
+
+/** Format a probability as a percentage string, e.g. "5.40%". */
+std::string formatPercent(double p, int precision = 4);
+
+/** Format a value in scientific notation, e.g. "1.300e-05". */
+std::string formatScientific(double v, int precision = 3);
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_TABLE_HPP

@@ -1,0 +1,122 @@
+#include "ecc/binary_scheme.hpp"
+
+#include "common/log.hpp"
+#include "ecc/csc.hpp"
+
+namespace gpuecc {
+
+BinaryEntryScheme::BinaryEntryScheme(std::shared_ptr<const Code72> code,
+                                     BinarySchemeConfig config)
+    : code_(std::move(code)),
+      config_(std::move(config)),
+      layout_(config_.interleaved ? EntryLayout::Kind::interleaved
+                                  : EntryLayout::Kind::nonInterleaved)
+{
+    require(code_ != nullptr, "BinaryEntryScheme needs a codeword code");
+}
+
+Bits288
+BinaryEntryScheme::encode(const EntryData& data) const
+{
+    std::array<Bits72, 4> cws;
+    for (int w = 0; w < 4; ++w)
+        cws[w] = code_->encode(data[w]);
+    return layout_.assemble(cws);
+}
+
+EntryDecode
+BinaryEntryScheme::decode(const Bits288& received) const
+{
+    const std::array<Bits72, 4> cws = layout_.disassemble(received);
+
+    std::array<CodewordDecode, 4> results;
+    int num_correcting = 0;
+    for (int w = 0; w < 4; ++w) {
+        results[w] = code_->decode(cws[w], config_.mode);
+        if (results[w].status == CodewordDecode::Status::due) {
+            // A DUE in any codeword discards the whole entry so that a
+            // possible SDC in a sibling codeword cannot escape.
+            return {EntryDecode::Status::due, EntryData{}};
+        }
+        if (results[w].status == CodewordDecode::Status::corrected)
+            ++num_correcting;
+    }
+
+    if (config_.csc && num_correcting >= 2) {
+        Bits288 corrected_physical;
+        for (int w = 0; w < 4; ++w) {
+            results[w].correction.forEachSetBit([&](int bit) {
+                corrected_physical.set(layout_.physicalFor(w, bit), 1);
+            });
+        }
+        if (!correctionSanityCheckPasses(corrected_physical))
+            return {EntryDecode::Status::due, EntryData{}};
+    }
+
+    EntryData data{};
+    for (int w = 0; w < 4; ++w) {
+        const Bits72 fixed = cws[w] ^ results[w].correction;
+        data[w] = code_->extractData(fixed);
+    }
+    return {num_correcting ? EntryDecode::Status::corrected
+                           : EntryDecode::Status::clean,
+            data};
+}
+
+EntryDecode
+BinaryEntryScheme::decodeWithPinErasure(const Bits288& received,
+                                        int pin) const
+{
+    require(pin >= 0 && pin < layout::num_pins,
+            "decodeWithPinErasure: bad pin");
+    const std::array<Bits72, 4> cws = layout_.disassemble(received);
+
+    // The checkerboard places exactly one bit of each codeword on
+    // every pin.
+    std::array<int, 4> erased{};
+    erased.fill(-1);
+    for (int beat = 0; beat < layout::num_beats; ++beat) {
+        const auto [cw, bit] =
+            layout_.logicalFor(layout::physicalIndex(beat, pin));
+        erased[cw] = bit;
+    }
+
+    std::array<CodewordDecode, 4> results;
+    int num_correcting = 0;
+    for (int w = 0; w < 4; ++w) {
+        results[w] = code_->decodeWithErasure(cws[w], erased[w]);
+        if (results[w].status == CodewordDecode::Status::due)
+            return {EntryDecode::Status::due, EntryData{}};
+        // Erasure fills are scheduled repairs; only corrections
+        // beyond the diagnosed pin count as suspicious.
+        Bits72 beyond = results[w].correction;
+        beyond.set(erased[w], 0);
+        if (!beyond.none())
+            ++num_correcting;
+    }
+
+    if (config_.csc && num_correcting >= 2) {
+        Bits288 corrected_physical;
+        for (int w = 0; w < 4; ++w) {
+            Bits72 beyond = results[w].correction;
+            beyond.set(erased[w], 0);
+            beyond.forEachSetBit([&](int bit) {
+                corrected_physical.set(layout_.physicalFor(w, bit), 1);
+            });
+        }
+        if (!correctionSanityCheckPasses(corrected_physical))
+            return {EntryDecode::Status::due, EntryData{}};
+    }
+
+    EntryData data{};
+    bool any = false;
+    for (int w = 0; w < 4; ++w) {
+        any = any || !results[w].correction.none();
+        data[w] = code_->extractData(cws[w] ^ results[w].correction);
+    }
+    return {any ? EntryDecode::Status::corrected
+                : EntryDecode::Status::clean,
+            data};
+}
+
+} // namespace gpuecc

@@ -1,0 +1,26 @@
+#include "ecc/csc.hpp"
+
+#include "interleave/swizzle.hpp"
+
+namespace gpuecc {
+
+bool
+correctionSanityCheckPasses(const Bits288& corrected_physical)
+{
+    bool same_byte = true;
+    bool same_pin = true;
+    int first = -1;
+    corrected_physical.forEachSetBit([&](int phys) {
+        if (first < 0) {
+            first = phys;
+            return;
+        }
+        if (layout::byteOf(phys) != layout::byteOf(first))
+            same_byte = false;
+        if (layout::pinOf(phys) != layout::pinOf(first))
+            same_pin = false;
+    });
+    return same_byte || same_pin;
+}
+
+} // namespace gpuecc

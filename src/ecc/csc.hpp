@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The correction sanity check (CSC).
+ *
+ * When multiple codewords of an entry perform correction, the CSC
+ * allows the correction to proceed only if every corrected physical
+ * bit falls within a single aligned byte or a single pin - the two
+ * error shapes the interleave is designed to scatter. Anything else
+ * is almost certainly a broad error being miscorrected, so the entry
+ * is discarded as a DUE instead (Section 6.1 of the paper).
+ */
+
+#ifndef GPUECC_ECC_CSC_HPP
+#define GPUECC_ECC_CSC_HPP
+
+#include "common/bits.hpp"
+
+namespace gpuecc {
+
+/**
+ * Whether a set of corrected physical bit positions passes the CSC.
+ *
+ * @param corrected_physical mask of every bit any codeword corrected,
+ *        in physical (transmitted) entry positions
+ * @return true when all corrected bits share one aligned byte or one
+ *         pin (vacuously true for an empty mask)
+ */
+bool correctionSanityCheckPasses(const Bits288& corrected_physical);
+
+} // namespace gpuecc
+
+#endif // GPUECC_ECC_CSC_HPP

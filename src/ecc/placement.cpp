@@ -1,0 +1,62 @@
+#include "ecc/placement.hpp"
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "interleave/swizzle.hpp"
+
+namespace gpuecc {
+
+std::array<int, 256>
+dataBitPlacement(const EntryScheme& scheme)
+{
+    require(scheme.encode(EntryData{}).none(),
+            "dataBitPlacement: encoder is affine");
+
+    // terms[p] = data bits feeding physical position p; a data bit's
+    // home is the position whose term list is exactly {itself}.
+    std::vector<std::vector<int>> terms(layout::entry_bits);
+    for (int i = 0; i < 256; ++i) {
+        EntryData data{};
+        data[i / 64] = std::uint64_t{1} << (i % 64);
+        scheme.encode(data).forEachSetBit(
+            [&](int p) { terms[p].push_back(i); });
+    }
+
+    std::array<int, 256> placement;
+    placement.fill(-1);
+    for (int p = 0; p < layout::entry_bits; ++p) {
+        if (terms[p].size() == 1) {
+            const int i = terms[p][0];
+            require(placement[i] == -1,
+                    "dataBitPlacement: data bit has two pass-through "
+                    "positions");
+            placement[i] = p;
+        }
+    }
+    for (int i = 0; i < 256; ++i) {
+        require(placement[i] >= 0,
+                "dataBitPlacement: scheme is not systematic");
+    }
+    return placement;
+}
+
+Bits288
+dataMaskToPhysical(const std::array<int, 256>& placement,
+                   const Bits<256>& data_mask)
+{
+    Bits288 physical;
+    data_mask.forEachSetBit(
+        [&](int i) { physical.set(placement[i], 1); });
+    return physical;
+}
+
+Bits288
+dataMaskAsMatAligned(const Bits<256>& data_mask)
+{
+    Bits288 physical;
+    data_mask.forEachSetBit([&](int i) { physical.set(i, 1); });
+    return physical;
+}
+
+} // namespace gpuecc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Data-bit placement probing.
+ *
+ * Every organization in the library is systematic: each of the 256
+ * data bits appears verbatim at exactly one physical position of the
+ * encoded entry (the remaining positions are check logic). This
+ * helper recovers that placement by probing the encoder with unit
+ * vectors, so data-domain error masks (e.g. from the beam-campaign
+ * event generator, which observes only data bits) can be translated
+ * into physical masks for any scheme.
+ */
+
+#ifndef GPUECC_ECC_PLACEMENT_HPP
+#define GPUECC_ECC_PLACEMENT_HPP
+
+#include <array>
+
+#include "common/bits.hpp"
+#include "ecc/scheme.hpp"
+
+namespace gpuecc {
+
+/**
+ * Physical position of each data bit (index = 64*word + bit).
+ *
+ * Fatal if the scheme is not systematic (some data bit has no unique
+ * pass-through position).
+ */
+std::array<int, 256> dataBitPlacement(const EntryScheme& scheme);
+
+/** Translate a 256-bit data-domain flip mask to physical positions. */
+Bits288 dataMaskToPhysical(const std::array<int, 256>& placement,
+                           const Bits<256>& data_mask);
+
+/**
+ * Embed a beam-observed (ECC-disabled) error mask as a mat-aligned
+ * physical mask.
+ *
+ * Beam characterization reads raw 32B entries, so a mat-local
+ * failure appears as one contiguous data byte. With ECC enabled the
+ * same mat holds one *physical* byte of the encoded entry (which the
+ * interleave spreads over all four codewords), so structural errors
+ * replay at the same bit indices in the physical domain - this is an
+ * identity embedding, distinct from dataMaskToPhysical(), which
+ * instead targets the cells holding specific logical bits.
+ */
+Bits288 dataMaskAsMatAligned(const Bits<256>& data_mask);
+
+} // namespace gpuecc
+
+#endif // GPUECC_ECC_PLACEMENT_HPP

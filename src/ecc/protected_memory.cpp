@@ -1,0 +1,113 @@
+#include "ecc/protected_memory.hpp"
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+ProtectedMemory::ProtectedMemory(
+    std::shared_ptr<const EntryScheme> scheme,
+    std::uint64_t num_entries, bool scrub_on_read)
+    : scheme_(std::move(scheme)),
+      num_entries_(num_entries),
+      scrub_on_read_(scrub_on_read)
+{
+    require(scheme_ != nullptr, "ProtectedMemory: null scheme");
+    require(num_entries > 0, "ProtectedMemory: empty region");
+    placement_ = dataBitPlacement(*scheme_);
+}
+
+void
+ProtectedMemory::write(std::uint64_t index, const EntryData& data)
+{
+    require(index < num_entries_, "ProtectedMemory: index out of range");
+    slots_[index] = {scheme_->encode(data), data};
+    ++stats_.writes;
+}
+
+ProtectedMemory::ReadResult
+ProtectedMemory::read(std::uint64_t index)
+{
+    require(index < num_entries_, "ProtectedMemory: index out of range");
+    ++stats_.reads;
+
+    const auto it = slots_.find(index);
+    if (it == slots_.end()) {
+        // Unwritten memory reads as zero through a valid codeword.
+        return {EntryDecode::Status::clean, EntryData{}, false};
+    }
+
+    Slot& slot = it->second;
+    const EntryDecode decoded = scheme_->decode(slot.stored);
+    switch (decoded.status) {
+      case EntryDecode::Status::clean:
+        if (decoded.data != slot.golden) {
+            ++stats_.sdcs;
+            return {decoded.status, decoded.data, true};
+        }
+        return {decoded.status, decoded.data, false};
+      case EntryDecode::Status::corrected: {
+        const bool silent = decoded.data != slot.golden;
+        if (silent) {
+            ++stats_.sdcs; // miscorrection
+        } else {
+            ++stats_.corrected;
+            if (scrub_on_read_) {
+                slot.stored = scheme_->encode(decoded.data);
+                ++stats_.scrub_fixes;
+            }
+        }
+        return {decoded.status, decoded.data, silent};
+      }
+      case EntryDecode::Status::due:
+        ++stats_.dues;
+        return {decoded.status, slot.golden, false};
+    }
+    panic("unreachable ProtectedMemory::read");
+}
+
+void
+ProtectedMemory::injectPhysical(std::uint64_t index, const Bits288& mask)
+{
+    require(index < num_entries_, "ProtectedMemory: index out of range");
+    if (mask.none())
+        return;
+    auto it = slots_.find(index);
+    if (it == slots_.end()) {
+        // Corrupting unwritten memory: materialize the zero entry.
+        slots_[index] = {scheme_->encode(EntryData{}), EntryData{}};
+        it = slots_.find(index);
+    }
+    it->second.stored ^= mask;
+}
+
+void
+ProtectedMemory::injectStructural(std::uint64_t index,
+                                  const Bits<256>& data_mask)
+{
+    injectPhysical(index, dataMaskAsMatAligned(data_mask));
+}
+
+void
+ProtectedMemory::injectData(std::uint64_t index,
+                            const Bits<256>& data_mask)
+{
+    injectPhysical(index, dataMaskToPhysical(placement_, data_mask));
+}
+
+std::uint64_t
+ProtectedMemory::scrub()
+{
+    std::uint64_t repaired = 0;
+    for (auto& [index, slot] : slots_) {
+        const EntryDecode decoded = scheme_->decode(slot.stored);
+        if (decoded.status == EntryDecode::Status::corrected &&
+            decoded.data == slot.golden) {
+            slot.stored = scheme_->encode(decoded.data);
+            ++repaired;
+            ++stats_.scrub_fixes;
+        }
+    }
+    return repaired;
+}
+
+} // namespace gpuecc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * An ECC-protected memory region.
+ *
+ * ProtectedMemory is the controller-level view that ties the library
+ * together: writes encode 32B payloads into 36B physical entries,
+ * reads decode (optionally scrubbing corrected entries back), faults
+ * are injected in the physical domain, and an accounting block
+ * tallies detected-and-corrected, detected-uncorrectable, and -
+ * because the simulator keeps golden copies - true silent data
+ * corruptions, which a real system could never count (Section 2.3 of
+ * the paper notes field studies cannot observe SDC).
+ */
+
+#ifndef GPUECC_ECC_PROTECTED_MEMORY_HPP
+#define GPUECC_ECC_PROTECTED_MEMORY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "ecc/placement.hpp"
+#include "ecc/scheme.hpp"
+
+namespace gpuecc {
+
+/** A sparse, ECC-protected array of 32B entries. */
+class ProtectedMemory
+{
+  public:
+    /** Outcome of one read. */
+    struct ReadResult
+    {
+        EntryDecode::Status status;
+        /** Decoded payload (stale-golden on DUE so callers can keep
+         *  simulating; a real system would fault). */
+        EntryData data;
+        /** True when the returned data silently differs from what
+         *  was written (simulator-only knowledge). */
+        bool silent_corruption;
+    };
+
+    /** Running tallies. */
+    struct Stats
+    {
+        std::uint64_t writes = 0;
+        std::uint64_t reads = 0;
+        std::uint64_t corrected = 0;
+        std::uint64_t dues = 0;
+        std::uint64_t sdcs = 0;
+        std::uint64_t scrub_fixes = 0;
+    };
+
+    /**
+     * @param scheme        the ECC organization protecting the region
+     * @param num_entries   region size in 32B entries
+     * @param scrub_on_read write corrected entries back on read
+     *                      (standard DRAM scrubbing behaviour)
+     */
+    ProtectedMemory(std::shared_ptr<const EntryScheme> scheme,
+                    std::uint64_t num_entries,
+                    bool scrub_on_read = true);
+
+    const EntryScheme& scheme() const { return *scheme_; }
+    std::uint64_t numEntries() const { return num_entries_; }
+
+    /** Encode and store a payload. */
+    void write(std::uint64_t index, const EntryData& data);
+
+    /** Decode (and possibly scrub) an entry; unwritten entries read
+     *  as zero. */
+    ReadResult read(std::uint64_t index);
+
+    /** Flip physical bits of a stored entry (soft-error injection). */
+    void injectPhysical(std::uint64_t index, const Bits288& mask);
+
+    /** Flip the physical cells of a structural (mat/wordline/logic)
+     *  error observed in the ECC-disabled beam characterization: the
+     *  mask's bit indices carry over to the physical domain (mat m
+     *  holds physical byte m). This is the right translation for
+     *  replaying beam events against an ECC-protected region. */
+    void injectStructural(std::uint64_t index,
+                          const Bits<256>& data_mask);
+
+    /** Flip the cells holding specific *logical* data bits (targeted
+     *  corruption through the scheme's systematic placement). */
+    void injectData(std::uint64_t index, const Bits<256>& data_mask);
+
+    /**
+     * Patrol scrub: read-correct-rewrite every written entry.
+     *
+     * @return number of entries whose stored bits were repaired
+     */
+    std::uint64_t scrub();
+
+    const Stats& stats() const { return stats_; }
+
+  private:
+    struct Slot
+    {
+        Bits288 stored;
+        EntryData golden;
+    };
+
+    std::shared_ptr<const EntryScheme> scheme_;
+    std::uint64_t num_entries_;
+    bool scrub_on_read_;
+    std::array<int, 256> placement_;
+    std::unordered_map<std::uint64_t, Slot> slots_;
+    Stats stats_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_ECC_PROTECTED_MEMORY_HPP

@@ -1,0 +1,46 @@
+#include "ecc/reconfigurable.hpp"
+
+#include "codes/sec2bec.hpp"
+
+namespace gpuecc {
+
+ReconfigurableDuetTrio::ReconfigurableDuetTrio(Policy initial)
+    : code_(std::make_shared<const Code72>(sec2becInterleavedMatrix(),
+                                           Code72::stride4Pairs())),
+      policy_(initial)
+{
+    // Both policies share the code and therefore the encoder; only
+    // the decode mode differs. (The paper's DuetECC uses a Hsiao
+    // inner code, but any SEC-DED code works for the Duet policy and
+    // sharing the SEC-2bEC matrix is what makes one codec serve
+    // both.)
+    duet_ = std::make_unique<const BinaryEntryScheme>(
+        code_, BinarySchemeConfig{"duet-policy", "Duet policy", true,
+                                  Code72::Mode::secDed, true});
+    trio_ = std::make_unique<const BinaryEntryScheme>(
+        code_, BinarySchemeConfig{"trio-policy", "Trio policy", true,
+                                  Code72::Mode::sec2bEc, true});
+}
+
+std::string
+ReconfigurableDuetTrio::name() const
+{
+    return policy_ == Policy::duet
+        ? "Reconfigurable (Duet policy)"
+        : "Reconfigurable (Trio policy)";
+}
+
+Bits288
+ReconfigurableDuetTrio::encode(const EntryData& data) const
+{
+    return trio_->encode(data); // identical for both policies
+}
+
+EntryDecode
+ReconfigurableDuetTrio::decode(const Bits288& received) const
+{
+    return policy_ == Policy::duet ? duet_->decode(received)
+                                   : trio_->decode(received);
+}
+
+} // namespace gpuecc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The reconfigurable DuetECC/TrioECC decoder.
+ *
+ * Section 6.3 of the paper observes that the SEC-2bEC code is
+ * constrained to operate as plain SEC-DED when 2b-symbol correction
+ * is not attempted, so a single decoder can implement *both* DuetECC
+ * and TrioECC behind an enable signal - "either with a global
+ * setting per GPU or potentially on a per-CUDA-context basis,
+ * allowing different programs to prioritize error detection or
+ * correction". This class is that decoder: one codec whose encode is
+ * fixed (the interleaved SEC-2bEC code) and whose decode policy
+ * switches at run time.
+ */
+
+#ifndef GPUECC_ECC_RECONFIGURABLE_HPP
+#define GPUECC_ECC_RECONFIGURABLE_HPP
+
+#include <memory>
+
+#include "ecc/binary_scheme.hpp"
+#include "ecc/scheme.hpp"
+
+namespace gpuecc {
+
+/** A single encode path with a Duet/Trio decode-policy switch. */
+class ReconfigurableDuetTrio : public EntryScheme
+{
+  public:
+    /** Decode policy (the hardware enable signal). */
+    enum class Policy
+    {
+        duet, //!< detection-oriented: SEC-DED decode + CSC
+        trio  //!< correction-oriented: SEC-2bEC decode + CSC
+    };
+
+    explicit ReconfigurableDuetTrio(Policy initial = Policy::trio);
+
+    /** Flip the enable signal (e.g. per CUDA context). */
+    void setPolicy(Policy policy) { policy_ = policy; }
+    Policy policy() const { return policy_; }
+
+    std::string id() const override { return "duet-trio"; }
+    std::string name() const override;
+    Bits288 encode(const EntryData& data) const override;
+    EntryDecode decode(const Bits288& received) const override;
+    bool correctsPinErrors() const override { return true; }
+
+  private:
+    std::shared_ptr<const Code72> code_;
+    std::unique_ptr<const BinaryEntryScheme> duet_;
+    std::unique_ptr<const BinaryEntryScheme> trio_;
+    Policy policy_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_ECC_RECONFIGURABLE_HPP

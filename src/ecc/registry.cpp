@@ -1,0 +1,133 @@
+#include "ecc/registry.hpp"
+
+#include "codes/hsiao.hpp"
+#include "codes/linear_code.hpp"
+#include "codes/sec2bec.hpp"
+#include "common/log.hpp"
+#include "ecc/binary_scheme.hpp"
+#include "ecc/rs_scheme.hpp"
+
+namespace gpuecc {
+
+namespace {
+
+/** Shared inner codes (construction is non-trivial; build once). */
+struct InnerCodes
+{
+    std::shared_ptr<const Code72> hsiao_adjacent;
+    std::shared_ptr<const Code72> hsiao_stride4;
+    std::shared_ptr<const Code72> sec2bec_adjacent;
+    std::shared_ptr<const Code72> sec2bec_stride4;
+
+    InnerCodes()
+    {
+        const Gf2Matrix hsiao = hsiao7264Matrix();
+        hsiao_adjacent = std::make_shared<const Code72>(
+            hsiao, Code72::adjacentPairs());
+        hsiao_stride4 = std::make_shared<const Code72>(
+            hsiao, Code72::stride4Pairs());
+        sec2bec_adjacent = std::make_shared<const Code72>(
+            sec2becPaperMatrix(), Code72::adjacentPairs());
+        sec2bec_stride4 = std::make_shared<const Code72>(
+            sec2becInterleavedMatrix(), Code72::stride4Pairs());
+    }
+};
+
+const InnerCodes&
+innerCodes()
+{
+    static const InnerCodes codes;
+    return codes;
+}
+
+std::shared_ptr<EntryScheme>
+makeBinary(const std::string& id, const std::string& name,
+           bool interleaved, Code72::Mode mode, bool csc)
+{
+    const InnerCodes& codes = innerCodes();
+    std::shared_ptr<const Code72> code;
+    if (mode == Code72::Mode::secDed) {
+        code = interleaved ? codes.hsiao_stride4 : codes.hsiao_adjacent;
+    } else {
+        code = interleaved ? codes.sec2bec_stride4
+                           : codes.sec2bec_adjacent;
+    }
+    return std::make_shared<BinaryEntryScheme>(
+        code, BinarySchemeConfig{id, name, interleaved, mode, csc});
+}
+
+} // namespace
+
+std::shared_ptr<EntryScheme>
+makeScheme(const std::string& id)
+{
+    if (id == "ni-secded") {
+        return makeBinary(id, "NI:SEC-DED (baseline)", false,
+                          Code72::Mode::secDed, false);
+    }
+    if (id == "i-secded") {
+        return makeBinary(id, "I:SEC-DED", true, Code72::Mode::secDed,
+                          false);
+    }
+    if (id == "duet") {
+        return makeBinary(id, "DuetECC (I:SEC-DED+CSC)", true,
+                          Code72::Mode::secDed, true);
+    }
+    if (id == "ni-sec2bec") {
+        return makeBinary(id, "NI:SEC-2bEC", false,
+                          Code72::Mode::sec2bEc, false);
+    }
+    if (id == "i-sec2bec") {
+        return makeBinary(id, "I:SEC-2bEC", true, Code72::Mode::sec2bEc,
+                          false);
+    }
+    if (id == "trio") {
+        return makeBinary(id, "TrioECC (I:SEC-2bEC+CSC)", true,
+                          Code72::Mode::sec2bEc, true);
+    }
+    if (id == "i-ssc")
+        return std::make_shared<InterleavedSscScheme>(false);
+    if (id == "i-ssc-csc")
+        return std::make_shared<InterleavedSscScheme>(true);
+    if (id == "ssc-dsd+") {
+        return std::make_shared<Rs3632Scheme>(
+            Rs3632Scheme::Decoder::sscDsdPlus);
+    }
+    if (id == "dsc")
+        return std::make_shared<Rs3632Scheme>(Rs3632Scheme::Decoder::dsc);
+    if (id == "ssc-tsd") {
+        return std::make_shared<Rs3632Scheme>(
+            Rs3632Scheme::Decoder::sscTsd);
+    }
+    fatal("unknown ECC scheme id: " + id);
+}
+
+std::vector<std::string>
+schemeIds()
+{
+    return {"ni-secded", "i-secded", "duet", "ni-sec2bec", "i-sec2bec",
+            "trio", "i-ssc", "i-ssc-csc", "ssc-dsd+", "dsc", "ssc-tsd"};
+}
+
+std::vector<std::shared_ptr<EntryScheme>>
+paperSchemes()
+{
+    std::vector<std::shared_ptr<EntryScheme>> out;
+    for (const char* id :
+         {"ni-secded", "i-secded", "duet", "ni-sec2bec", "i-sec2bec",
+          "trio", "i-ssc", "i-ssc-csc", "ssc-dsd+"}) {
+        out.push_back(makeScheme(id));
+    }
+    return out;
+}
+
+std::vector<std::shared_ptr<EntryScheme>>
+referenceSchemes()
+{
+    std::vector<std::shared_ptr<EntryScheme>> out;
+    for (const char* id : {"dsc", "ssc-tsd"})
+        out.push_back(makeScheme(id));
+    return out;
+}
+
+} // namespace gpuecc

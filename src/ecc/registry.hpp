@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Factory for every ECC organization evaluated in the paper.
+ *
+ * paperSchemes() returns the nine rows of Table 2 in paper order;
+ * referenceSchemes() adds the (36, 32) DSC and SSC-TSD organizations
+ * that Section 6.2 discusses but rejects on decoder-latency grounds.
+ */
+
+#ifndef GPUECC_ECC_REGISTRY_HPP
+#define GPUECC_ECC_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+
+namespace gpuecc {
+
+/** The nine organizations of the paper's Table 2, in order. */
+std::vector<std::shared_ptr<EntryScheme>> paperSchemes();
+
+/** The (36, 32) reference organizations (DSC, SSC-TSD). */
+std::vector<std::shared_ptr<EntryScheme>> referenceSchemes();
+
+/**
+ * Construct one scheme by id.
+ *
+ * Known ids: ni-secded, i-secded, duet, ni-sec2bec, i-sec2bec, trio,
+ * i-ssc, i-ssc-csc, ssc-dsd+, dsc, ssc-tsd. Fatal on unknown ids.
+ */
+std::shared_ptr<EntryScheme> makeScheme(const std::string& id);
+
+/** All known scheme ids (paper order, then references). */
+std::vector<std::string> schemeIds();
+
+} // namespace gpuecc
+
+#endif // GPUECC_ECC_REGISTRY_HPP

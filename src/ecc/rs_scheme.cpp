@@ -1,0 +1,293 @@
+#include "ecc/rs_scheme.hpp"
+
+#include "common/log.hpp"
+#include "ecc/csc.hpp"
+#include "interleave/swizzle.hpp"
+
+namespace gpuecc {
+
+namespace {
+
+/** Entry data words -> 32 bytes (little-endian within each word). */
+std::array<std::uint8_t, 32>
+dataToBytes(const EntryData& data)
+{
+    std::array<std::uint8_t, 32> bytes{};
+    for (int w = 0; w < 4; ++w) {
+        for (int j = 0; j < 8; ++j) {
+            bytes[8 * w + j] =
+                static_cast<std::uint8_t>(data[w] >> (8 * j));
+        }
+    }
+    return bytes;
+}
+
+/** 32 bytes -> entry data words. */
+EntryData
+bytesToData(const std::array<std::uint8_t, 32>& bytes)
+{
+    EntryData data{};
+    for (int w = 0; w < 4; ++w) {
+        for (int j = 0; j < 8; ++j) {
+            data[w] |= static_cast<std::uint64_t>(bytes[8 * w + j])
+                       << (8 * j);
+        }
+    }
+    return data;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// InterleavedSscScheme
+// ---------------------------------------------------------------------
+
+InterleavedSscScheme::InterleavedSscScheme(bool csc)
+    : code_(18, 16), csc_(csc)
+{
+}
+
+int
+InterleavedSscScheme::physicalBit(int cw, int pos, int t)
+{
+    // Code position -> (beat-pair h, column c); see the header.
+    const int h = pos / 9;
+    const int j = pos % 9;
+    const int c = 2 * j + ((cw + h) % 2);
+    const int beat = 2 * h + t / 4;
+    const int pin = 4 * c + t % 4;
+    return layout::physicalIndex(beat, pin);
+}
+
+std::array<std::vector<std::uint8_t>, 2>
+InterleavedSscScheme::gatherCodewords(const Bits288& physical) const
+{
+    std::array<std::vector<std::uint8_t>, 2> cws;
+    for (int cw = 0; cw < 2; ++cw) {
+        cws[cw].assign(18, 0);
+        for (int pos = 0; pos < 18; ++pos) {
+            std::uint8_t sym = 0;
+            for (int t = 0; t < 8; ++t) {
+                sym |= static_cast<std::uint8_t>(
+                           physical.get(physicalBit(cw, pos, t)))
+                       << t;
+            }
+            cws[cw][pos] = sym;
+        }
+    }
+    return cws;
+}
+
+Bits288
+InterleavedSscScheme::encode(const EntryData& data) const
+{
+    const auto bytes = dataToBytes(data);
+    Bits288 physical;
+    for (int cw = 0; cw < 2; ++cw) {
+        std::vector<std::uint8_t> payload(bytes.begin() + 16 * cw,
+                                          bytes.begin() + 16 * (cw + 1));
+        const std::vector<std::uint8_t> encoded = code_.encode(payload);
+        for (int pos = 0; pos < 18; ++pos) {
+            for (int t = 0; t < 8; ++t) {
+                if ((encoded[pos] >> t) & 1)
+                    physical.set(physicalBit(cw, pos, t), 1);
+            }
+        }
+    }
+    return physical;
+}
+
+EntryDecode
+InterleavedSscScheme::decode(const Bits288& received) const
+{
+    const auto cws = gatherCodewords(received);
+    std::array<RsDecode, 2> results;
+    int num_correcting = 0;
+    for (int cw = 0; cw < 2; ++cw) {
+        results[cw] = decodeSscOneShot(code_, cws[cw]);
+        if (results[cw].status == RsDecode::Status::due)
+            return {EntryDecode::Status::due, EntryData{}};
+        if (results[cw].status == RsDecode::Status::corrected)
+            ++num_correcting;
+    }
+
+    if (csc_ && num_correcting >= 2) {
+        Bits288 corrected_physical;
+        for (int cw = 0; cw < 2; ++cw) {
+            for (int pos : results[cw].error_positions) {
+                const std::uint8_t magnitude = static_cast<std::uint8_t>(
+                    results[cw].word[pos] ^ cws[cw][pos]);
+                for (int t = 0; t < 8; ++t) {
+                    if ((magnitude >> t) & 1)
+                        corrected_physical.set(physicalBit(cw, pos, t), 1);
+                }
+            }
+        }
+        if (!correctionSanityCheckPasses(corrected_physical))
+            return {EntryDecode::Status::due, EntryData{}};
+    }
+
+    std::array<std::uint8_t, 32> bytes{};
+    for (int cw = 0; cw < 2; ++cw) {
+        for (int pos = 2; pos < 18; ++pos)
+            bytes[16 * cw + (pos - 2)] = results[cw].word[pos];
+    }
+    return {num_correcting ? EntryDecode::Status::corrected
+                           : EntryDecode::Status::clean,
+            bytesToData(bytes)};
+}
+
+EntryDecode
+InterleavedSscScheme::decodeWithPinErasure(const Bits288& received,
+                                           int pin) const
+{
+    require(pin >= 0 && pin < layout::num_pins,
+            "decodeWithPinErasure: bad pin");
+    const auto cws = gatherCodewords(received);
+    const int column = pin / 4;
+
+    std::array<RsDecode, 2> results;
+    for (int h = 0; h < 2; ++h) {
+        const int cw = (column + h) % 2;
+        const int pos = 9 * h + column / 2;
+        results[cw] = decodeWithErasures(code_, cws[cw], {pos});
+        if (results[cw].status == RsDecode::Status::due)
+            return {EntryDecode::Status::due, EntryData{}};
+    }
+
+    std::array<std::uint8_t, 32> bytes{};
+    bool any = false;
+    for (int cw = 0; cw < 2; ++cw) {
+        any = any || results[cw].status == RsDecode::Status::corrected;
+        for (int pos = 2; pos < 18; ++pos)
+            bytes[16 * cw + (pos - 2)] = results[cw].word[pos];
+    }
+    return {any ? EntryDecode::Status::corrected
+                : EntryDecode::Status::clean,
+            bytesToData(bytes)};
+}
+
+// ---------------------------------------------------------------------
+// Rs3632Scheme
+// ---------------------------------------------------------------------
+
+Rs3632Scheme::Rs3632Scheme(Decoder decoder)
+    : code_(36, 32), decoder_(decoder)
+{
+}
+
+std::string
+Rs3632Scheme::id() const
+{
+    switch (decoder_) {
+      case Decoder::sscDsdPlus: return "ssc-dsd+";
+      case Decoder::sscTsd: return "ssc-tsd";
+      case Decoder::dsc: return "dsc";
+    }
+    panic("unreachable Rs3632Scheme::id");
+}
+
+std::string
+Rs3632Scheme::name() const
+{
+    switch (decoder_) {
+      case Decoder::sscDsdPlus: return "SSC-DSD+";
+      case Decoder::sscTsd: return "SSC-TSD (36,32)";
+      case Decoder::dsc: return "DSC (36,32)";
+    }
+    panic("unreachable Rs3632Scheme::name");
+}
+
+int
+Rs3632Scheme::physicalByteOf(int pos)
+{
+    // Check symbols (positions 0..3) take the first byte of each
+    // beat; data symbols fill the remaining bytes in order.
+    if (pos < 4)
+        return 9 * pos;
+    const int d = pos - 4;     // data symbol index 0..31
+    const int beat = d / 8;
+    return 9 * beat + 1 + d % 8;
+}
+
+Bits288
+Rs3632Scheme::encode(const EntryData& data) const
+{
+    const auto bytes = dataToBytes(data);
+    const std::vector<std::uint8_t> payload(bytes.begin(), bytes.end());
+    const std::vector<std::uint8_t> encoded = code_.encode(payload);
+    Bits288 physical;
+    for (int pos = 0; pos < 36; ++pos) {
+        const int base = 8 * physicalByteOf(pos);
+        for (int t = 0; t < 8; ++t) {
+            if ((encoded[pos] >> t) & 1)
+                physical.set(base + t, 1);
+        }
+    }
+    return physical;
+}
+
+EntryDecode
+Rs3632Scheme::decode(const Bits288& received) const
+{
+    std::vector<std::uint8_t> word(36, 0);
+    for (int pos = 0; pos < 36; ++pos) {
+        const int base = 8 * physicalByteOf(pos);
+        std::uint8_t sym = 0;
+        for (int t = 0; t < 8; ++t)
+            sym |= static_cast<std::uint8_t>(received.get(base + t)) << t;
+        word[pos] = sym;
+    }
+
+    RsDecode result = decoder_ == Decoder::dsc
+        ? decodeDsc(code_, word)
+        : decodeSscDsdPlus(code_, word);
+    if (result.status == RsDecode::Status::due)
+        return {EntryDecode::Status::due, EntryData{}};
+
+    std::array<std::uint8_t, 32> bytes{};
+    for (int pos = 4; pos < 36; ++pos)
+        bytes[pos - 4] = result.word[pos];
+    return {result.status == RsDecode::Status::corrected
+                ? EntryDecode::Status::corrected
+                : EntryDecode::Status::clean,
+            bytesToData(bytes)};
+}
+
+EntryDecode
+Rs3632Scheme::decodeWithPinErasure(const Bits288& received,
+                                   int pin) const
+{
+    require(pin >= 0 && pin < layout::num_pins,
+            "decodeWithPinErasure: bad pin");
+
+    std::vector<std::uint8_t> word(36, 0);
+    std::array<int, 36> pos_of_byte{};
+    for (int pos = 0; pos < 36; ++pos) {
+        pos_of_byte[physicalByteOf(pos)] = pos;
+        const int base = 8 * physicalByteOf(pos);
+        std::uint8_t sym = 0;
+        for (int t = 0; t < 8; ++t)
+            sym |= static_cast<std::uint8_t>(received.get(base + t)) << t;
+        word[pos] = sym;
+    }
+
+    // The pin crosses one physical byte per beat.
+    std::vector<int> erasures;
+    for (int beat = 0; beat < layout::num_beats; ++beat)
+        erasures.push_back(pos_of_byte[9 * beat + pin / 8]);
+
+    const RsDecode result = decodeWithErasures(code_, word, erasures);
+    if (result.status == RsDecode::Status::due)
+        return {EntryDecode::Status::due, EntryData{}};
+
+    std::array<std::uint8_t, 32> bytes{};
+    for (int pos = 4; pos < 36; ++pos)
+        bytes[pos - 4] = result.word[pos];
+    return {result.status == RsDecode::Status::corrected
+                ? EntryDecode::Status::corrected
+                : EntryDecode::Status::clean,
+            bytesToData(bytes)};
+}
+
+} // namespace gpuecc

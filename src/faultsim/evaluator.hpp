@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Monte Carlo / exhaustive ECC evaluation (the engine behind the
+ * paper's Table 2 and Figure 8).
+ *
+ * For each (scheme, error pattern) pair the evaluator injects error
+ * masks into an encoded entry, decodes, and classifies the outcome as
+ * detected-and-corrected (DCE), detected-yet-uncorrectable (DUE), or
+ * silent data corruption (SDC - any decode whose returned data
+ * differs from the golden data without a DUE flag, covering both
+ * miscorrections and undetected errors). Bit, pin, byte, 2-bit and
+ * 3-bit patterns are evaluated exhaustively; beat and whole-entry
+ * patterns are sampled, mirroring the paper's methodology.
+ */
+
+#ifndef GPUECC_FAULTSIM_EVALUATOR_HPP
+#define GPUECC_FAULTSIM_EVALUATOR_HPP
+
+#include <cstdint>
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "ecc/scheme.hpp"
+#include "faultsim/patterns.hpp"
+
+namespace gpuecc {
+
+/** Outcome tallies for one (scheme, pattern) evaluation. */
+struct OutcomeCounts
+{
+    std::uint64_t trials = 0;
+    std::uint64_t dce = 0;  //!< corrected, data matches golden
+    std::uint64_t due = 0;  //!< flagged uncorrectable
+    std::uint64_t sdc = 0;  //!< wrong data without a flag
+    /** True when every possible mask was visited (exact rates). */
+    bool exhaustive = false;
+
+    double dceRate() const
+    {
+        return trials ? static_cast<double>(dce) / trials : 0.0;
+    }
+    double dueRate() const
+    {
+        return trials ? static_cast<double>(due) / trials : 0.0;
+    }
+    double sdcRate() const
+    {
+        return trials ? static_cast<double>(sdc) / trials : 0.0;
+    }
+    /** 95% Wilson interval on the SDC rate (degenerate if exhaustive). */
+    Interval sdcInterval() const
+    {
+        return exhaustive ? Interval{sdcRate(), sdcRate()}
+                          : wilsonInterval(sdc, trials);
+    }
+};
+
+/** Evaluation engine bound to one scheme. */
+class Evaluator
+{
+  public:
+    /**
+     * @param scheme the organization under test
+     * @param seed   RNG seed; results are deterministic per seed
+     */
+    explicit Evaluator(const EntryScheme& scheme,
+                       std::uint64_t seed = 0x5EED);
+
+    /**
+     * Evaluate one pattern.
+     *
+     * @param samples Monte Carlo sample count for non-enumerable
+     *                patterns (beat / whole entry); enumerable
+     *                patterns ignore it and run exhaustively
+     */
+    OutcomeCounts evaluate(ErrorPattern pattern, std::uint64_t samples);
+
+    /** Evaluate all seven Table 1 patterns. */
+    std::map<ErrorPattern, OutcomeCounts>
+    evaluateAll(std::uint64_t samples);
+
+  private:
+    OutcomeCounts runOne(ErrorPattern pattern, std::uint64_t samples);
+
+    const EntryScheme& scheme_;
+    Rng rng_;
+    EntryData golden_data_;
+    Bits288 golden_entry_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_FAULTSIM_EVALUATOR_HPP

@@ -1,0 +1,126 @@
+#include "faultsim/permanent.hpp"
+
+#include "common/log.hpp"
+#include "interleave/swizzle.hpp"
+
+namespace gpuecc {
+
+Bits288
+PermanentFault::maskFor(const Bits288& stored) const
+{
+    Bits288 mask;
+    auto force = [&](int phys) {
+        if (stored.get(phys) != level)
+            mask.set(phys, 1);
+    };
+    switch (kind) {
+      case PermanentFaultKind::stuckPin:
+        require(index >= 0 && index < layout::num_pins,
+                "PermanentFault: pin index out of range");
+        for (int beat = 0; beat < layout::num_beats; ++beat)
+            force(layout::physicalIndex(beat, index));
+        break;
+      case PermanentFaultKind::stuckByte:
+        require(index >= 0 && index < layout::num_bytes,
+                "PermanentFault: byte index out of range");
+        for (int t = 0; t < 8; ++t)
+            force(8 * index + t);
+        break;
+    }
+    return mask;
+}
+
+Bits288
+PermanentFault::regionMask() const
+{
+    Bits288 region;
+    switch (kind) {
+      case PermanentFaultKind::stuckPin:
+        for (int beat = 0; beat < layout::num_beats; ++beat)
+            region.set(layout::physicalIndex(beat, index), 1);
+        break;
+      case PermanentFaultKind::stuckByte:
+        for (int t = 0; t < 8; ++t)
+            region.set(8 * index + t, 1);
+        break;
+    }
+    return region;
+}
+
+DegradationEvaluator::DegradationEvaluator(const EntryScheme& scheme,
+                                           std::uint64_t seed)
+    : scheme_(scheme), rng_(seed)
+{
+}
+
+DegradationCounts
+DegradationEvaluator::run(PermanentFaultKind kind, bool add_soft,
+                          ErrorPattern soft, std::uint64_t trials,
+                          bool erasure_mode)
+{
+    DegradationCounts counts;
+    const int region_count = kind == PermanentFaultKind::stuckPin
+        ? layout::num_pins
+        : layout::num_bytes;
+
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        const EntryData data{rng_.next64(), rng_.next64(),
+                             rng_.next64(), rng_.next64()};
+        const Bits288 stored = scheme_.encode(data);
+
+        PermanentFault fault{
+            kind, static_cast<int>(rng_.nextBounded(region_count)),
+            static_cast<int>(rng_.nextBounded(2))};
+        Bits288 mask = fault.maskFor(stored);
+
+        if (add_soft) {
+            // Draw a soft error that does not touch the stuck region
+            // (flips inside it are absorbed by the stuck level).
+            Bits288 soft_mask;
+            const Bits288 region = fault.regionMask();
+            for (;;) {
+                soft_mask = sampleErrorMask(soft, rng_);
+                if ((soft_mask & region).none())
+                    break;
+            }
+            mask ^= soft_mask;
+        }
+
+        const EntryDecode result = erasure_mode
+            ? scheme_.decodeWithPinErasure(stored ^ mask, fault.index)
+            : scheme_.decode(stored ^ mask);
+        ++counts.trials;
+        if (result.status == EntryDecode::Status::due)
+            ++counts.due;
+        else if (result.data == data)
+            ++counts.dce;
+        else
+            ++counts.sdc;
+    }
+    return counts;
+}
+
+DegradationCounts
+DegradationEvaluator::faultAlone(PermanentFaultKind kind,
+                                 std::uint64_t trials)
+{
+    return run(kind, false, ErrorPattern::oneBit, trials);
+}
+
+DegradationCounts
+DegradationEvaluator::faultPlusSoftError(PermanentFaultKind kind,
+                                         ErrorPattern soft,
+                                         std::uint64_t trials)
+{
+    return run(kind, true, soft, trials);
+}
+
+DegradationCounts
+DegradationEvaluator::pinErasureMode(bool add_soft, ErrorPattern soft,
+                                     std::uint64_t trials)
+{
+    return run(PermanentFaultKind::stuckPin, add_soft, soft, trials,
+               true);
+}
+
+} // namespace gpuecc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Permanent-fault (graceful degradation) evaluation.
+ *
+ * Section 2.5 of the paper motivates keeping single-pin correction:
+ * HBM2 pins (TSV + microbump + interposer wire) develop permanent
+ * failures in the field, and a code that corrects them lets a GPU
+ * degrade gracefully instead of crashing. Field studies also report
+ * permanent non-pin faults with soft-error-like patterns (e.g. local
+ * wordline failures, which look like stuck bytes), for which the
+ * paper notes its byte detection/correction carries over.
+ *
+ * This module models stuck-at faults and evaluates each organization
+ * in the degraded state - both with the permanent fault alone and
+ * with an additional soft error striking the already-degraded entry
+ * (the scenario that decides whether degradation is graceful).
+ */
+
+#ifndef GPUECC_FAULTSIM_PERMANENT_HPP
+#define GPUECC_FAULTSIM_PERMANENT_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "ecc/scheme.hpp"
+#include "faultsim/evaluator.hpp"
+#include "faultsim/patterns.hpp"
+
+namespace gpuecc {
+
+/** Kinds of permanent faults considered. */
+enum class PermanentFaultKind
+{
+    stuckPin, //!< one pin stuck at a level (TSV/microbump failure)
+    stuckByte //!< one aligned byte stuck (local wordline failure)
+};
+
+/** One stuck-at fault: the region's bits are forced to a level. */
+struct PermanentFault
+{
+    PermanentFaultKind kind;
+    int index; //!< pin index [0,72) or byte index [0,36)
+    int level; //!< stuck-at value, 0 or 1
+
+    /**
+     * The error mask this fault imposes on an encoded entry: bits of
+     * the region whose stored value differs from the stuck level.
+     */
+    Bits288 maskFor(const Bits288& stored) const;
+
+    /** All physical bits of the stuck region. */
+    Bits288 regionMask() const;
+};
+
+/** Outcome tallies of a degraded-operation experiment. */
+struct DegradationCounts
+{
+    std::uint64_t trials = 0;
+    std::uint64_t dce = 0;
+    std::uint64_t due = 0;
+    std::uint64_t sdc = 0;
+
+    double dceRate() const
+    {
+        return trials ? static_cast<double>(dce) / trials : 0.0;
+    }
+    double dueRate() const
+    {
+        return trials ? static_cast<double>(due) / trials : 0.0;
+    }
+    double sdcRate() const
+    {
+        return trials ? static_cast<double>(sdc) / trials : 0.0;
+    }
+};
+
+/** Degraded-operation evaluator for one scheme. */
+class DegradationEvaluator
+{
+  public:
+    DegradationEvaluator(const EntryScheme& scheme,
+                         std::uint64_t seed = 0xDE62ADE);
+
+    /**
+     * The permanent fault alone: random data, random fault instance
+     * (index and level) per trial.
+     */
+    DegradationCounts faultAlone(PermanentFaultKind kind,
+                                 std::uint64_t trials);
+
+    /**
+     * The permanent fault plus one soft error of the given pattern
+     * striking the same entry (drawn to not overlap the fault's
+     * region, as overlapping strikes change nothing stuck bits).
+     */
+    DegradationCounts faultPlusSoftError(PermanentFaultKind kind,
+                                         ErrorPattern soft,
+                                         std::uint64_t trials);
+
+    /**
+     * Stuck pin handled in diagnosed-erasure mode
+     * (EntryScheme::decodeWithPinErasure), optionally with an
+     * additional soft error.
+     */
+    DegradationCounts pinErasureMode(bool add_soft, ErrorPattern soft,
+                                     std::uint64_t trials);
+
+  private:
+    DegradationCounts run(PermanentFaultKind kind, bool add_soft,
+                          ErrorPattern soft, std::uint64_t trials,
+                          bool erasure_mode = false);
+
+    const EntryScheme& scheme_;
+    Rng rng_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_FAULTSIM_PERMANENT_HPP

@@ -1,0 +1,23 @@
+#include "faultsim/weighted.hpp"
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+WeightedOutcome
+weightedOutcome(const std::map<ErrorPattern, OutcomeCounts>& per_pattern)
+{
+    WeightedOutcome out{0.0, 0.0, 0.0};
+    for (const PatternInfo& info : patternTable()) {
+        const auto it = per_pattern.find(info.pattern);
+        require(it != per_pattern.end(),
+                "weightedOutcome: missing pattern " + info.label);
+        const OutcomeCounts& counts = it->second;
+        out.correct += info.probability * counts.dceRate();
+        out.detect += info.probability * counts.dueRate();
+        out.sdc += info.probability * counts.sdcRate();
+    }
+    return out;
+}
+
+} // namespace gpuecc

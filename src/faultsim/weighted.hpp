@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table-1-weighted outcome aggregation (the paper's Figure 8).
+ *
+ * Given per-pattern outcome rates, compute the probability that a
+ * random single soft-error event is corrected, detected, or causes
+ * silent data corruption, weighting each pattern by its beam-measured
+ * probability from Table 1.
+ */
+
+#ifndef GPUECC_FAULTSIM_WEIGHTED_HPP
+#define GPUECC_FAULTSIM_WEIGHTED_HPP
+
+#include <map>
+
+#include "faultsim/evaluator.hpp"
+#include "faultsim/patterns.hpp"
+
+namespace gpuecc {
+
+/** Event-weighted outcome probabilities for one scheme. */
+struct WeightedOutcome
+{
+    double correct; //!< P(corrected | random event)
+    double detect;  //!< P(DUE | random event)
+    double sdc;     //!< P(SDC | random event)
+};
+
+/**
+ * Weight per-pattern outcomes by the Table 1 probabilities.
+ *
+ * @param per_pattern outcome counts for all seven patterns
+ */
+WeightedOutcome
+weightedOutcome(const std::map<ErrorPattern, OutcomeCounts>& per_pattern);
+
+} // namespace gpuecc
+
+#endif // GPUECC_FAULTSIM_WEIGHTED_HPP

@@ -1,0 +1,207 @@
+#include "gf2/matrix.hpp"
+
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+Gf2Matrix::Gf2Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols)
+{
+    require(rows > 0 && cols > 0, "Gf2Matrix dimensions must be positive");
+    bits_.assign(static_cast<std::size_t>(rows) * wordsPerRow(), 0);
+}
+
+Gf2Matrix
+Gf2Matrix::identity(int n)
+{
+    Gf2Matrix m(n, n);
+    for (int i = 0; i < n; ++i)
+        m.set(i, i, 1);
+    return m;
+}
+
+int
+Gf2Matrix::get(int r, int c) const
+{
+    require(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+            "Gf2Matrix::get out of range");
+    return static_cast<int>((row(r)[c >> 6] >> (c & 63)) & 1u);
+}
+
+void
+Gf2Matrix::set(int r, int c, int v)
+{
+    require(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+            "Gf2Matrix::set out of range");
+    const std::uint64_t m = std::uint64_t{1} << (c & 63);
+    if (v)
+        row(r)[c >> 6] |= m;
+    else
+        row(r)[c >> 6] &= ~m;
+}
+
+void
+Gf2Matrix::addRowInto(int src, int dst)
+{
+    for (int w = 0; w < wordsPerRow(); ++w)
+        row(dst)[w] ^= row(src)[w];
+}
+
+void
+Gf2Matrix::swapRows(int a, int b)
+{
+    if (a == b)
+        return;
+    for (int w = 0; w < wordsPerRow(); ++w)
+        std::swap(row(a)[w], row(b)[w]);
+}
+
+std::vector<std::uint64_t>
+Gf2Matrix::column(int c) const
+{
+    std::vector<std::uint64_t> out((rows_ + 63) / 64, 0);
+    for (int r = 0; r < rows_; ++r) {
+        if (get(r, c))
+            out[r >> 6] |= std::uint64_t{1} << (r & 63);
+    }
+    return out;
+}
+
+std::uint64_t
+Gf2Matrix::columnWord(int c) const
+{
+    require(rows_ <= 64, "columnWord requires <= 64 rows");
+    return column(c)[0];
+}
+
+Gf2Matrix
+Gf2Matrix::selectColumns(const std::vector<int>& cols) const
+{
+    Gf2Matrix out(rows_, static_cast<int>(cols.size()));
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+        for (int r = 0; r < rows_; ++r)
+            out.set(r, static_cast<int>(j), get(r, cols[j]));
+    }
+    return out;
+}
+
+Gf2Matrix
+Gf2Matrix::multiply(const Gf2Matrix& other) const
+{
+    require(cols_ == other.rows_, "Gf2Matrix::multiply shape mismatch");
+    Gf2Matrix out(rows_, other.cols_);
+    for (int r = 0; r < rows_; ++r) {
+        for (int k = 0; k < cols_; ++k) {
+            if (!get(r, k))
+                continue;
+            for (int w = 0; w < other.wordsPerRow(); ++w)
+                out.row(r)[w] ^= other.row(k)[w];
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+Gf2Matrix::multiplyVector(const std::vector<std::uint64_t>& x_words) const
+{
+    require(static_cast<int>(x_words.size()) == wordsPerRow(),
+            "Gf2Matrix::multiplyVector length mismatch");
+    std::vector<std::uint64_t> out((rows_ + 63) / 64, 0);
+    for (int r = 0; r < rows_; ++r) {
+        std::uint64_t acc = 0;
+        for (int w = 0; w < wordsPerRow(); ++w)
+            acc ^= row(r)[w] & x_words[w];
+        if (parity64(acc))
+            out[r >> 6] |= std::uint64_t{1} << (r & 63);
+    }
+    return out;
+}
+
+int
+Gf2Matrix::rank() const
+{
+    Gf2Matrix m = *this;
+    int rank = 0;
+    for (int c = 0; c < cols_ && rank < rows_; ++c) {
+        int pivot = -1;
+        for (int r = rank; r < rows_; ++r) {
+            if (m.get(r, c)) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0)
+            continue;
+        m.swapRows(pivot, rank);
+        for (int r = 0; r < rows_; ++r) {
+            if (r != rank && m.get(r, c))
+                m.addRowInto(rank, r);
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+std::optional<Gf2Matrix>
+Gf2Matrix::inverse() const
+{
+    require(rows_ == cols_, "Gf2Matrix::inverse requires a square matrix");
+    Gf2Matrix m = *this;
+    Gf2Matrix inv = identity(rows_);
+    for (int c = 0; c < cols_; ++c) {
+        int pivot = -1;
+        for (int r = c; r < rows_; ++r) {
+            if (m.get(r, c)) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0)
+            return std::nullopt;
+        m.swapRows(pivot, c);
+        inv.swapRows(pivot, c);
+        for (int r = 0; r < rows_; ++r) {
+            if (r != c && m.get(r, c)) {
+                m.addRowInto(c, r);
+                inv.addRowInto(c, r);
+            }
+        }
+    }
+    return inv;
+}
+
+Gf2Matrix
+Gf2Matrix::transposed() const
+{
+    Gf2Matrix out(cols_, rows_);
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            if (get(r, c))
+                out.set(c, r, 1);
+        }
+    }
+    return out;
+}
+
+bool
+operator==(const Gf2Matrix& a, const Gf2Matrix& b)
+{
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.bits_ == b.bits_;
+}
+
+std::string
+Gf2Matrix::toString() const
+{
+    std::ostringstream out;
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c)
+            out << (get(r, c) ? '1' : '0');
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace gpuecc

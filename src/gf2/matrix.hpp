@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dense linear algebra over GF(2).
+ *
+ * Rows are packed into uint64_t words (LSB-first). This backs the
+ * binary linear block code machinery: rank checks on parity-check
+ * matrices, inversion of check-column submatrices for systematic
+ * encoder derivation, and matrix-vector products.
+ */
+
+#ifndef GPUECC_GF2_MATRIX_HPP
+#define GPUECC_GF2_MATRIX_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpuecc {
+
+/** A rows x cols matrix over GF(2) with value semantics. */
+class Gf2Matrix
+{
+  public:
+    /** Construct an all-zero matrix. */
+    Gf2Matrix(int rows, int cols);
+
+    /** The rows x rows identity matrix. */
+    static Gf2Matrix identity(int rows);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    /** Read entry (r, c). */
+    int get(int r, int c) const;
+
+    /** Set entry (r, c) to v (0 or 1). */
+    void set(int r, int c, int v);
+
+    /** XOR row src into row dst. */
+    void addRowInto(int src, int dst);
+
+    /** Swap two rows. */
+    void swapRows(int a, int b);
+
+    /** Column c as a packed word vector of length ceil(rows/64). */
+    std::vector<std::uint64_t> column(int c) const;
+
+    /** Column c packed into a single uint64 (requires rows <= 64). */
+    std::uint64_t columnWord(int c) const;
+
+    /** Select a subset of columns into a new matrix. */
+    Gf2Matrix selectColumns(const std::vector<int>& cols) const;
+
+    /** Matrix product over GF(2); cols() must equal other.rows(). */
+    Gf2Matrix multiply(const Gf2Matrix& other) const;
+
+    /**
+     * Multiply by a bit vector given as column indices with set bits.
+     *
+     * @return packed result rows (length ceil(rows/64))
+     */
+    std::vector<std::uint64_t>
+    multiplyVector(const std::vector<std::uint64_t>& x_words) const;
+
+    /** Rank via Gaussian elimination on a copy. */
+    int rank() const;
+
+    /** Inverse of a square matrix, or nullopt if singular. */
+    std::optional<Gf2Matrix> inverse() const;
+
+    /** Transposed copy. */
+    Gf2Matrix transposed() const;
+
+    friend bool operator==(const Gf2Matrix& a, const Gf2Matrix& b);
+
+    /** Multi-line 0/1 dump for diagnostics. */
+    std::string toString() const;
+
+  private:
+    int wordsPerRow() const { return (cols_ + 63) / 64; }
+    std::uint64_t* row(int r) { return &bits_[r * wordsPerRow()]; }
+    const std::uint64_t* row(int r) const
+    {
+        return &bits_[r * wordsPerRow()];
+    }
+
+    int rows_;
+    int cols_;
+    std::vector<std::uint64_t> bits_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_GF2_MATRIX_HPP

@@ -1,0 +1,104 @@
+#include "gf256/gf256.hpp"
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+namespace gf256 {
+
+namespace {
+
+/** Log/antilog tables built once at first use. */
+struct Tables
+{
+    std::uint8_t exp[512]; // doubled to skip a mod-255 in mul
+    int log[256];
+
+    Tables()
+    {
+        unsigned x = 1;
+        for (int i = 0; i < 255; ++i) {
+            exp[i] = static_cast<std::uint8_t>(x);
+            log[x] = i;
+            x <<= 1;
+            if (x & 0x100)
+                x ^= primitivePoly;
+        }
+        require(x == 1, "0x163 is not primitive over GF(2^8)");
+        for (int i = 255; i < 512; ++i)
+            exp[i] = exp[i - 255];
+        log[0] = -1;
+    }
+};
+
+const Tables&
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+} // namespace
+
+std::uint8_t
+mul(std::uint8_t a, std::uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Tables& t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t
+div(std::uint8_t a, std::uint8_t b)
+{
+    require(b != 0, "gf256::div by zero");
+    if (a == 0)
+        return 0;
+    const Tables& t = tables();
+    return t.exp[t.log[a] - t.log[b] + 255];
+}
+
+std::uint8_t
+inv(std::uint8_t a)
+{
+    require(a != 0, "gf256::inv of zero");
+    const Tables& t = tables();
+    return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t
+alphaPow(int e)
+{
+    int r = e % 255;
+    if (r < 0)
+        r += 255;
+    return tables().exp[r];
+}
+
+int
+dlog(std::uint8_t a)
+{
+    require(a != 0, "gf256::dlog of zero");
+    return tables().log[a];
+}
+
+std::uint8_t
+polyEval(const std::vector<std::uint8_t>& coeffs, std::uint8_t x)
+{
+    std::uint8_t acc = 0;
+    for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it)
+        acc = add(mul(acc, x), *it);
+    return acc;
+}
+
+std::vector<std::uint8_t>
+constantMulMatrix(std::uint8_t c)
+{
+    std::vector<std::uint8_t> cols(8);
+    for (int b = 0; b < 8; ++b)
+        cols[b] = mul(c, static_cast<std::uint8_t>(1u << b));
+    return cols;
+}
+
+} // namespace gf256
+} // namespace gpuecc

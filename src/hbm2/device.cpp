@@ -1,0 +1,110 @@
+#include "hbm2/device.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+namespace hbm2 {
+
+Device::Device(const Geometry& geometry, double refresh_ms)
+    : geometry_(geometry), refresh_ms_(refresh_ms)
+{
+    require(refresh_ms > 0.0, "Device: refresh period must be positive");
+}
+
+void
+Device::setRefreshPeriod(double ms)
+{
+    require(ms > 0.0, "Device: refresh period must be positive");
+    refresh_ms_ = ms;
+}
+
+void
+Device::writeAll(DataPattern pattern, bool inverted)
+{
+    pattern_ = pattern;
+    inverted_ = inverted;
+    overlay_.clear();
+}
+
+std::uint64_t
+Device::expectedWord(DataPattern pattern, bool inverted,
+                     std::uint64_t entry, int word)
+{
+    std::uint64_t v = 0;
+    switch (pattern) {
+      case DataPattern::zeros:
+        v = 0;
+        break;
+      case DataPattern::ones:
+        v = ~std::uint64_t{0};
+        break;
+      case DataPattern::checkerboard:
+        v = (word & 1) ? 0xAAAAAAAAAAAAAAAAull : 0x5555555555555555ull;
+        break;
+      case DataPattern::anEncoded:
+        // AN code: word's virtual index times A = 2^32 - 1.
+        v = (entry * 4 + static_cast<std::uint64_t>(word)) *
+            0xFFFFFFFFull;
+        break;
+    }
+    return inverted ? ~v : v;
+}
+
+int
+Device::storedBit(std::uint64_t entry, int bit) const
+{
+    const std::uint64_t w =
+        expectedWord(pattern_, inverted_, entry, bit / 64);
+    return static_cast<int>((w >> (bit % 64)) & 1u);
+}
+
+void
+Device::addWeakCell(const WeakCell& cell)
+{
+    require(cell.entry_index < geometry_.numEntries() && cell.bit >= 0 &&
+                cell.bit < 256,
+            "Device::addWeakCell: cell out of range");
+    weak_cells_.push_back(cell);
+}
+
+void
+Device::injectFlips(std::uint64_t entry, const EntryMask& mask)
+{
+    require(entry < geometry_.numEntries(),
+            "Device::injectFlips: entry out of range");
+    if (mask.none())
+        return;
+    overlay_[entry] ^= mask;
+}
+
+std::vector<Mismatch>
+Device::scanMismatches() const
+{
+    // Start from the soft-error overlay.
+    std::unordered_map<std::uint64_t, EntryMask> observed = overlay_;
+
+    // Add currently-failing weak cells: the observed value is the
+    // leaked-to level, a mismatch only when the stored bit differs.
+    for (const WeakCell& cell : weak_cells_) {
+        const int stored = storedBit(cell.entry_index, cell.bit);
+        if (RetentionModel::cellFails(cell, refresh_ms_, stored))
+            observed[cell.entry_index].flip(cell.bit);
+    }
+
+    std::vector<Mismatch> out;
+    out.reserve(observed.size());
+    for (const auto& [entry, mask] : observed) {
+        if (!mask.none())
+            out.push_back({entry, mask});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Mismatch& a, const Mismatch& b) {
+                  return a.entry < b.entry;
+              });
+    return out;
+}
+
+} // namespace hbm2
+} // namespace gpuecc

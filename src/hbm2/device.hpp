@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A functional HBM2 device simulator.
+ *
+ * The beam-testing microbenchmark streams through all of GPU DRAM, so
+ * the simulator cannot store 32GB of state. Instead it represents
+ * memory as (known data pattern) + (sparse fault overlay): writes set
+ * the pattern, soft-error events flip bits in a sparse overlay that
+ * persists until the next write, and displacement-damaged weak cells
+ * produce repeated unidirectional errors whenever their retention
+ * time is below the active refresh period. Reads therefore reduce to
+ * scanning the sparse fault state - exactly the information the real
+ * microbenchmark's mismatch log captures.
+ */
+
+#ifndef GPUECC_HBM2_DEVICE_HPP
+#define GPUECC_HBM2_DEVICE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "hbm2/geometry.hpp"
+#include "hbm2/retention.hpp"
+
+namespace gpuecc {
+namespace hbm2 {
+
+/** The microbenchmark data patterns from the paper's methodology. */
+enum class DataPattern
+{
+    zeros,        //!< all 0s
+    ones,         //!< all 1s
+    checkerboard, //!< pseudo-checkerboard 0x5555.../0xAAAA...
+    anEncoded     //!< word index * (2^32 - 1) per 8B word (AN code)
+};
+
+/** Per-entry data-bit error mask (32B = 256 bits). */
+using EntryMask = Bits<256>;
+
+/** One observed read mismatch. */
+struct Mismatch
+{
+    std::uint64_t entry;
+    EntryMask mask; //!< observed XOR expected
+};
+
+/** Pattern + sparse-fault functional model of GPU DRAM. */
+class Device
+{
+  public:
+    /**
+     * @param geometry   DRAM geometry (capacity)
+     * @param refresh_ms refresh period (HBM2 default 16 ms)
+     */
+    explicit Device(const Geometry& geometry, double refresh_ms = 16.0);
+
+    const Geometry& geometry() const { return geometry_; }
+
+    /** Active refresh period in milliseconds. */
+    double refreshPeriod() const { return refresh_ms_; }
+
+    /** Change the refresh period (the paper's modified GPU BIOS). */
+    void setRefreshPeriod(double ms);
+
+    /**
+     * Write the pattern (or its bitwise inverse) to every entry.
+     * Clears the soft-error overlay; weak cells persist.
+     */
+    void writeAll(DataPattern pattern, bool inverted);
+
+    /** The pattern currently stored. */
+    DataPattern pattern() const { return pattern_; }
+
+    /** Whether the stored pattern is inverted. */
+    bool inverted() const { return inverted_; }
+
+    /** Expected stored value of word `word` (0..3) of an entry. */
+    static std::uint64_t expectedWord(DataPattern pattern, bool inverted,
+                                      std::uint64_t entry, int word);
+
+    /** Register a displacement-damaged cell. */
+    void addWeakCell(const WeakCell& cell);
+
+    /** Number of registered weak cells. */
+    std::size_t numWeakCells() const { return weak_cells_.size(); }
+
+    /** Mutable access for annealing adjustments. */
+    std::vector<WeakCell>& weakCells() { return weak_cells_; }
+    const std::vector<WeakCell>& weakCells() const { return weak_cells_; }
+
+    /** XOR a soft-error flip mask into an entry (persists until the
+     *  next writeAll). */
+    void injectFlips(std::uint64_t entry, const EntryMask& mask);
+
+    /**
+     * Scan the whole device and report every entry whose contents
+     * differ from the stored pattern (soft-error overlay plus
+     * currently-failing weak cells).
+     */
+    std::vector<Mismatch> scanMismatches() const;
+
+    /** Stored bit (before faults) at (entry, bit). */
+    int storedBit(std::uint64_t entry, int bit) const;
+
+  private:
+    Geometry geometry_;
+    double refresh_ms_;
+    DataPattern pattern_ = DataPattern::zeros;
+    bool inverted_ = false;
+    std::unordered_map<std::uint64_t, EntryMask> overlay_;
+    std::vector<WeakCell> weak_cells_;
+};
+
+} // namespace hbm2
+} // namespace gpuecc
+
+#endif // GPUECC_HBM2_DEVICE_HPP

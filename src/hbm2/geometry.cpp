@@ -1,0 +1,86 @@
+#include "hbm2/geometry.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+namespace hbm2 {
+
+Geometry::Geometry(int stacks)
+    : stacks_(stacks)
+{
+    require(stacks > 0 && stacks <= 16,
+            "Geometry: stack count out of range");
+}
+
+std::uint64_t
+Geometry::numEntries() const
+{
+    return entries_per_stack * static_cast<std::uint64_t>(stacks_);
+}
+
+std::uint64_t
+Geometry::capacityBytes() const
+{
+    return numEntries() * entry_bytes;
+}
+
+double
+Geometry::capacityGbit() const
+{
+    return static_cast<double>(capacityBytes()) * 8.0 /
+           (1024.0 * 1024.0 * 1024.0);
+}
+
+EntryAddress
+Geometry::decompose(std::uint64_t entry_index) const
+{
+    require(entry_index < numEntries(),
+            "Geometry::decompose: entry index out of range");
+    EntryAddress a{};
+    a.column = static_cast<int>(entry_index % columns_per_row);
+    entry_index /= columns_per_row;
+    a.row = static_cast<int>(entry_index % rows_per_subarray);
+    entry_index /= rows_per_subarray;
+    a.subarray = static_cast<int>(entry_index % subarrays_per_bank);
+    entry_index /= subarrays_per_bank;
+    a.bank = static_cast<int>(entry_index % banks_per_channel);
+    entry_index /= banks_per_channel;
+    a.channel = static_cast<int>(entry_index % channels_per_stack);
+    entry_index /= channels_per_stack;
+    a.stack = static_cast<int>(entry_index);
+    return a;
+}
+
+std::uint64_t
+Geometry::compose(const EntryAddress& a) const
+{
+    require(a.stack >= 0 && a.stack < stacks_ && a.channel >= 0 &&
+                a.channel < channels_per_stack && a.bank >= 0 &&
+                a.bank < banks_per_channel && a.subarray >= 0 &&
+                a.subarray < subarrays_per_bank && a.row >= 0 &&
+                a.row < rows_per_subarray && a.column >= 0 &&
+                a.column < columns_per_row,
+            "Geometry::compose: field out of range");
+    std::uint64_t idx = a.stack;
+    idx = idx * channels_per_stack + a.channel;
+    idx = idx * banks_per_channel + a.bank;
+    idx = idx * subarrays_per_bank + a.subarray;
+    idx = idx * rows_per_subarray + a.row;
+    idx = idx * columns_per_row + a.column;
+    return idx;
+}
+
+std::string
+Geometry::toString(const EntryAddress& a)
+{
+    std::ostringstream out;
+    out << "stack " << a.stack << " ch " << a.channel << " bank "
+        << a.bank << " sa " << a.subarray << " row " << a.row << " col "
+        << a.column;
+    return out.str();
+}
+
+} // namespace hbm2
+} // namespace gpuecc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The physical hierarchy of HBM2 GPU memory (Section 2.4 of the
+ * paper).
+ *
+ * A 32GB compute-class GPU carries eight HBM2 stacks. Each stack has
+ * eight 512MB channels; each channel 16 banks; each bank 32
+ * subarrays with their own row buffers; each subarray 32 data mats
+ * of 512 x 512 bitcells. A row activation moves 2KB into the row
+ * buffer and reads fetch one 32B column (one "memory entry") at a
+ * time; each mat contributes an 8-bit slice, so byte j of a 32B
+ * entry comes from its own mat - the structural source of the
+ * byte-aligned multi-bit errors the paper observes.
+ */
+
+#ifndef GPUECC_HBM2_GEOMETRY_HPP
+#define GPUECC_HBM2_GEOMETRY_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace gpuecc {
+namespace hbm2 {
+
+/** Geometry constants (per the paper and JESD235). */
+constexpr int entry_bytes = 32;           //!< minimum access granularity
+constexpr int columns_per_row = 64;       //!< 2KB row / 32B entries
+constexpr int rows_per_subarray = 512;    //!< mat height
+constexpr int mats_per_subarray = 32;     //!< 8b slice each
+constexpr int subarrays_per_bank = 32;
+constexpr int banks_per_channel = 16;
+constexpr int channels_per_stack = 8;     //!< 512MB each
+constexpr int default_stacks = 8;         //!< 32GB GPU
+
+constexpr std::uint64_t entries_per_subarray =
+    static_cast<std::uint64_t>(rows_per_subarray) * columns_per_row;
+constexpr std::uint64_t entries_per_bank =
+    entries_per_subarray * subarrays_per_bank;
+constexpr std::uint64_t entries_per_channel =
+    entries_per_bank * banks_per_channel;
+constexpr std::uint64_t entries_per_stack =
+    entries_per_channel * channels_per_stack;
+
+/** Decomposed physical address of one 32B entry. */
+struct EntryAddress
+{
+    int stack;
+    int channel;
+    int bank;
+    int subarray;
+    int row;
+    int column;
+
+    friend bool operator==(const EntryAddress&,
+                           const EntryAddress&) = default;
+};
+
+/** Geometry of one GPU's DRAM (entry addressing + capacity). */
+class Geometry
+{
+  public:
+    /** @param stacks number of HBM2 stacks (default 8 = 32GB) */
+    explicit Geometry(int stacks = default_stacks);
+
+    int stacks() const { return stacks_; }
+
+    /** Total 32B entries on the GPU. */
+    std::uint64_t numEntries() const;
+
+    /** Total capacity in bytes. */
+    std::uint64_t capacityBytes() const;
+
+    /** Total capacity in gigabits (for FIT/Gb math). */
+    double capacityGbit() const;
+
+    /** Linear entry index -> physical decomposition. */
+    EntryAddress decompose(std::uint64_t entry_index) const;
+
+    /** Physical decomposition -> linear entry index. */
+    std::uint64_t compose(const EntryAddress& addr) const;
+
+    /**
+     * The mat feeding byte `byte_in_entry` (0..31) of an entry; with
+     * a direct byte-to-mat mapping this is simply the byte index.
+     */
+    static int matOfByte(int byte_in_entry) { return byte_in_entry; }
+
+    /** Render an address for diagnostics. */
+    static std::string toString(const EntryAddress& addr);
+
+  private:
+    int stacks_;
+};
+
+} // namespace hbm2
+} // namespace gpuecc
+
+#endif // GPUECC_HBM2_GEOMETRY_HPP

@@ -1,0 +1,51 @@
+#include "hbm2/retention.hpp"
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace gpuecc {
+namespace hbm2 {
+
+RetentionModel::RetentionModel(double mu_ms, double sigma_ms,
+                               double p_one_to_zero)
+    : mu_(mu_ms), sigma_(sigma_ms), p_one_to_zero_(p_one_to_zero)
+{
+    require(sigma_ms > 0.0, "RetentionModel: sigma must be positive");
+    require(p_one_to_zero >= 0.0 && p_one_to_zero <= 1.0,
+            "RetentionModel: direction probability out of range");
+}
+
+double
+RetentionModel::sampleRetention(Rng& rng) const
+{
+    double r = 0.0;
+    do {
+        r = mu_ + sigma_ * rng.nextGaussian();
+    } while (r <= 0.0);
+    return r;
+}
+
+bool
+RetentionModel::sampleOneToZero(Rng& rng) const
+{
+    return rng.nextBool(p_one_to_zero_);
+}
+
+double
+RetentionModel::visibleFraction(double refresh_ms) const
+{
+    return normalCdf((refresh_ms - mu_) / sigma_);
+}
+
+bool
+RetentionModel::cellFails(const WeakCell& cell, double refresh_ms,
+                          int stored_bit)
+{
+    if (cell.retention_ms >= refresh_ms)
+        return false;
+    // A 1 -> 0 leak only corrupts a stored 1 (and vice versa).
+    return cell.one_to_zero ? stored_bit == 1 : stored_bit == 0;
+}
+
+} // namespace hbm2
+} // namespace gpuecc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Weak-cell retention modeling (Section 4 of the paper).
+ *
+ * Displacement damage raises the leakage of a DRAM cell's access
+ * transistor, collapsing its retention time by orders of magnitude.
+ * The paper finds the retention times of damaged ("weak") cells to be
+ * well described by a normal distribution: the number of weak cells
+ * visible at refresh period R is n_total * Phi((R - mu) / sigma)
+ * (Figure 3b). A weak cell manifests as a repeated, unidirectional
+ * (overwhelmingly 1 -> 0) single-bit error whenever its retention
+ * time is below the refresh period and the stored bit is in the
+ * leaky direction.
+ */
+
+#ifndef GPUECC_HBM2_RETENTION_HPP
+#define GPUECC_HBM2_RETENTION_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace gpuecc {
+namespace hbm2 {
+
+/** One displacement-damaged DRAM cell. */
+struct WeakCell
+{
+    std::uint64_t entry_index; //!< entry holding the cell
+    int bit;                   //!< bit 0..255 within the 32B entry
+    double retention_ms;       //!< collapsed retention time
+    bool one_to_zero;          //!< leak direction (true for 1 -> 0)
+};
+
+/** Normally-distributed weak-cell retention times. */
+class RetentionModel
+{
+  public:
+    /**
+     * @param mu_ms    mean retention of damaged cells (paper fit ~19ms)
+     * @param sigma_ms std deviation (~9ms)
+     * @param p_one_to_zero fraction of cells leaking 1 -> 0 (99.8%)
+     */
+    RetentionModel(double mu_ms, double sigma_ms,
+                   double p_one_to_zero = 0.998);
+
+    double mu() const { return mu_; }
+    double sigma() const { return sigma_; }
+
+    /** Sample a retention time (truncated positive). */
+    double sampleRetention(Rng& rng) const;
+
+    /** Sample a leak direction. */
+    bool sampleOneToZero(Rng& rng) const;
+
+    /** Expected fraction of weak cells visible at a refresh period. */
+    double visibleFraction(double refresh_ms) const;
+
+    /**
+     * Whether a weak cell produces an error.
+     *
+     * @param cell       the damaged cell
+     * @param refresh_ms active refresh period
+     * @param stored_bit the logical bit currently stored
+     */
+    static bool cellFails(const WeakCell& cell, double refresh_ms,
+                          int stored_bit);
+
+    /**
+     * Anneal: damaged transistors partially recover over time,
+     * shifting the retention distribution upward (Section 4 "Error
+     * Annealing"). Applies the shift to mu for future samples; the
+     * caller shifts existing cells.
+     */
+    void shiftMu(double delta_ms) { mu_ += delta_ms; }
+
+  private:
+    double mu_;
+    double sigma_;
+    double p_one_to_zero_;
+};
+
+} // namespace hbm2
+} // namespace gpuecc
+
+#endif // GPUECC_HBM2_RETENTION_HPP

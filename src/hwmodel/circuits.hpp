@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Gate-level circuit generators for every encoder and decoder in the
+ * paper's Table 3.
+ *
+ * Encoders (and Reed-Solomon syndrome generators) are GF(2)-linear,
+ * so their XOR terms are derived by probing the actual library
+ * implementations with unit vectors - the synthesized hardware is
+ * guaranteed to match the software codec. Decoders are built
+ * structurally: H-column-match (HCM) comparators feeding correction
+ * XORs for the binary codes, and discrete-log ROMs with end-around-
+ * carry subtractors for the one-shot Reed-Solomon decoders
+ * (Figure 7 of the paper).
+ */
+
+#ifndef GPUECC_HWMODEL_CIRCUITS_HPP
+#define GPUECC_HWMODEL_CIRCUITS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "codes/linear_code.hpp"
+#include "ecc/scheme.hpp"
+#include "hwmodel/netlist.hpp"
+#include "interleave/swizzle.hpp"
+
+namespace gpuecc {
+namespace hw {
+
+/**
+ * XOR terms of an entry encoder's check bits, probed from the scheme.
+ *
+ * @return one entry per physical output bit that is not a plain data
+ *         wire: (physical bit index, data-bit indices XORed into it)
+ */
+std::vector<std::pair<int, std::vector<int>>>
+probeEncoderTerms(const EntryScheme& scheme);
+
+/** Build the full-entry encoder for any (linear) scheme. */
+Netlist buildEntryEncoder(const EntryScheme& scheme, bool share);
+
+/**
+ * Build the 4-codeword binary decoder.
+ *
+ * @param code        inner (72, 64) code
+ * @param sec2bec     include the half-width pair-HCM circuits
+ * @param interleaved physical bit arrangement (wires only)
+ * @param csc         include the correction sanity check logic
+ * @param share       CSE the syndrome XOR networks ("Eff." point)
+ */
+Netlist buildBinaryDecoder(const Code72& code, bool sec2bec,
+                           bool interleaved, bool csc, bool share);
+
+/** Build the interleaved (18, 16) x2 one-shot SSC decoder. */
+Netlist buildSscDecoder(bool csc, bool share);
+
+/** Build the (36, 32) SSC-DSD+ one-shot decoder. */
+Netlist buildDsdPlusDecoder(bool share);
+
+/** All Table 3 rows (encoders then decoders, Perf. and Eff. points). */
+std::vector<SynthesisReport> table3Reports();
+
+} // namespace hw
+} // namespace gpuecc
+
+#endif // GPUECC_HWMODEL_CIRCUITS_HPP

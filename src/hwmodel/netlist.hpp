@@ -1,0 +1,170 @@
+/**
+ * @file
+ * A small gate-level netlist IR with area/delay estimation.
+ *
+ * The paper reports encoder/decoder overheads from Synopsys synthesis
+ * in a 16nm library, normalized to equivalent AND2-gate counts
+ * (Table 3). Without that proprietary flow we build the actual
+ * combinational netlists of every encoder and decoder and estimate:
+ *
+ *  - area as the sum of per-gate AND2-equivalent factors (standard
+ *    gate-equivalent ratios), and
+ *  - delay as the critical path in AND2-delay units, scaled by a
+ *    single technology constant calibrated so the baseline SEC-DED
+ *    encoder matches the paper's 0.09 ns.
+ *
+ * Structural hashing deduplicates identical gates, and lookup-table
+ * blocks (the discrete-log ROMs of the one-shot Reed-Solomon
+ * decoders) use a documented area/delay heuristic.
+ */
+
+#ifndef GPUECC_HWMODEL_NETLIST_HPP
+#define GPUECC_HWMODEL_NETLIST_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpuecc {
+namespace hw {
+
+/** Combinational gate kinds. */
+enum class GateKind
+{
+    input,
+    constant, //!< constant 0/1 (b field)
+    notGate,
+    and2,
+    or2,
+    xor2,
+    xnor2,
+    mux2,     //!< inputs: select, a (sel=0), b (sel=1)
+    blackBox, //!< LUT/ROM block with explicit area/delay
+    busBit    //!< one output bit of a blackBox bus
+};
+
+/** Per-technology delay scale: AND2 delay in nanoseconds, calibrated
+ *  so the baseline SEC-DED encoder synthesizes to the paper's
+ *  0.09 ns (16nm-class). */
+constexpr double and2_delay_ns = 0.0129;
+
+/** A combinational netlist under construction. */
+class Netlist
+{
+  public:
+    /** Add a primary input. */
+    int input(const std::string& name);
+
+    /** Constant node. */
+    int constant(bool value);
+
+    /** Add a gate with structural-hash deduplication (commutative
+     *  gates canonicalize operand order). */
+    int gate(GateKind kind, int a, int b = -1, int c = -1);
+
+    int notOf(int a) { return gate(GateKind::notGate, a); }
+
+    /** Balanced reduction trees. */
+    int andTree(std::vector<int> nodes);
+    int orTree(std::vector<int> nodes);
+    int xorTree(std::vector<int> nodes);
+
+    /**
+     * A black-box LUT/ROM block.
+     *
+     * Area heuristic: out_bits * 2^in_bits / 4 AND2 (two-level logic
+     * after don't-care optimization); delay: 4 + in_bits / 2 units.
+     * The optional evaluator (value of the input bus, LSB = first
+     * input -> value of the output bus) makes the block simulatable.
+     *
+     * @return one node per output bit, LSB first
+     */
+    std::vector<int>
+    lut(const std::vector<int>& inputs, int out_bits,
+        const std::string& name,
+        std::function<std::uint64_t(std::uint64_t)> evaluate = {});
+
+    /** Mark a node as a primary output. */
+    void output(const std::string& name, int node);
+
+    /** Number of real gates (inputs/constants excluded). */
+    int gateCount() const;
+
+    /** Total area in AND2 equivalents. */
+    double areaAnd2() const;
+
+    /** Critical input-to-output path in AND2-delay units. */
+    double delayUnits() const;
+
+    /** Critical path in nanoseconds (delayUnits * and2_delay_ns). */
+    double delayNs() const { return delayUnits() * and2_delay_ns; }
+
+    /** Number of primary inputs. */
+    int inputCount() const { return static_cast<int>(inputs_.size()); }
+
+    /** Number of primary outputs. */
+    int outputCount() const { return static_cast<int>(outputs_.size()); }
+
+    /** Name of output index i (declaration order). */
+    const std::string& outputName(int i) const;
+
+    /**
+     * Simulate the netlist (tests use this to check the synthesized
+     * circuits against the software codecs). Black-box nodes are not
+     * simulatable and trigger a panic.
+     *
+     * @param input_values one value per input, in creation order
+     * @return output values in declaration order
+     */
+    std::vector<bool>
+    evaluate(const std::vector<bool>& input_values) const;
+
+    /**
+     * Emit synthesizable structural Verilog for the netlist.
+     *
+     * Supports pure-gate circuits (every encoder and the binary
+     * decoders); black-box ROM nodes are a fatal error since their
+     * contents live outside the netlist IR.
+     *
+     * @param module_name Verilog module name
+     */
+    std::string toVerilog(const std::string& module_name) const;
+
+  private:
+    struct Node
+    {
+        GateKind kind;
+        int a = -1, b = -1, c = -1; //!< busBit: a = blackBox, b = bit
+        bool const_value = false;
+        double bb_area = 0.0;  //!< blackBox only
+        double bb_delay = 0.0; //!< blackBox only
+        std::vector<int> bb_inputs;
+        std::function<std::uint64_t(std::uint64_t)> bb_eval;
+    };
+
+    double nodeArea(const Node& n) const;
+    double nodeDelay(const Node& n) const;
+
+    std::vector<Node> nodes_;
+    std::vector<int> inputs_;
+    std::vector<std::string> input_names_;
+    std::vector<int> outputs_;
+    std::vector<std::string> output_names_;
+    std::map<std::tuple<GateKind, int, int, int>, int> hash_;
+};
+
+/** One Table 3 row: a synthesized circuit at one design point. */
+struct SynthesisReport
+{
+    std::string circuit;
+    std::string design_point; //!< "Perf." or "Eff."
+    double area_and2;
+    double delay_ns;
+};
+
+} // namespace hw
+} // namespace gpuecc
+
+#endif // GPUECC_HWMODEL_NETLIST_HPP

@@ -1,0 +1,89 @@
+#include "hwmodel/xor_network.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+namespace hw {
+
+namespace {
+
+using Pair = std::pair<int, int>;
+
+Pair
+makePair(int a, int b)
+{
+    return {std::min(a, b), std::max(a, b)};
+}
+
+} // namespace
+
+std::vector<int>
+synthesizeXorNetwork(Netlist& nl,
+                     const std::vector<std::vector<int>>& terms,
+                     bool share)
+{
+    std::vector<int> outputs(terms.size(), -1);
+
+    if (!share) {
+        for (std::size_t i = 0; i < terms.size(); ++i) {
+            outputs[i] = terms[i].empty() ? nl.constant(false)
+                                          : nl.xorTree(terms[i]);
+        }
+        return outputs;
+    }
+
+    // Greedy common-pair extraction. Work on sorted literal sets;
+    // each extraction introduces a new literal for the shared gate.
+    std::vector<std::set<int>> sets;
+    sets.reserve(terms.size());
+    for (const auto& t : terms)
+        sets.emplace_back(t.begin(), t.end());
+
+    for (;;) {
+        std::map<Pair, int> freq;
+        for (const auto& s : sets) {
+            // Counting all pairs is quadratic in the set size but the
+            // sets here are at most a few dozen literals.
+            for (auto i = s.begin(); i != s.end(); ++i) {
+                for (auto j = std::next(i); j != s.end(); ++j)
+                    ++freq[makePair(*i, *j)];
+            }
+        }
+        Pair best{-1, -1};
+        int best_count = 1;
+        for (const auto& [pair, count] : freq) {
+            if (count > best_count) {
+                best_count = count;
+                best = pair;
+            }
+        }
+        if (best.first < 0)
+            break;
+        const int shared = nl.gate(GateKind::xor2, best.first,
+                                   best.second);
+        for (auto& s : sets) {
+            if (s.count(best.first) && s.count(best.second)) {
+                s.erase(best.first);
+                s.erase(best.second);
+                s.insert(shared);
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        if (sets[i].empty()) {
+            outputs[i] = nl.constant(false);
+        } else {
+            outputs[i] = nl.xorTree(
+                std::vector<int>(sets[i].begin(), sets[i].end()));
+        }
+    }
+    return outputs;
+}
+
+} // namespace hw
+} // namespace gpuecc

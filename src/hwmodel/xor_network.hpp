@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Multi-output XOR network synthesis.
+ *
+ * Encoders and syndrome generators are collections of XOR functions
+ * over shared inputs. The two design points of the paper's Table 3
+ * map to two synthesis strategies:
+ *
+ *  - "Perf.": a balanced XOR tree per output (minimum depth, no
+ *    sharing beyond structural hashing);
+ *  - "Eff.": greedy common-pair extraction (classic multi-output CSE)
+ *    that repeatedly factors the most frequent input pair into a
+ *    shared gate, trading depth for area.
+ */
+
+#ifndef GPUECC_HWMODEL_XOR_NETWORK_HPP
+#define GPUECC_HWMODEL_XOR_NETWORK_HPP
+
+#include <vector>
+
+#include "hwmodel/netlist.hpp"
+
+namespace gpuecc {
+namespace hw {
+
+/**
+ * Synthesize XOR functions into a netlist.
+ *
+ * @param nl    target netlist
+ * @param terms one entry per output: the node ids to XOR together
+ * @param share use greedy common-pair extraction
+ * @return node id of each output (same order as terms); empty terms
+ *         produce a constant-0 node
+ */
+std::vector<int> synthesizeXorNetwork(
+    Netlist& nl, const std::vector<std::vector<int>>& terms, bool share);
+
+} // namespace hw
+} // namespace gpuecc
+
+#endif // GPUECC_HWMODEL_XOR_NETWORK_HPP

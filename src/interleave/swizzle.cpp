@@ -1,0 +1,48 @@
+#include "interleave/swizzle.hpp"
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+EntryLayout::EntryLayout(Kind kind)
+    : kind_(kind)
+{
+    for (int phys = 0; phys < layout::entry_bits; ++phys) {
+        const int logical = kind == Kind::interleaved
+            ? (73 * phys) % layout::entry_bits // Eq. 1
+            : phys;
+        phys_to_log_[phys] = logical;
+        log_to_phys_[logical] = phys;
+    }
+    // Eq. 1 is a bijection because gcd(73, 288) = 1; double-check the
+    // inverse table is fully populated in debug spirit.
+    for (int l = 0; l < layout::entry_bits; ++l) {
+        require(phys_to_log_[log_to_phys_[l]] == l,
+                "EntryLayout permutation is not a bijection");
+    }
+}
+
+Bits288
+EntryLayout::assemble(const std::array<Bits72, 4>& codewords) const
+{
+    Bits288 phys;
+    for (int cw = 0; cw < layout::num_codewords; ++cw) {
+        codewords[cw].forEachSetBit([&](int bit) {
+            phys.set(physicalFor(cw, bit), 1);
+        });
+    }
+    return phys;
+}
+
+std::array<Bits72, 4>
+EntryLayout::disassemble(const Bits288& physical) const
+{
+    std::array<Bits72, 4> cws{};
+    physical.forEachSetBit([&](int phys) {
+        const auto [cw, bit] = logicalFor(phys);
+        cws[cw].set(bit, 1);
+    });
+    return cws;
+}
+
+} // namespace gpuecc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Logical codeword interleaving (Equations 1 and 2 of the paper).
+ *
+ * A 36B HBM2 memory entry is transmitted as 4 beats over 72 pins
+ * (64 data + 8 check pins). Logically it holds four (72, 64)
+ * codewords. The paper's interleave places logical bit
+ * (73 * i) mod 288 at physical position i, which:
+ *
+ *  - spreads any aligned physical byte error across all four
+ *    codewords as one stride-4 2-bit symbol each, and
+ *  - rotates codewords across beats ("checkerboard") so a pin error
+ *    contributes exactly one bit to each codeword, preserving
+ *    single-pin correction.
+ *
+ * Physical indexing convention throughout the library: physical bit
+ * i has beat i / 72 and pin i % 72; physical byte B covers bits
+ * [8B, 8B + 8).
+ */
+
+#ifndef GPUECC_INTERLEAVE_SWIZZLE_HPP
+#define GPUECC_INTERLEAVE_SWIZZLE_HPP
+
+#include <array>
+#include <utility>
+
+#include "common/bits.hpp"
+
+namespace gpuecc {
+
+/** Physical geometry of one HBM2 memory entry. */
+namespace layout {
+
+constexpr int entry_bits = 288;  //!< 32B data + 4B check
+constexpr int beat_bits = 72;    //!< one codeword per beat
+constexpr int num_beats = 4;
+constexpr int num_pins = 72;
+constexpr int num_bytes = 36;    //!< aligned 8-bit groups
+constexpr int num_codewords = 4;
+constexpr int data_bits = 256;   //!< user data per entry
+
+/** Physical index of (beat, pin). */
+constexpr int
+physicalIndex(int beat, int pin)
+{
+    return beat_bits * beat + pin;
+}
+
+/** Beat of a physical index. */
+constexpr int beatOf(int phys) { return phys / beat_bits; }
+
+/** Pin of a physical index. */
+constexpr int pinOf(int phys) { return phys % beat_bits; }
+
+/** Physical byte of a physical index. */
+constexpr int byteOf(int phys) { return phys / 8; }
+
+} // namespace layout
+
+/**
+ * Bidirectional map between the four logical codewords of an entry
+ * and the 288 transmitted (physical) bit positions.
+ */
+class EntryLayout
+{
+  public:
+    /** Which bit arrangement to use. */
+    enum class Kind
+    {
+        nonInterleaved, //!< codeword c occupies beat c verbatim
+        interleaved     //!< Eq. 1/2: physical i holds logical 73i mod 288
+    };
+
+    explicit EntryLayout(Kind kind);
+
+    Kind kind() const { return kind_; }
+
+    /** Scatter four codewords into the physical entry. */
+    Bits288 assemble(const std::array<Bits72, 4>& codewords) const;
+
+    /** Gather the four codewords back out of a physical entry. */
+    std::array<Bits72, 4> disassemble(const Bits288& physical) const;
+
+    /** Physical position of bit `bit` of codeword `cw`. */
+    int physicalFor(int cw, int bit) const
+    {
+        return log_to_phys_[cw * layout::beat_bits + bit];
+    }
+
+    /** (codeword, bit) holding physical position `phys`. */
+    std::pair<int, int>
+    logicalFor(int phys) const
+    {
+        const int l = phys_to_log_[phys];
+        return {l / layout::beat_bits, l % layout::beat_bits};
+    }
+
+  private:
+    Kind kind_;
+    std::array<int, layout::entry_bits> phys_to_log_;
+    std::array<int, layout::entry_bits> log_to_phys_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_INTERLEAVE_SWIZZLE_HPP

@@ -1,0 +1,39 @@
+#include "reliability/fit.hpp"
+
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+namespace reliability {
+
+double
+rawMemoryFit(double fit_per_gbit, double gbit)
+{
+    require(fit_per_gbit >= 0.0 && gbit >= 0.0,
+            "rawMemoryFit: negative inputs");
+    return fit_per_gbit * gbit;
+}
+
+double
+sdcFit(double raw_fit, const WeightedOutcome& outcome)
+{
+    return raw_fit * outcome.sdc;
+}
+
+double
+dueFit(double raw_fit, const WeightedOutcome& outcome)
+{
+    return raw_fit * outcome.detect;
+}
+
+double
+mttfHours(double fit)
+{
+    if (fit <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return fit_hours / fit;
+}
+
+} // namespace reliability
+} // namespace gpuecc

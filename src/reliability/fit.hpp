@@ -1,0 +1,38 @@
+/**
+ * @file
+ * FIT-rate arithmetic for system-level reliability projections.
+ *
+ * A FIT is one failure per 10^9 device-hours. The paper projects
+ * system reliability from a raw HBM2 soft-error rate of 12.51 FIT/Gb
+ * (inspired by the Titan supercomputer's GDDR5 field data) combined
+ * with the per-event outcome probabilities each ECC organization
+ * achieves (Figure 8).
+ */
+
+#ifndef GPUECC_RELIABILITY_FIT_HPP
+#define GPUECC_RELIABILITY_FIT_HPP
+
+#include "faultsim/weighted.hpp"
+
+namespace gpuecc {
+namespace reliability {
+
+/** Hours per FIT unit: 10^9 device-hours. */
+constexpr double fit_hours = 1e9;
+
+/** Raw (pre-ECC) soft-error FIT of a memory of the given capacity. */
+double rawMemoryFit(double fit_per_gbit, double gbit);
+
+/** SDC FIT given raw event FIT and an ECC outcome profile. */
+double sdcFit(double raw_fit, const WeightedOutcome& outcome);
+
+/** DUE FIT given raw event FIT and an ECC outcome profile. */
+double dueFit(double raw_fit, const WeightedOutcome& outcome);
+
+/** Mean time between failures (hours) at a FIT rate. */
+double mttfHours(double fit);
+
+} // namespace reliability
+} // namespace gpuecc
+
+#endif // GPUECC_RELIABILITY_FIT_HPP

@@ -1,0 +1,80 @@
+#include "reliability/history.hpp"
+
+namespace gpuecc {
+namespace reliability {
+
+const std::vector<HistoryPoint>&
+historicalDramSer()
+{
+    // Transcription-level approximation of the Slayman (2011) beam
+    // data shown in Figure 1: per-chip soft error rates falling
+    // roughly an order of magnitude per ~6 years.
+    static const std::vector<HistoryPoint> points = {
+        {1998, 1200.0}, {2000, 700.0}, {2002, 420.0}, {2004, 230.0},
+        {2006, 130.0},  {2008, 75.0},  {2010, 48.0},
+    };
+    return points;
+}
+
+const std::vector<HistoryPoint>&
+historicalDramCapacity()
+{
+    // DRAM chip capacities in Mb across generations (mainstream
+    // densities double roughly every three years in this period).
+    static const std::vector<HistoryPoint> points = {
+        {1998, 64.0},   {2001, 128.0},  {2004, 256.0},
+        {2007, 512.0},  {2010, 1024.0}, {2013, 2048.0},
+        {2016, 4096.0}, {2019, 8192.0},
+    };
+    return points;
+}
+
+std::pair<double, double>
+nonBitcellBand()
+{
+    // Borucki et al.: the non-bitcell upset rate stays within a
+    // two-order-of-magnitude range with no strong technology trend.
+    return {5.0, 500.0};
+}
+
+namespace {
+
+LineFit
+regress(const std::vector<HistoryPoint>& points)
+{
+    std::vector<double> x;
+    std::vector<double> y;
+    for (const HistoryPoint& p : points) {
+        x.push_back(p.year - 2000.0);
+        y.push_back(p.value);
+    }
+    return exponentialRegression(x, y);
+}
+
+} // namespace
+
+LineFit
+regressSer()
+{
+    return regress(historicalDramSer());
+}
+
+LineFit
+regressCapacity()
+{
+    return regress(historicalDramCapacity());
+}
+
+std::pair<double, double>
+hbm2PointFit(double events_per_beam_second, double multi_bit_fraction,
+             double acceleration, int stacks)
+{
+    // FIT = failures per 1e9 device-hours in the field.
+    const double field_per_hour =
+        events_per_beam_second * 3600.0 / acceleration;
+    const double fit_per_stack = field_per_hour * 1e9 / stacks;
+    return {fit_per_stack, fit_per_stack * multi_bit_fraction};
+}
+
+} // namespace reliability
+} // namespace gpuecc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Historical DRAM soft-error trends (Figure 1).
+ *
+ * Figure 1 overlays (a) neutron-beam-measured per-chip DRAM soft
+ * error rates across process generations (falling exponentially),
+ * (b) DRAM chip capacities (rising exponentially), (c) the roughly
+ * flat two-order-of-magnitude band of non-bitcell (logic) upset
+ * rates, and (d) the paper's measured HBM2 point. The paper's
+ * figure cites Slayman (RAMS 2011) and a capacity compilation; the
+ * exact datapoint values are not printed, so this module embeds a
+ * transcription-level approximation of the published trends and
+ * reproduces the figure's exponential regressions.
+ */
+
+#ifndef GPUECC_RELIABILITY_HISTORY_HPP
+#define GPUECC_RELIABILITY_HISTORY_HPP
+
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace gpuecc {
+namespace reliability {
+
+/** One historical observation. */
+struct HistoryPoint
+{
+    double year;
+    double value;
+};
+
+/** Per-chip neutron-beam DRAM soft error rates (FIT/chip). */
+const std::vector<HistoryPoint>& historicalDramSer();
+
+/** DRAM chip capacities (Mb). */
+const std::vector<HistoryPoint>& historicalDramCapacity();
+
+/** The flat non-bitcell upset-rate band (FIT/chip), low and high. */
+std::pair<double, double> nonBitcellBand();
+
+/** Exponential regression (value = A * exp(b * (year - 2000))). */
+LineFit regressSer();
+
+/** Exponential regression of capacity growth. */
+LineFit regressCapacity();
+
+/**
+ * Our simulated HBM2 measurement mapped onto the figure: per-chip
+ * (per-stack) FIT for all events and for multi-bit events only.
+ *
+ * @param events_per_beam_second observed event rate in the beam
+ * @param multi_bit_fraction     fraction of events that are multi-bit
+ * @param acceleration           beam acceleration factor
+ * @param stacks                 HBM2 stacks sharing that rate
+ */
+std::pair<double, double>
+hbm2PointFit(double events_per_beam_second, double multi_bit_fraction,
+             double acceleration, int stacks);
+
+} // namespace reliability
+} // namespace gpuecc
+
+#endif // GPUECC_RELIABILITY_HISTORY_HPP

@@ -1,0 +1,71 @@
+#include "reliability/system.hpp"
+
+#include "common/log.hpp"
+#include "reliability/fit.hpp"
+
+namespace gpuecc {
+namespace reliability {
+
+double
+HpcSystemModel::gpusFor(double exaflops) const
+{
+    require(exaflops > 0.0, "HpcSystemModel: exaflops must be positive");
+    return exaflops * 1e6 / tflops_per_gpu;
+}
+
+double
+HpcSystemModel::machineRawFit(double exaflops) const
+{
+    return gpusFor(exaflops) *
+           rawMemoryFit(fit_per_gbit, gb_per_gpu * 8.0);
+}
+
+double
+HpcSystemModel::mttiHours(double exaflops,
+                          const WeightedOutcome& outcome) const
+{
+    return reliability::mttfHours(
+        dueFit(machineRawFit(exaflops), outcome));
+}
+
+double
+HpcSystemModel::mttfHours(double exaflops,
+                          const WeightedOutcome& outcome) const
+{
+    return reliability::mttfHours(
+        sdcFit(machineRawFit(exaflops), outcome));
+}
+
+double
+AvModel::vehicleRawFit() const
+{
+    return rawMemoryFit(fit_per_gbit, gb_per_vehicle * 8.0);
+}
+
+double
+AvModel::vehicleSdcFit(const WeightedOutcome& outcome) const
+{
+    return sdcFit(vehicleRawFit(), outcome);
+}
+
+bool
+AvModel::satisfiesIso26262(const WeightedOutcome& outcome) const
+{
+    return vehicleSdcFit(outcome) <= iso26262_sdc_fit_limit;
+}
+
+double
+AvModel::fleetSdcPerDay(const WeightedOutcome& outcome) const
+{
+    return vehicleSdcFit(outcome) * fleet_hours_per_day / fit_hours;
+}
+
+double
+AvModel::fleetDuePerDay(const WeightedOutcome& outcome) const
+{
+    return dueFit(vehicleRawFit(), outcome) * fleet_hours_per_day /
+           fit_hours;
+}
+
+} // namespace reliability
+} // namespace gpuecc

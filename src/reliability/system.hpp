@@ -1,0 +1,79 @@
+/**
+ * @file
+ * System-level resilience and availability models (Section 7.3).
+ *
+ * HpcSystemModel reproduces Figure 9: the mean-time-to-interrupt
+ * (MTTI, DUE rate) and mean-time-to-failure (MTTF, SDC rate) of an
+ * exascale supercomputer built from A100-class GPUs, as a function of
+ * machine scale. AvModel reproduces the autonomous-vehicle analysis:
+ * per-vehicle SDC FIT against the ISO 26262 ASIL-D budget, and
+ * expected fleet-level daily event counts for the US driving
+ * population.
+ */
+
+#ifndef GPUECC_RELIABILITY_SYSTEM_HPP
+#define GPUECC_RELIABILITY_SYSTEM_HPP
+
+#include "faultsim/weighted.hpp"
+
+namespace gpuecc {
+namespace reliability {
+
+/** Exascale machine built from compute GPUs (Figure 9). */
+struct HpcSystemModel
+{
+    /** Peak FP64 tensor throughput per GPU (A100). */
+    double tflops_per_gpu = 19.5;
+    /** HBM2 per GPU in GB (A100 40GB). */
+    double gb_per_gpu = 40.0;
+    /** Raw soft-error rate. */
+    double fit_per_gbit = 12.51;
+
+    /** GPUs needed to reach a machine size in exaflops. */
+    double gpusFor(double exaflops) const;
+
+    /** Raw soft-error FIT of the whole machine's HBM2. */
+    double machineRawFit(double exaflops) const;
+
+    /** System MTTI in hours (DUE-driven interrupts). */
+    double mttiHours(double exaflops,
+                     const WeightedOutcome& outcome) const;
+
+    /** System MTTF in hours (SDC-driven silent failures). */
+    double mttfHours(double exaflops,
+                     const WeightedOutcome& outcome) const;
+};
+
+/** GPU-accelerated autonomous-vehicle fleet (Section 7.3). */
+struct AvModel
+{
+    /** HBM2 per vehicle in GB (one A100-class GPU). */
+    double gb_per_vehicle = 40.0;
+    double fit_per_gbit = 12.51;
+
+    /** ISO 26262 ASIL-D budget for SDC. */
+    double iso26262_sdc_fit_limit = 10.0;
+
+    /** US fleet driving exposure: 225.8M drivers x 51 min/day. */
+    double fleet_hours_per_day = 225.8e6 * 51.0 / 60.0;
+
+    /** Raw soft-error FIT of one vehicle's GPU memory. */
+    double vehicleRawFit() const;
+
+    /** Per-vehicle SDC FIT under an ECC organization. */
+    double vehicleSdcFit(const WeightedOutcome& outcome) const;
+
+    /** Whether the organization satisfies the ASIL-D SDC budget. */
+    bool satisfiesIso26262(const WeightedOutcome& outcome) const;
+
+    /** Expected fleet-wide SDC events per day. */
+    double fleetSdcPerDay(const WeightedOutcome& outcome) const;
+
+    /** Expected vehicles interrupted by a DUE per day. */
+    double fleetDuePerDay(const WeightedOutcome& outcome) const;
+};
+
+} // namespace reliability
+} // namespace gpuecc
+
+#endif // GPUECC_RELIABILITY_SYSTEM_HPP

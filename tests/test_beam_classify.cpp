@@ -1,0 +1,166 @@
+/** @file Tests for the beam-log post-processing pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "beam/campaign.hpp"
+#include "beam/classify.hpp"
+
+namespace gpuecc {
+namespace beam {
+namespace {
+
+hbm2::EntryMask
+maskOf(std::initializer_list<int> bits)
+{
+    hbm2::EntryMask m;
+    for (int b : bits)
+        m.set(b, 1);
+    return m;
+}
+
+LogRecord
+rec(int run, int phase, int pass, double t, std::uint64_t entry,
+    const hbm2::EntryMask& mask)
+{
+    return {run, phase, pass, t, entry, mask};
+}
+
+TEST(DataClassifier, ShapesAndPriority)
+{
+    EXPECT_EQ(classifyDataMask(maskOf({5})), ErrorShape::oneBit);
+    // Same lane across words: pin wins over everything.
+    EXPECT_EQ(classifyDataMask(maskOf({3, 67})), ErrorShape::onePin);
+    EXPECT_EQ(classifyDataMask(maskOf({3, 67, 131, 195})),
+              ErrorShape::onePin);
+    // One aligned byte of one word.
+    EXPECT_EQ(classifyDataMask(maskOf({8, 9, 15})),
+              ErrorShape::oneByte);
+    // Two scattered bits.
+    EXPECT_EQ(classifyDataMask(maskOf({0, 9})), ErrorShape::twoBits);
+    EXPECT_EQ(classifyDataMask(maskOf({0, 9, 130})),
+              ErrorShape::threeBits);
+    // Four bits within one word: a beat.
+    EXPECT_EQ(classifyDataMask(maskOf({0, 9, 20, 40})),
+              ErrorShape::oneBeat);
+    // Bits in several words: whole entry.
+    EXPECT_EQ(classifyDataMask(maskOf({0, 9, 70, 200})),
+              ErrorShape::wholeEntry);
+}
+
+TEST(DataClassifier, Labels)
+{
+    EXPECT_EQ(errorShapeLabel(ErrorShape::oneBit), "1 Bit");
+    EXPECT_EQ(errorShapeLabel(ErrorShape::wholeEntry), "1 Entry");
+}
+
+TEST(ClassifyLog, DamagedEntriesFilteredOut)
+{
+    // Entry 42 errs in two write phases (a weak cell); entry 7 errs
+    // once (a soft error).
+    std::vector<LogRecord> log;
+    log.push_back(rec(0, 0, 3, 1.0, 42, maskOf({1})));
+    log.push_back(rec(0, 1, 2, 2.0, 42, maskOf({1})));
+    log.push_back(rec(0, 2, 5, 3.0, 7, maskOf({9})));
+
+    const ClassificationResult result = classifyLog(log);
+    EXPECT_EQ(result.damaged_entries.count(42), 1u);
+    ASSERT_EQ(result.numEvents(), 1u);
+    EXPECT_EQ(result.events[0].entries[0].first, 7u);
+    EXPECT_EQ(result.events[0].cls, SoftErrorEvent::Class::sbse);
+}
+
+TEST(ClassifyLog, PersistentSoftErrorIsOneEvent)
+{
+    // A soft error persists across read passes within a phase; only
+    // the first observation defines the event.
+    std::vector<LogRecord> log;
+    for (int pass = 4; pass < 10; ++pass)
+        log.push_back(rec(0, 2, pass, 10.0 + pass, 99, maskOf({3})));
+    const ClassificationResult result = classifyLog(log);
+    ASSERT_EQ(result.numEvents(), 1u);
+    EXPECT_EQ(result.events[0].read_pass, 4);
+    EXPECT_TRUE(result.damaged_entries.empty());
+}
+
+TEST(ClassifyLog, EntriesFirstSeenTogetherFormOneEvent)
+{
+    std::vector<LogRecord> log;
+    log.push_back(rec(0, 1, 6, 5.0, 100, maskOf({8, 9, 10})));
+    log.push_back(rec(0, 1, 6, 5.0, 101, maskOf({8, 12})));
+    log.push_back(rec(0, 1, 8, 6.0, 500, maskOf({0}))); // later event
+    const ClassificationResult result = classifyLog(log);
+    ASSERT_EQ(result.numEvents(), 2u);
+    EXPECT_EQ(result.events[0].entries.size(), 2u);
+    EXPECT_EQ(result.events[0].cls, SoftErrorEvent::Class::mbme);
+    EXPECT_TRUE(result.events[0].multi_bit);
+    EXPECT_TRUE(result.events[0].byte_aligned);
+    EXPECT_EQ(result.events[1].cls, SoftErrorEvent::Class::sbse);
+}
+
+TEST(ClassifyLog, SeverestEntryDeterminesShape)
+{
+    std::vector<LogRecord> log;
+    log.push_back(rec(0, 0, 1, 1.0, 10, maskOf({2})));
+    log.push_back(rec(0, 0, 1, 1.0, 11, maskOf({5, 80, 140, 200})));
+    const ClassificationResult result = classifyLog(log);
+    ASSERT_EQ(result.numEvents(), 1u);
+    EXPECT_EQ(result.events[0].shape, ErrorShape::wholeEntry);
+}
+
+TEST(ClassifyLog, SummariesFromSyntheticEvents)
+{
+    std::vector<LogRecord> log;
+    // MBME byte-aligned with breadth 3 (bits 2-3 of byte 1, word 0).
+    for (int i = 0; i < 3; ++i)
+        log.push_back(rec(0, 0, 0, 1.0, 10 + i, maskOf({10, 11})));
+    // MBSE non-aligned (two words; word 0 spans two bytes).
+    log.push_back(rec(0, 0, 2, 2.0, 50, maskOf({0, 9, 64, 65})));
+    const ClassificationResult result = classifyLog(log);
+    ASSERT_EQ(result.numEvents(), 2u);
+
+    const auto breadths = mbmeBreadths(result);
+    ASSERT_EQ(breadths.size(), 1u);
+    EXPECT_EQ(breadths[0], 3u);
+
+    const auto aligned_sev = severityHistogram(result, true);
+    EXPECT_EQ(aligned_sev[2], 3u); // three words with 2-bit errors
+
+    const auto words = wordsPerEntryHistogram(result, false);
+    EXPECT_EQ(words[2], 1u); // the non-aligned entry hit 2 words
+
+    const auto shapes = shapeDistribution(result);
+    EXPECT_EQ(shapes.at(ErrorShape::oneByte), 1u);
+}
+
+TEST(ClassifyLog, EndToEndCampaignMatchesPaperMix)
+{
+    CampaignConfig cfg;
+    cfg.runs = 250;
+    cfg.seed = 0xCAFE;
+    Campaign campaign(cfg);
+    campaign.runInBeam();
+    const ClassificationResult result = classifyLog(campaign.log());
+    ASSERT_GT(result.numEvents(), 200u);
+
+    const double n = static_cast<double>(result.numEvents());
+    auto frac = [&](SoftErrorEvent::Class c) {
+        const auto it = result.class_counts.find(c);
+        return it == result.class_counts.end() ? 0.0 : it->second / n;
+    };
+    // Figure 4a: 65 / 3.5 / 3.5 / 28 (+- statistical error).
+    EXPECT_NEAR(frac(SoftErrorEvent::Class::sbse), 0.65, 0.06);
+    EXPECT_NEAR(frac(SoftErrorEvent::Class::mbme), 0.28, 0.06);
+
+    int multi = 0, aligned = 0;
+    for (const auto& ev : result.events) {
+        multi += ev.multi_bit;
+        aligned += ev.byte_aligned;
+    }
+    // ~31.5% multi-bit, ~74.6% of those byte-aligned.
+    EXPECT_NEAR(multi / n, 0.315, 0.06);
+    EXPECT_NEAR(static_cast<double>(aligned) / multi, 0.746, 0.09);
+}
+
+} // namespace
+} // namespace beam
+} // namespace gpuecc

@@ -1,0 +1,157 @@
+/** @file Tests for the soft-error event generator. */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "beam/events.hpp"
+
+namespace gpuecc {
+namespace beam {
+namespace {
+
+class EventGeneratorTest : public ::testing::Test
+{
+  protected:
+    EventGeneratorTest()
+        : geometry_(hbm2::default_stacks),
+          gen_(EventConfig{}, geometry_, Rng(1))
+    {
+    }
+
+    hbm2::Geometry geometry_;
+    EventGenerator gen_;
+};
+
+TEST_F(EventGeneratorTest, EventsNonEmptyAndInRange)
+{
+    for (int trial = 0; trial < 2000; ++trial) {
+        const SoftErrorEvent ev = gen_.sample();
+        ASSERT_FALSE(ev.flips.empty());
+        for (const auto& [entry, mask] : ev.flips) {
+            ASSERT_LT(entry, geometry_.numEntries());
+            ASSERT_FALSE(mask.none());
+        }
+    }
+}
+
+TEST_F(EventGeneratorTest, ClassMixMatchesFigure4a)
+{
+    std::map<SoftErrorEvent::Class, int> counts;
+    const int trials = 20000;
+    for (int trial = 0; trial < trials; ++trial)
+        ++counts[gen_.sample().cls];
+    EXPECT_NEAR(counts[SoftErrorEvent::Class::sbse] /
+                    static_cast<double>(trials),
+                0.65, 0.02);
+    EXPECT_NEAR(counts[SoftErrorEvent::Class::mbme] /
+                    static_cast<double>(trials),
+                0.28, 0.02);
+    EXPECT_NEAR(counts[SoftErrorEvent::Class::sbme] /
+                    static_cast<double>(trials),
+                0.035, 0.01);
+}
+
+TEST_F(EventGeneratorTest, SingleBitClassesAreSingleBit)
+{
+    for (int trial = 0; trial < 5000; ++trial) {
+        const SoftErrorEvent ev = gen_.sample();
+        if (ev.cls == SoftErrorEvent::Class::sbse) {
+            ASSERT_EQ(ev.flips.size(), 1u);
+            ASSERT_EQ(ev.flips[0].second.popcount(), 1);
+        } else if (ev.cls == SoftErrorEvent::Class::sbme) {
+            ASSERT_GT(ev.flips.size(), 1u);
+            for (const auto& [entry, mask] : ev.flips)
+                ASSERT_EQ(mask.popcount(), 1);
+        }
+    }
+}
+
+TEST_F(EventGeneratorTest, ByteAlignedEventsStayInOneBytePerWord)
+{
+    int checked = 0;
+    for (int trial = 0; trial < 20000 && checked < 1000; ++trial) {
+        const SoftErrorEvent ev = gen_.sample();
+        if (!ev.byte_aligned)
+            continue;
+        ++checked;
+        for (const auto& [entry, mask] : ev.flips) {
+            for (int w = 0; w < 4; ++w) {
+                int byte_of_word = -1;
+                for (int t = 0; t < 64; ++t) {
+                    if (!mask.get(64 * w + t))
+                        continue;
+                    const int byte = (64 * w + t) / 8;
+                    if (byte_of_word < 0)
+                        byte_of_word = byte;
+                    ASSERT_EQ(byte, byte_of_word);
+                }
+            }
+        }
+    }
+    EXPECT_GE(checked, 1000);
+}
+
+TEST_F(EventGeneratorTest, BreadthBoundedByConfiguredMax)
+{
+    std::uint64_t max_breadth = 0;
+    for (int trial = 0; trial < 30000; ++trial) {
+        const SoftErrorEvent ev = gen_.sample();
+        max_breadth = std::max<std::uint64_t>(max_breadth,
+                                              ev.flips.size());
+    }
+    EXPECT_LE(max_breadth, EventConfig{}.breadth_max);
+    // The long tail should actually be exercised.
+    EXPECT_GT(max_breadth, 100u);
+}
+
+TEST_F(EventGeneratorTest, MultiEntryEventsShareSubarray)
+{
+    // Structural correlation: all flips of one event live in the same
+    // bank/subarray (bitline or wordline locality).
+    for (int trial = 0; trial < 3000; ++trial) {
+        const SoftErrorEvent ev = gen_.sample();
+        if (ev.flips.size() < 2)
+            continue;
+        const auto a0 = geometry_.decompose(ev.flips[0].first);
+        for (const auto& [entry, mask] : ev.flips) {
+            const auto a = geometry_.decompose(entry);
+            ASSERT_EQ(a.stack, a0.stack);
+            ASSERT_EQ(a.channel, a0.channel);
+            ASSERT_EQ(a.bank, a0.bank);
+            ASSERT_EQ(a.subarray, a0.subarray);
+        }
+    }
+}
+
+TEST_F(EventGeneratorTest, EventRateFromFitMatchesPaperScale)
+{
+    // 12.51 FIT/Gb on a 32GB GPU accelerated 2.52e8x lands at a
+    // mean-time-to-event of a few seconds (the paper: "the
+    // mean-time-to-event in the beam is in seconds").
+    const BeamConfig beam;
+    const double rate =
+        EventGenerator::eventsPerBeamSecond(beam, geometry_);
+    EXPECT_GT(rate, 0.05);
+    EXPECT_LT(rate, 2.0);
+    EXPECT_NEAR(beam.acceleration(), 2.52e8, 0.01e8);
+}
+
+TEST_F(EventGeneratorTest, ApplyInjectsIntoDevice)
+{
+    hbm2::Device dev(geometry_);
+    dev.writeAll(hbm2::DataPattern::zeros, false);
+    SoftErrorEvent ev;
+    ev.cls = SoftErrorEvent::Class::sbse;
+    hbm2::EntryMask mask;
+    mask.set(11, 1);
+    ev.flips.emplace_back(777, mask);
+    EventGenerator::apply(ev, dev);
+    const auto mm = dev.scanMismatches();
+    ASSERT_EQ(mm.size(), 1u);
+    EXPECT_EQ(mm[0].entry, 777u);
+}
+
+} // namespace
+} // namespace beam
+} // namespace gpuecc

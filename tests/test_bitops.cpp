@@ -1,0 +1,70 @@
+/** @file Unit tests for common/bitops. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(Bitops, PopcountBasics)
+{
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(popcount64(1), 1);
+    EXPECT_EQ(popcount64(0xFF), 8);
+    EXPECT_EQ(popcount64(~std::uint64_t{0}), 64);
+    EXPECT_EQ(popcount64(0x8000000000000001ull), 2);
+}
+
+TEST(Bitops, ParityBasics)
+{
+    EXPECT_EQ(parity64(0), 0);
+    EXPECT_EQ(parity64(1), 1);
+    EXPECT_EQ(parity64(0b11), 0);
+    EXPECT_EQ(parity64(0b111), 1);
+    EXPECT_EQ(parity64(~std::uint64_t{0}), 0);
+}
+
+TEST(Bitops, GetBit)
+{
+    const std::uint64_t v = 0xA5;
+    EXPECT_EQ(getBit64(v, 0), 1);
+    EXPECT_EQ(getBit64(v, 1), 0);
+    EXPECT_EQ(getBit64(v, 2), 1);
+    EXPECT_EQ(getBit64(v, 7), 1);
+    EXPECT_EQ(getBit64(v, 8), 0);
+}
+
+TEST(Bitops, Bit64)
+{
+    EXPECT_EQ(bit64(0), 1u);
+    EXPECT_EQ(bit64(5), 32u);
+    EXPECT_EQ(bit64(63), 0x8000000000000000ull);
+}
+
+TEST(Bitops, LowMask)
+{
+    EXPECT_EQ(lowMask64(0), 0u);
+    EXPECT_EQ(lowMask64(1), 1u);
+    EXPECT_EQ(lowMask64(8), 0xFFu);
+    EXPECT_EQ(lowMask64(64), ~std::uint64_t{0});
+}
+
+class ParityXorProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ParityXorProperty, ParityIsXorHomomorphic)
+{
+    // parity(a ^ b) == parity(a) ^ parity(b) for structured values.
+    const int shift = GetParam();
+    const std::uint64_t a = 0x123456789ABCDEF0ull << shift;
+    const std::uint64_t b = 0x0FEDCBA987654321ull >> shift;
+    EXPECT_EQ(parity64(a ^ b), parity64(a) ^ parity64(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, ParityXorProperty,
+                         ::testing::Range(0, 32));
+
+} // namespace
+} // namespace gpuecc

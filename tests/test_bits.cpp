@@ -1,0 +1,140 @@
+/** @file Unit and property tests for the fixed-width bit vector. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(Bits, DefaultIsZero)
+{
+    Bits<72> b;
+    EXPECT_TRUE(b.none());
+    EXPECT_EQ(b.popcount(), 0);
+    EXPECT_EQ(b.lowestSetBit(), -1);
+}
+
+TEST(Bits, SetGetFlip)
+{
+    Bits<72> b;
+    b.set(0, 1);
+    b.set(71, 1);
+    EXPECT_EQ(b.get(0), 1);
+    EXPECT_EQ(b.get(71), 1);
+    EXPECT_EQ(b.get(35), 0);
+    EXPECT_EQ(b.popcount(), 2);
+    b.flip(71);
+    EXPECT_EQ(b.get(71), 0);
+    b.set(0, 0);
+    EXPECT_TRUE(b.none());
+}
+
+TEST(Bits, WordBoundary)
+{
+    Bits<72> b;
+    b.set(63, 1);
+    b.set(64, 1);
+    EXPECT_EQ(b.word(0), 0x8000000000000000ull);
+    EXPECT_EQ(b.word(1), 1u);
+}
+
+TEST(Bits, SetWordMasksTrailingBits)
+{
+    Bits<72> b;
+    b.setWord(1, ~std::uint64_t{0});
+    // Only 8 bits live in the last word of a 72-bit vector.
+    EXPECT_EQ(b.word(1), 0xFFu);
+    EXPECT_EQ(b.popcount(), 8);
+}
+
+TEST(Bits, XorAndOr)
+{
+    Bits<72> a(0b1100);
+    Bits<72> b(0b1010);
+    EXPECT_EQ((a ^ b).word(0), 0b0110u);
+    EXPECT_EQ((a & b).word(0), 0b1000u);
+    EXPECT_EQ((a | b).word(0), 0b1110u);
+}
+
+TEST(Bits, AndParityMatchesManualDot)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bits<72> a, b;
+        a.setWord(0, rng.next64());
+        a.setWord(1, rng.next64());
+        b.setWord(0, rng.next64());
+        b.setWord(1, rng.next64());
+        int dot = 0;
+        for (int i = 0; i < 72; ++i)
+            dot ^= a.get(i) & b.get(i);
+        EXPECT_EQ(a.andParity(b), dot);
+    }
+}
+
+TEST(Bits, ForEachSetBitAscending)
+{
+    Bits<288> b;
+    b.set(3, 1);
+    b.set(64, 1);
+    b.set(287, 1);
+    std::vector<int> seen;
+    b.forEachSetBit([&](int i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<int>{3, 64, 287}));
+}
+
+TEST(Bits, LowestSetBit)
+{
+    Bits<288> b;
+    b.set(200, 1);
+    EXPECT_EQ(b.lowestSetBit(), 200);
+    b.set(5, 1);
+    EXPECT_EQ(b.lowestSetBit(), 5);
+}
+
+TEST(Bits, ExtractInsertRoundTrip)
+{
+    Bits<288> b;
+    b.insert(60, 16, 0xBEEF);
+    EXPECT_EQ(b.extract(60, 16), 0xBEEFu);
+    EXPECT_EQ(b.popcount(), popcount64(0xBEEF));
+    // Neighbours untouched.
+    EXPECT_EQ(b.get(59), 0);
+    EXPECT_EQ(b.get(76), 0);
+}
+
+TEST(Bits, EqualityAndToString)
+{
+    Bits<8> a(0xA5);
+    Bits<8> b(0xA5);
+    Bits<8> c(0xA4);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.toString(), "10100101");
+}
+
+/** Property sweep over bit positions: flip twice is identity. */
+class BitsFlipProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitsFlipProperty, DoubleFlipIsIdentity)
+{
+    const int pos = GetParam();
+    Bits<288> b;
+    b.setWord(0, 0xDEADBEEFCAFEF00Dull);
+    const Bits<288> before = b;
+    b.flip(pos);
+    EXPECT_NE(b, before);
+    b.flip(pos);
+    EXPECT_EQ(b, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, BitsFlipProperty,
+                         ::testing::Values(0, 1, 63, 64, 127, 128, 200,
+                                           255, 256, 287));
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,66 @@
+/** @file Tests for the table renderer and CLI parser. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "23"});
+    const std::string out = t.render();
+    // Header, rule, two rows.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Both value cells start at the same column.
+    const auto lines_start = out.find("x");
+    const auto header_value = out.find("value");
+    ASSERT_NE(lines_start, std::string::npos);
+    ASSERT_NE(header_value, std::string::npos);
+}
+
+TEST(TextTableTest, Formatters)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.054, 1), "5.4%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+    EXPECT_EQ(formatScientific(0.00012345, 2), "1.23e-04");
+}
+
+TEST(CliTest, DefaultsAndOverrides)
+{
+    Cli cli;
+    cli.addFlag("samples", "1000", "sample count");
+    cli.addFlag("rate", "2.5", "a rate");
+    cli.addFlag("verbose", "false", "chatty output");
+    cli.addFlag("name", "abc", "a string");
+
+    const char* argv[] = {"prog", "--samples", "42", "--rate=7.25",
+                          "--verbose"};
+    cli.parse(5, const_cast<char**>(argv), "test");
+
+    EXPECT_EQ(cli.getInt("samples"), 42);
+    EXPECT_DOUBLE_EQ(cli.getDouble("rate"), 7.25);
+    EXPECT_TRUE(cli.getBool("verbose"));
+    EXPECT_EQ(cli.getString("name"), "abc"); // default preserved
+}
+
+TEST(CliTest, HexIntegers)
+{
+    Cli cli;
+    cli.addFlag("seed", "0x10", "seed");
+    const char* argv[] = {"prog"};
+    cli.parse(1, const_cast<char**>(argv), "test");
+    EXPECT_EQ(cli.getInt("seed"), 16);
+}
+
+} // namespace
+} // namespace gpuecc

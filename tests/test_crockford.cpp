@@ -1,0 +1,76 @@
+/** @file Unit tests for Crockford Base32 decoding. */
+
+#include <gtest/gtest.h>
+
+#include "codes/crockford.hpp"
+#include "codes/sec2bec.hpp"
+#include "common/rng.hpp"
+
+namespace gpuecc {
+namespace {
+
+std::uint64_t
+bitsToU64(const std::vector<int>& bits)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bits.size() && i < 64; ++i)
+        v |= static_cast<std::uint64_t>(bits[i]) << i;
+    return v;
+}
+
+TEST(Crockford, KnownValues)
+{
+    EXPECT_EQ(bitsToU64(crockfordDecode("0", 8)), 0u);
+    EXPECT_EQ(bitsToU64(crockfordDecode("1", 8)), 1u);
+    EXPECT_EQ(bitsToU64(crockfordDecode("10", 8)), 32u);
+    EXPECT_EQ(bitsToU64(crockfordDecode("Z", 8)), 31u);
+    // "16J" = 1*1024 + 6*32 + 18 = 1234.
+    EXPECT_EQ(bitsToU64(crockfordDecode("16J", 16)), 1234u);
+}
+
+TEST(Crockford, DecodeAliases)
+{
+    // I and L decode as 1, O as 0; lowercase accepted.
+    EXPECT_EQ(bitsToU64(crockfordDecode("I", 8)), 1u);
+    EXPECT_EQ(bitsToU64(crockfordDecode("L", 8)), 1u);
+    EXPECT_EQ(bitsToU64(crockfordDecode("O", 8)), 0u);
+    EXPECT_EQ(bitsToU64(crockfordDecode("o", 8)), 0u);
+    EXPECT_EQ(bitsToU64(crockfordDecode("z", 8)), 31u);
+}
+
+TEST(Crockford, HyphensIgnored)
+{
+    EXPECT_EQ(bitsToU64(crockfordDecode("1-6-J", 16)), 1234u);
+}
+
+TEST(Crockford, EncodeDecodeRoundTrip)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<int> bits(72);
+        for (int& b : bits)
+            b = static_cast<int>(rng.nextBounded(2));
+        const std::string text = crockfordEncode(bits);
+        EXPECT_EQ(crockfordDecode(text, 72), bits);
+    }
+}
+
+TEST(Crockford, PaperRowsRoundTrip)
+{
+    // The embedded Eq. 3 strings survive a decode/encode round trip.
+    for (const std::string& row : sec2becPaperRows()) {
+        const std::vector<int> bits = crockfordDecode(row, 75);
+        EXPECT_EQ(crockfordEncode(bits), row);
+    }
+}
+
+TEST(Crockford, PaperRowsFitIn72Bits)
+{
+    for (const std::string& row : sec2becPaperRows()) {
+        const std::vector<int> bits = crockfordDecode(row, 72);
+        EXPECT_EQ(bits.size(), 72u);
+    }
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,167 @@
+/** @file Tests for the correction sanity check. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/csc.hpp"
+#include "ecc/registry.hpp"
+#include "interleave/swizzle.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(CscPredicate, EmptyAndSingleBitPass)
+{
+    Bits288 none;
+    EXPECT_TRUE(correctionSanityCheckPasses(none));
+    Bits288 one;
+    one.set(100, 1);
+    EXPECT_TRUE(correctionSanityCheckPasses(one));
+}
+
+TEST(CscPredicate, SameBytePasses)
+{
+    Bits288 mask;
+    mask.set(40, 1);
+    mask.set(41, 1);
+    mask.set(47, 1); // all in byte 5
+    EXPECT_TRUE(correctionSanityCheckPasses(mask));
+}
+
+TEST(CscPredicate, SamePinPasses)
+{
+    Bits288 mask;
+    for (int beat = 0; beat < 4; ++beat)
+        mask.set(layout::physicalIndex(beat, 13), 1);
+    EXPECT_TRUE(correctionSanityCheckPasses(mask));
+}
+
+TEST(CscPredicate, ScatteredFails)
+{
+    Bits288 mask;
+    mask.set(0, 1);
+    mask.set(100, 1); // different byte, different pin
+    EXPECT_FALSE(correctionSanityCheckPasses(mask));
+}
+
+TEST(CscPredicate, SameByteDifferentBeatFails)
+{
+    // Bits in the same byte *position* of different beats share
+    // neither a physical byte nor a pin.
+    Bits288 mask;
+    mask.set(0, 1);
+    mask.set(72, 1); // same pin 0! adjust: pin 0 beat 0 and beat 1
+    // 0 and 72 share pin 0, so this passes the pin rule.
+    EXPECT_TRUE(correctionSanityCheckPasses(mask));
+    mask.set(73, 1); // pin 1, beat 1: now neither rule holds
+    EXPECT_FALSE(correctionSanityCheckPasses(mask));
+}
+
+/**
+ * End-to-end CSC semantics through DuetECC: a 2-bit error hitting two
+ * different codewords triggers two corrections in scattered physical
+ * positions, which the CSC must convert into a DUE (plain I:SEC-DED
+ * would silently miscorrect... actually would correct both bits; the
+ * CSC trades that opportunistic correction for detection).
+ */
+TEST(CscSemantics, DuetRaisesDueOnScatteredTwoBit)
+{
+    const auto duet = makeScheme("duet");
+    const auto issd = makeScheme("i-secded");
+    Rng rng(1);
+    const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                         rng.next64()};
+    const Bits288 golden_duet = duet->encode(data);
+    const Bits288 golden_issd = issd->encode(data);
+
+    // Physical bits 0 and 9: different codewords under the
+    // interleave, different bytes, different pins.
+    Bits288 mask;
+    mask.set(0, 1);
+    mask.set(9, 1);
+
+    const EntryDecode d1 = duet->decode(golden_duet ^ mask);
+    EXPECT_EQ(d1.status, EntryDecode::Status::due);
+
+    const EntryDecode d2 = issd->decode(golden_issd ^ mask);
+    EXPECT_EQ(d2.status, EntryDecode::Status::corrected);
+    EXPECT_EQ(d2.data, data);
+}
+
+TEST(CscSemantics, DuetStillCorrectsPinErrors)
+{
+    // Pin errors produce four corrections that share a pin: the CSC
+    // must allow them (the paper preserves single-pin correction).
+    const auto duet = makeScheme("duet");
+    Rng rng(2);
+    const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                         rng.next64()};
+    const Bits288 golden = duet->encode(data);
+    for (int pin = 0; pin < 72; ++pin) {
+        Bits288 received = golden;
+        for (int beat = 0; beat < 4; ++beat)
+            received.flip(layout::physicalIndex(beat, pin));
+        const EntryDecode d = duet->decode(received);
+        ASSERT_EQ(d.status, EntryDecode::Status::corrected);
+        EXPECT_EQ(d.data, data);
+    }
+}
+
+TEST(CscSemantics, DuetHalfByteCorrection)
+{
+    // Up to 4 bits of one byte landing in distinct codewords stay
+    // correctable under DuetECC ("half-byte error correction").
+    const auto duet = makeScheme("duet");
+    Rng rng(3);
+    const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                         rng.next64()};
+    const Bits288 golden = duet->encode(data);
+    const EntryLayout layout(EntryLayout::Kind::interleaved);
+    for (int byte = 0; byte < 36; ++byte) {
+        // Pick one bit of the byte per codeword: offsets 0..3 hit
+        // codewords in some order; any 4-subset with distinct
+        // codewords works. Offsets 0, 1, 2, 3 do.
+        Bits288 received = golden;
+        for (int t = 0; t < 4; ++t)
+            received.flip(8 * byte + t);
+        const EntryDecode d = duet->decode(received);
+        ASSERT_EQ(d.status, EntryDecode::Status::corrected)
+            << "byte " << byte;
+        EXPECT_EQ(d.data, data);
+    }
+}
+
+TEST(CscSemantics, TrioCscBlocksBeatMiscorrections)
+{
+    // Statistical check: random beat errors under I:SEC-2bEC (no CSC)
+    // produce some SDC, while TrioECC (with CSC) turns nearly all of
+    // them into DUEs.
+    const auto trio = makeScheme("trio");
+    const auto isec = makeScheme("i-sec2bec");
+    Rng rng(4);
+    const EntryData data{1, 2, 3, 4};
+    const Bits288 tg = trio->encode(data);
+    const Bits288 ig = isec->encode(data);
+    int trio_sdc = 0, isec_sdc = 0;
+    for (int trial = 0; trial < 4000; ++trial) {
+        Bits288 mask;
+        const int beat = static_cast<int>(rng.nextBounded(4));
+        for (int t = 0; t < 72; ++t) {
+            if (rng.nextBool(0.5))
+                mask.set(72 * beat + t, 1);
+        }
+        if (mask.none())
+            continue;
+        const EntryDecode dt = trio->decode(tg ^ mask);
+        if (dt.status != EntryDecode::Status::due && dt.data != data)
+            ++trio_sdc;
+        const EntryDecode di = isec->decode(ig ^ mask);
+        if (di.status != EntryDecode::Status::due && di.data != data)
+            ++isec_sdc;
+    }
+    EXPECT_GT(isec_sdc, 20);
+    EXPECT_LT(trio_sdc, isec_sdc / 10);
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,263 @@
+/** @file Tests for erasure (diagnosed-pin) decoding. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "codes/hsiao.hpp"
+#include "common/rng.hpp"
+#include "ecc/reconfigurable.hpp"
+#include "ecc/registry.hpp"
+#include "faultsim/permanent.hpp"
+#include "gf256/gf256.hpp"
+#include "interleave/swizzle.hpp"
+#include "rs/decoders.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(RsErasure, FillsAllErasurePatterns)
+{
+    const RsCode code(18, 16);
+    Rng rng(1);
+    std::vector<std::uint8_t> data(16);
+    for (auto& v : data)
+        v = static_cast<std::uint8_t>(rng.nextBounded(256));
+    const auto cw = code.encode(data);
+
+    for (int pos = 0; pos < 18; ++pos) {
+        for (int e = 0; e < 256; e += 11) {
+            auto corrupted = cw;
+            corrupted[pos] =
+                gf256::add(corrupted[pos], static_cast<std::uint8_t>(e));
+            const RsDecode d =
+                decodeWithErasures(code, corrupted, {pos});
+            ASSERT_NE(d.status, RsDecode::Status::due);
+            EXPECT_EQ(d.word, cw) << "pos " << pos << " e " << e;
+        }
+    }
+}
+
+TEST(RsErasure, ResidualSyndromeDetectsExtraError)
+{
+    // r = 2 with one erasure keeps one syndrome of detection: an
+    // additional error elsewhere must raise a DUE, never corrupt.
+    const RsCode code(18, 16);
+    Rng rng(2);
+    std::vector<std::uint8_t> data(16, 0x5A);
+    const auto cw = code.encode(data);
+    int dues = 0;
+    for (int trial = 0; trial < 3000; ++trial) {
+        const int erased = static_cast<int>(rng.nextBounded(18));
+        int other = 0;
+        do {
+            other = static_cast<int>(rng.nextBounded(18));
+        } while (other == erased);
+        auto corrupted = cw;
+        corrupted[erased] = gf256::add(
+            corrupted[erased],
+            static_cast<std::uint8_t>(rng.nextBounded(256)));
+        corrupted[other] = gf256::add(
+            corrupted[other],
+            static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        const RsDecode d =
+            decodeWithErasures(code, corrupted, {erased});
+        ASSERT_EQ(d.status, RsDecode::Status::due);
+        ++dues;
+    }
+    EXPECT_EQ(dues, 3000);
+}
+
+TEST(RsErasure, FourErasuresFillACompletelyLostPin)
+{
+    const RsCode code(36, 32);
+    Rng rng(3);
+    std::vector<std::uint8_t> data(32);
+    for (auto& v : data)
+        v = static_cast<std::uint8_t>(rng.nextBounded(256));
+    const auto cw = code.encode(data);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<int> erasures;
+        while (erasures.size() < 4) {
+            const int p = static_cast<int>(rng.nextBounded(36));
+            if (std::find(erasures.begin(), erasures.end(), p) ==
+                erasures.end()) {
+                erasures.push_back(p);
+            }
+        }
+        auto corrupted = cw;
+        for (int p : erasures) {
+            corrupted[p] = gf256::add(
+                corrupted[p],
+                static_cast<std::uint8_t>(rng.nextBounded(256)));
+        }
+        const RsDecode d = decodeWithErasures(code, corrupted, erasures);
+        ASSERT_NE(d.status, RsDecode::Status::due);
+        EXPECT_EQ(d.word, cw);
+    }
+}
+
+TEST(BinaryErasure, ErasurePlusOneErrorAlwaysResolved)
+{
+    // d = 4: one erasure plus one error is within the inner code's
+    // guarantee - exhaustive over erased position x error position.
+    const Code72 code(hsiao7264Matrix());
+    const std::uint64_t data = 0x123456789ABCDEF0ull;
+    const Bits72 golden = code.encode(data);
+    for (int erased = 0; erased < 72; erased += 5) {
+        for (int flip_erased = 0; flip_erased < 2; ++flip_erased) {
+            for (int err = 0; err < 72; ++err) {
+                if (err == erased)
+                    continue;
+                Bits72 received = golden;
+                if (flip_erased)
+                    received.flip(erased);
+                received.flip(err);
+                const CodewordDecode d =
+                    code.decodeWithErasure(received, erased);
+                ASSERT_EQ(d.status, CodewordDecode::Status::corrected)
+                    << erased << "," << err;
+                EXPECT_EQ(code.extractData(received ^ d.correction),
+                          data);
+            }
+        }
+    }
+}
+
+TEST(BinaryErasure, CleanWordWithErasureIsClean)
+{
+    const Code72 code(hsiao7264Matrix());
+    const Bits72 golden = code.encode(42);
+    const CodewordDecode d = code.decodeWithErasure(golden, 10);
+    EXPECT_EQ(d.status, CodewordDecode::Status::clean);
+}
+
+class PinErasureSchemes : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PinErasureSchemes, StuckPinFullyAbsorbedInErasureMode)
+{
+    const auto scheme = makeScheme(GetParam());
+    Rng rng(4);
+    for (int trial = 0; trial < 100; ++trial) {
+        const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                             rng.next64()};
+        const Bits288 stored = scheme->encode(data);
+        const int pin = static_cast<int>(rng.nextBounded(72));
+        const PermanentFault fault{PermanentFaultKind::stuckPin, pin,
+                                   static_cast<int>(rng.nextBounded(2))};
+        const Bits288 received = stored ^ fault.maskFor(stored);
+        const EntryDecode d =
+            scheme->decodeWithPinErasure(received, pin);
+        ASSERT_NE(d.status, EntryDecode::Status::due) << GetParam();
+        EXPECT_EQ(d.data, data) << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, PinErasureSchemes,
+    ::testing::Values("ni-secded", "duet", "trio", "i-ssc",
+                      "ssc-dsd+"),
+    [](const auto& info) {
+        std::string name = info.param;
+        for (char& c : name) {
+            if (c == '-' || c == '+')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(PinErasure, BinarySchemesRegainSingleBitCorrectionWhenDegraded)
+{
+    // The payoff of erasure mode: a stuck pin AND a fresh single-bit
+    // soft error are both corrected (plain degraded decode turns
+    // these into DUEs; see test_permanent).
+    for (const char* id : {"duet", "trio"}) {
+        const auto scheme = makeScheme(id);
+        Rng rng(5);
+        const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                             rng.next64()};
+        const Bits288 stored = scheme->encode(data);
+        const int pin = 17;
+        const PermanentFault fault{PermanentFaultKind::stuckPin, pin,
+                                   0};
+        for (int bit = 0; bit < 288; bit += 3) {
+            if (layout::pinOf(bit) == pin)
+                continue;
+            Bits288 received = stored ^ fault.maskFor(stored);
+            received.flip(bit);
+            const EntryDecode d =
+                scheme->decodeWithPinErasure(received, pin);
+            ASSERT_NE(d.status, EntryDecode::Status::due)
+                << id << " bit " << bit;
+            EXPECT_EQ(d.data, data) << id << " bit " << bit;
+        }
+    }
+}
+
+TEST(PinErasure, SscDsdPlusRegainsPinToleranceViaErasures)
+{
+    // The normal SSC-DSD+ decoder cannot handle pin failures; the
+    // erasure-mode decoder fills all four crossed symbols.
+    const auto dsd = makeScheme("ssc-dsd+");
+    Rng rng(6);
+    const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                         rng.next64()};
+    const Bits288 stored = dsd->encode(data);
+    for (int pin = 0; pin < 72; ++pin) {
+        const PermanentFault fault{PermanentFaultKind::stuckPin, pin,
+                                   1};
+        const Bits288 received = stored ^ fault.maskFor(stored);
+        EXPECT_EQ(dsd->decode(received).status ==
+                          EntryDecode::Status::due ||
+                      dsd->decode(received).data == data,
+                  true);
+        const EntryDecode d = dsd->decodeWithPinErasure(received, pin);
+        ASSERT_NE(d.status, EntryDecode::Status::due) << "pin " << pin;
+        EXPECT_EQ(d.data, data) << "pin " << pin;
+    }
+}
+
+TEST(PinErasure, DefaultImplementationFallsBackToNormalDecode)
+{
+    // Schemes without an override just decode normally.
+    const ReconfigurableDuetTrio codec;
+    Rng rng(7);
+    const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                         rng.next64()};
+    Bits288 received = codec.encode(data);
+    received.flip(5);
+    const EntryDecode d = codec.decodeWithPinErasure(received, 60);
+    EXPECT_EQ(d.status, EntryDecode::Status::corrected);
+    EXPECT_EQ(d.data, data);
+}
+
+TEST(PinErasure, DsdPlusErasureModeHasNoResidualMargin)
+{
+    // Four erasures consume all four check symbols: an additional
+    // soft error during degraded operation can corrupt silently -
+    // the cost of regaining pin tolerance without pin-aware layout.
+    const auto dsd = makeScheme("ssc-dsd+");
+    Rng rng(8);
+    const EntryData data{1, 2, 3, 4};
+    const Bits288 stored = dsd->encode(data);
+    const int pin = 3;
+    const PermanentFault fault{PermanentFaultKind::stuckPin, pin, 1};
+    int silent = 0, trials = 0;
+    for (int bit = 0; bit < 288; ++bit) {
+        if (layout::pinOf(bit) == pin)
+            continue;
+        Bits288 received = stored ^ fault.maskFor(stored);
+        received.flip(bit);
+        const EntryDecode d = dsd->decodeWithPinErasure(received, pin);
+        ++trials;
+        if (d.status != EntryDecode::Status::due && d.data != data)
+            ++silent;
+    }
+    // Essentially every extra bit error corrupts the fill.
+    EXPECT_GT(silent, trials / 2);
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,146 @@
+/** @file Tests for the Monte Carlo / exhaustive ECC evaluator. */
+
+#include <gtest/gtest.h>
+
+#include "ecc/registry.hpp"
+#include "faultsim/evaluator.hpp"
+#include "faultsim/weighted.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(Evaluator, SingleBitAlwaysCorrectedByEveryScheme)
+{
+    for (const auto& scheme : paperSchemes()) {
+        Evaluator ev(*scheme);
+        const OutcomeCounts counts =
+            ev.evaluate(ErrorPattern::oneBit, 0);
+        EXPECT_TRUE(counts.exhaustive);
+        EXPECT_EQ(counts.trials, 288u);
+        EXPECT_EQ(counts.dce, 288u) << scheme->id();
+        EXPECT_EQ(counts.sdc, 0u);
+        EXPECT_EQ(counts.due, 0u);
+    }
+}
+
+TEST(Evaluator, ExhaustiveFlagOnlyForEnumerablePatterns)
+{
+    const auto duet = makeScheme("duet");
+    Evaluator ev(*duet);
+    EXPECT_TRUE(ev.evaluate(ErrorPattern::oneByte, 0).exhaustive);
+    const OutcomeCounts beat = ev.evaluate(ErrorPattern::oneBeat, 500);
+    EXPECT_FALSE(beat.exhaustive);
+    EXPECT_EQ(beat.trials, 500u);
+}
+
+TEST(Evaluator, SecDedByteSdcMatchesCalibration)
+{
+    // The calibrated Hsiao arrangement gives ~23% byte-error SDC for
+    // the non-interleaved baseline (exact, exhaustive).
+    const auto base = makeScheme("ni-secded");
+    Evaluator ev(*base);
+    const OutcomeCounts counts = ev.evaluate(ErrorPattern::oneByte, 0);
+    EXPECT_NEAR(counts.sdcRate(), 0.23, 0.01);
+}
+
+TEST(Evaluator, InterleavedSchemesHaveZeroByteSdc)
+{
+    for (const char* id : {"i-secded", "duet", "i-sec2bec", "trio",
+                           "i-ssc", "i-ssc-csc", "ssc-dsd+"}) {
+        const auto scheme = makeScheme(id);
+        Evaluator ev(*scheme);
+        const OutcomeCounts counts =
+            ev.evaluate(ErrorPattern::oneByte, 0);
+        EXPECT_EQ(counts.sdc, 0u) << id;
+    }
+}
+
+TEST(Evaluator, TrioCorrectsAllByteAndPinErrors)
+{
+    const auto trio = makeScheme("trio");
+    Evaluator ev(*trio);
+    EXPECT_EQ(ev.evaluate(ErrorPattern::oneByte, 0).dceRate(), 1.0);
+    EXPECT_EQ(ev.evaluate(ErrorPattern::onePin, 0).dceRate(), 1.0);
+}
+
+TEST(Evaluator, DuetDetectsOrCorrectsAllTwoBitErrors)
+{
+    const auto duet = makeScheme("duet");
+    Evaluator ev(*duet);
+    const OutcomeCounts counts = ev.evaluate(ErrorPattern::twoBits, 0);
+    EXPECT_EQ(counts.sdc, 0u);
+    // Scattered 2-bit errors across codewords become DUEs under the
+    // CSC; same-codeword doubles are DUEs by DED.
+    EXPECT_GT(counts.due, 0u);
+}
+
+TEST(Evaluator, SscDsdPlusDetectsAllPinAndSmallErrors)
+{
+    // Table 2 prose: SSC-DSD+ maintains 100% detection of 3-bit and
+    // pin errors at this codeword size.
+    const auto dsd = makeScheme("ssc-dsd+");
+    Evaluator ev(*dsd);
+    EXPECT_EQ(ev.evaluate(ErrorPattern::onePin, 0).sdc, 0u);
+    EXPECT_EQ(ev.evaluate(ErrorPattern::twoBits, 0).sdc, 0u);
+}
+
+TEST(Evaluator, DeterministicPerSeed)
+{
+    const auto trio = makeScheme("trio");
+    Evaluator a(*trio, 99), b(*trio, 99);
+    const OutcomeCounts ca = a.evaluate(ErrorPattern::wholeEntry, 2000);
+    const OutcomeCounts cb = b.evaluate(ErrorPattern::wholeEntry, 2000);
+    EXPECT_EQ(ca.dce, cb.dce);
+    EXPECT_EQ(ca.due, cb.due);
+    EXPECT_EQ(ca.sdc, cb.sdc);
+}
+
+TEST(Evaluator, CountsPartitionTrials)
+{
+    const auto scheme = makeScheme("ni-secded");
+    Evaluator ev(*scheme);
+    for (ErrorPattern p :
+         {ErrorPattern::oneByte, ErrorPattern::oneBeat}) {
+        const OutcomeCounts c = ev.evaluate(p, 1000);
+        EXPECT_EQ(c.dce + c.due + c.sdc, c.trials);
+    }
+}
+
+TEST(WeightedOutcomeTest, WeightsByTable1)
+{
+    // Construct synthetic per-pattern outcomes: 100% DCE except byte
+    // errors at 100% SDC; the weighted SDC must equal the Table 1
+    // byte probability.
+    std::map<ErrorPattern, OutcomeCounts> per_pattern;
+    for (ErrorPattern p : allErrorPatterns()) {
+        OutcomeCounts c;
+        c.trials = 100;
+        if (p == ErrorPattern::oneByte)
+            c.sdc = 100;
+        else
+            c.dce = 100;
+        per_pattern[p] = c;
+    }
+    const WeightedOutcome w = weightedOutcome(per_pattern);
+    EXPECT_NEAR(w.sdc, 0.2256, 1e-12);
+    EXPECT_NEAR(w.correct, 1.0 - 0.2256, 1e-12);
+    EXPECT_NEAR(w.detect, 0.0, 1e-12);
+}
+
+TEST(WeightedOutcomeTest, SdcIntervalDegenerateWhenExhaustive)
+{
+    OutcomeCounts c;
+    c.trials = 1000;
+    c.sdc = 10;
+    c.dce = 990;
+    c.exhaustive = true;
+    const Interval iv = c.sdcInterval();
+    EXPECT_DOUBLE_EQ(iv.lo, iv.hi);
+    c.exhaustive = false;
+    const Interval iv2 = c.sdcInterval();
+    EXPECT_LT(iv2.lo, 0.01);
+    EXPECT_GT(iv2.hi, 0.01);
+}
+
+} // namespace
+} // namespace gpuecc

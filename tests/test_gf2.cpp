@@ -1,0 +1,142 @@
+/** @file Unit tests for GF(2) matrix algebra. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gf2/matrix.hpp"
+
+namespace gpuecc {
+namespace {
+
+Gf2Matrix
+randomMatrix(int rows, int cols, Rng& rng)
+{
+    Gf2Matrix m(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c)
+            m.set(r, c, static_cast<int>(rng.nextBounded(2)));
+    }
+    return m;
+}
+
+TEST(Gf2Matrix, IdentityProperties)
+{
+    const Gf2Matrix id = Gf2Matrix::identity(8);
+    EXPECT_EQ(id.rank(), 8);
+    EXPECT_EQ(id.multiply(id), id);
+    EXPECT_EQ(*id.inverse(), id);
+}
+
+TEST(Gf2Matrix, SetGetRoundTrip)
+{
+    Gf2Matrix m(3, 100);
+    m.set(1, 99, 1);
+    m.set(2, 0, 1);
+    EXPECT_EQ(m.get(1, 99), 1);
+    EXPECT_EQ(m.get(2, 0), 1);
+    EXPECT_EQ(m.get(0, 50), 0);
+    m.set(1, 99, 0);
+    EXPECT_EQ(m.get(1, 99), 0);
+}
+
+TEST(Gf2Matrix, RowOperations)
+{
+    Gf2Matrix m(2, 4);
+    m.set(0, 0, 1);
+    m.set(0, 2, 1);
+    m.set(1, 1, 1);
+    m.addRowInto(0, 1);
+    EXPECT_EQ(m.get(1, 0), 1);
+    EXPECT_EQ(m.get(1, 1), 1);
+    EXPECT_EQ(m.get(1, 2), 1);
+    m.swapRows(0, 1);
+    EXPECT_EQ(m.get(0, 1), 1);
+    EXPECT_EQ(m.get(1, 1), 0);
+}
+
+TEST(Gf2Matrix, RankOfSingularMatrix)
+{
+    Gf2Matrix m(3, 3);
+    m.set(0, 0, 1);
+    m.set(1, 1, 1);
+    m.addRowInto(0, 2);
+    m.addRowInto(1, 2); // row 2 = row 0 + row 1
+    EXPECT_EQ(m.rank(), 2);
+    EXPECT_FALSE(m.inverse().has_value());
+}
+
+TEST(Gf2Matrix, InverseRoundTrip)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        Gf2Matrix m = randomMatrix(8, 8, rng);
+        const auto inv = m.inverse();
+        if (!inv.has_value()) {
+            EXPECT_LT(m.rank(), 8);
+            continue;
+        }
+        EXPECT_EQ(m.multiply(*inv), Gf2Matrix::identity(8));
+        EXPECT_EQ(inv->multiply(m), Gf2Matrix::identity(8));
+    }
+}
+
+TEST(Gf2Matrix, MultiplyVectorMatchesMultiply)
+{
+    Rng rng(4);
+    const Gf2Matrix m = randomMatrix(8, 72, rng);
+    // Build a random 72-bit vector as a 72x1 matrix and packed words.
+    Gf2Matrix v(72, 1);
+    std::vector<std::uint64_t> packed(2, 0);
+    for (int i = 0; i < 72; ++i) {
+        const int bit = static_cast<int>(rng.nextBounded(2));
+        v.set(i, 0, bit);
+        if (bit)
+            packed[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+    const Gf2Matrix prod = m.multiply(v);
+    const auto fast = m.multiplyVector(packed);
+    for (int r = 0; r < 8; ++r)
+        EXPECT_EQ(prod.get(r, 0), static_cast<int>((fast[0] >> r) & 1));
+}
+
+TEST(Gf2Matrix, SelectColumns)
+{
+    Rng rng(5);
+    const Gf2Matrix m = randomMatrix(4, 10, rng);
+    const Gf2Matrix sel = m.selectColumns({9, 0, 5});
+    EXPECT_EQ(sel.cols(), 3);
+    for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(sel.get(r, 0), m.get(r, 9));
+        EXPECT_EQ(sel.get(r, 1), m.get(r, 0));
+        EXPECT_EQ(sel.get(r, 2), m.get(r, 5));
+    }
+}
+
+TEST(Gf2Matrix, TransposeInvolution)
+{
+    Rng rng(6);
+    const Gf2Matrix m = randomMatrix(5, 9, rng);
+    EXPECT_EQ(m.transposed().transposed(), m);
+    EXPECT_EQ(m.transposed().rank(), m.rank());
+}
+
+TEST(Gf2Matrix, ColumnAccessors)
+{
+    Gf2Matrix m(8, 3);
+    m.set(0, 1, 1);
+    m.set(7, 1, 1);
+    EXPECT_EQ(m.columnWord(1), 0x81u);
+    EXPECT_EQ(m.columnWord(0), 0u);
+}
+
+TEST(Gf2Matrix, MultiplyAssociativity)
+{
+    Rng rng(7);
+    const Gf2Matrix a = randomMatrix(4, 6, rng);
+    const Gf2Matrix b = randomMatrix(6, 5, rng);
+    const Gf2Matrix c = randomMatrix(5, 3, rng);
+    EXPECT_EQ(a.multiply(b).multiply(c), a.multiply(b.multiply(c)));
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,192 @@
+/** @file Tests for HBM2 geometry, retention, and the device sim. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "hbm2/device.hpp"
+#include "hbm2/geometry.hpp"
+#include "hbm2/retention.hpp"
+
+namespace gpuecc {
+namespace hbm2 {
+namespace {
+
+TEST(Geometry, CapacityOfDefaultGpu)
+{
+    const Geometry g;
+    EXPECT_EQ(g.capacityBytes(), 32ull * 1024 * 1024 * 1024);
+    EXPECT_EQ(g.numEntries(), (32ull << 30) / 32);
+    EXPECT_NEAR(g.capacityGbit(), 256.0, 1e-9);
+}
+
+TEST(Geometry, HierarchyArithmetic)
+{
+    // 512 rows x 64 cols = 32K entries per subarray = 1MB.
+    EXPECT_EQ(entries_per_subarray, 512u * 64u);
+    EXPECT_EQ(entries_per_subarray * entry_bytes, 1ull << 20);
+    // Channel = 512MB, stack = 4GB.
+    EXPECT_EQ(entries_per_channel * entry_bytes, 512ull << 20);
+    EXPECT_EQ(entries_per_stack * entry_bytes, 4ull << 30);
+}
+
+class ComposeDecompose : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ComposeDecompose, RoundTrip)
+{
+    const Geometry g;
+    const EntryAddress a = g.decompose(GetParam());
+    EXPECT_EQ(g.compose(a), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Indices, ComposeDecompose,
+    ::testing::Values(0ull, 1ull, 63ull, 64ull, 32767ull, 32768ull,
+                      (32ull << 30) / 32 - 1));
+
+TEST(Geometry, DecomposeFieldsInRange)
+{
+    const Geometry g;
+    Rng rng(1);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const EntryAddress a =
+            g.decompose(rng.nextBounded(g.numEntries()));
+        EXPECT_LT(a.stack, 8);
+        EXPECT_LT(a.channel, channels_per_stack);
+        EXPECT_LT(a.bank, banks_per_channel);
+        EXPECT_LT(a.subarray, subarrays_per_bank);
+        EXPECT_LT(a.row, rows_per_subarray);
+        EXPECT_LT(a.column, columns_per_row);
+    }
+}
+
+TEST(Retention, VisibleFractionMonotonic)
+{
+    const RetentionModel m(19.0, 9.0);
+    EXPECT_LT(m.visibleFraction(8.0), m.visibleFraction(16.0));
+    EXPECT_LT(m.visibleFraction(16.0), m.visibleFraction(48.0));
+    EXPECT_NEAR(m.visibleFraction(19.0), 0.5, 1e-9);
+}
+
+TEST(Retention, PaperCalibration)
+{
+    // mu 19 ms / sigma 9 ms reproduce the paper's weak-cell counts:
+    // ~294 of 2700 at 8 ms, ~1000 at 16 ms, ~2656 at 48 ms.
+    const RetentionModel m(19.0, 9.0);
+    EXPECT_NEAR(2700 * m.visibleFraction(8.0), 300, 40);
+    EXPECT_NEAR(2700 * m.visibleFraction(16.0), 1000, 60);
+    EXPECT_NEAR(2700 * m.visibleFraction(48.0), 2690, 25);
+}
+
+TEST(Retention, CellFailsSemantics)
+{
+    WeakCell cell{0, 0, 10.0, true};
+    EXPECT_TRUE(RetentionModel::cellFails(cell, 16.0, 1));
+    EXPECT_FALSE(RetentionModel::cellFails(cell, 16.0, 0));
+    EXPECT_FALSE(RetentionModel::cellFails(cell, 8.0, 1));
+    cell.one_to_zero = false;
+    EXPECT_TRUE(RetentionModel::cellFails(cell, 16.0, 0));
+    EXPECT_FALSE(RetentionModel::cellFails(cell, 16.0, 1));
+}
+
+TEST(Retention, SamplesArePositiveAndNearMu)
+{
+    const RetentionModel m(19.0, 9.0);
+    Rng rng(2);
+    OnlineStats stats;
+    for (int i = 0; i < 20000; ++i) {
+        const double r = m.sampleRetention(rng);
+        ASSERT_GT(r, 0.0);
+        stats.add(r);
+    }
+    EXPECT_NEAR(stats.mean(), 19.0, 0.7); // slight truncation bias up
+}
+
+TEST(Device, ExpectedWordPatterns)
+{
+    EXPECT_EQ(Device::expectedWord(DataPattern::zeros, false, 5, 2), 0u);
+    EXPECT_EQ(Device::expectedWord(DataPattern::zeros, true, 5, 2),
+              ~std::uint64_t{0});
+    EXPECT_EQ(Device::expectedWord(DataPattern::checkerboard, false, 0, 0),
+              0x5555555555555555ull);
+    EXPECT_EQ(Device::expectedWord(DataPattern::checkerboard, false, 0, 1),
+              0xAAAAAAAAAAAAAAAAull);
+    // AN code: word index * (2^32 - 1).
+    EXPECT_EQ(Device::expectedWord(DataPattern::anEncoded, false, 2, 1),
+              9ull * 0xFFFFFFFFull);
+}
+
+TEST(Device, OverlayPersistsUntilWrite)
+{
+    const Geometry g(1);
+    Device dev(g);
+    dev.writeAll(DataPattern::zeros, false);
+    EntryMask mask;
+    mask.set(7, 1);
+    dev.injectFlips(1234, mask);
+
+    auto mm = dev.scanMismatches();
+    ASSERT_EQ(mm.size(), 1u);
+    EXPECT_EQ(mm[0].entry, 1234u);
+    EXPECT_EQ(mm[0].mask, mask);
+
+    // Still visible on a second scan (soft errors persist).
+    EXPECT_EQ(dev.scanMismatches().size(), 1u);
+
+    // Cleared by the next write phase.
+    dev.writeAll(DataPattern::zeros, true);
+    EXPECT_TRUE(dev.scanMismatches().empty());
+}
+
+TEST(Device, WeakCellVisibilityDependsOnDataAndRefresh)
+{
+    const Geometry g(1);
+    Device dev(g, 16.0);
+    dev.addWeakCell({50, 3, 10.0, true}); // 1 -> 0, retention 10 ms
+
+    // All-zeros pattern stores 0: no error from a 1->0 leak.
+    dev.writeAll(DataPattern::zeros, false);
+    EXPECT_TRUE(dev.scanMismatches().empty());
+
+    // Inverse pattern stores 1: the weak cell shows up.
+    dev.writeAll(DataPattern::zeros, true);
+    auto mm = dev.scanMismatches();
+    ASSERT_EQ(mm.size(), 1u);
+    EXPECT_EQ(mm[0].entry, 50u);
+    EXPECT_EQ(mm[0].mask.get(3), 1);
+
+    // Faster refresh outruns the leak.
+    dev.setRefreshPeriod(8.0);
+    EXPECT_TRUE(dev.scanMismatches().empty());
+}
+
+TEST(Device, StoredBitMatchesPattern)
+{
+    const Geometry g(1);
+    Device dev(g);
+    dev.writeAll(DataPattern::checkerboard, false);
+    // Word 0 = 0x5555...: bit 0 set, bit 1 clear.
+    EXPECT_EQ(dev.storedBit(0, 0), 1);
+    EXPECT_EQ(dev.storedBit(0, 1), 0);
+    // Word 1 = 0xAAAA...: bit 64 clear, bit 65 set.
+    EXPECT_EQ(dev.storedBit(0, 64), 0);
+    EXPECT_EQ(dev.storedBit(0, 65), 1);
+}
+
+TEST(Device, InjectTwiceCancels)
+{
+    const Geometry g(1);
+    Device dev(g);
+    dev.writeAll(DataPattern::ones, false);
+    EntryMask mask;
+    mask.set(100, 1);
+    dev.injectFlips(9, mask);
+    dev.injectFlips(9, mask); // XOR semantics: flips back
+    EXPECT_TRUE(dev.scanMismatches().empty());
+}
+
+} // namespace
+} // namespace hbm2
+} // namespace gpuecc

@@ -1,0 +1,155 @@
+/** @file Tests for the Code72 linear block code engine. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "codes/hsiao.hpp"
+#include "codes/linear_code.hpp"
+#include "common/rng.hpp"
+
+namespace gpuecc {
+namespace {
+
+class Code72Test : public ::testing::Test
+{
+  protected:
+    Code72Test() : code_(hsiao7264Matrix()) {}
+    Code72 code_;
+};
+
+TEST_F(Code72Test, EncodeProducesValidCodeword)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::uint64_t data = rng.next64();
+        const Bits72 cw = code_.encode(data);
+        EXPECT_EQ(code_.syndrome(cw), 0);
+        EXPECT_EQ(code_.extractData(cw), data);
+    }
+}
+
+TEST_F(Code72Test, EncodeIsLinear)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::uint64_t a = rng.next64();
+        const std::uint64_t b = rng.next64();
+        EXPECT_EQ(code_.encode(a) ^ code_.encode(b),
+                  code_.encode(a ^ b));
+    }
+}
+
+TEST_F(Code72Test, CleanDecode)
+{
+    const Bits72 cw = code_.encode(42);
+    const CodewordDecode d = code_.decode(cw, Code72::Mode::secDed);
+    EXPECT_EQ(d.status, CodewordDecode::Status::clean);
+    EXPECT_TRUE(d.correction.none());
+}
+
+/** Every single-bit error must be corrected (exhaustive sweep). */
+class SingleBitSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SingleBitSweep, Corrected)
+{
+    const Code72 code(hsiao7264Matrix());
+    const std::uint64_t data = 0xFEDCBA9876543210ull;
+    Bits72 received = code.encode(data);
+    received.flip(GetParam());
+    const CodewordDecode d = code.decode(received, Code72::Mode::secDed);
+    ASSERT_EQ(d.status, CodewordDecode::Status::corrected);
+    Bits72 expected_fix;
+    expected_fix.set(GetParam(), 1);
+    EXPECT_EQ(d.correction, expected_fix);
+    EXPECT_EQ(code.extractData(received ^ d.correction), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SingleBitSweep,
+                         ::testing::Range(0, 72));
+
+TEST_F(Code72Test, AllDoubleBitErrorsDetected)
+{
+    // SEC-DED guarantee: exhaustive over all C(72,2) double errors.
+    const Bits72 golden = code_.encode(0x0123456789ABCDEFull);
+    for (int a = 0; a < 72; ++a) {
+        for (int b = a + 1; b < 72; ++b) {
+            Bits72 received = golden;
+            received.flip(a);
+            received.flip(b);
+            const CodewordDecode d =
+                code_.decode(received, Code72::Mode::secDed);
+            ASSERT_EQ(d.status, CodewordDecode::Status::due)
+                << "bits " << a << "," << b;
+        }
+    }
+}
+
+TEST_F(Code72Test, SyndromeDependsOnlyOnErrorMask)
+{
+    Rng rng(3);
+    Bits72 mask;
+    mask.flip(7);
+    mask.flip(44);
+    const std::uint8_t s0 = code_.syndrome(code_.encode(0) ^ mask);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Bits72 cw = code_.encode(rng.next64());
+        EXPECT_EQ(code_.syndrome(cw ^ mask), s0);
+    }
+}
+
+TEST(Code72Pairs, AdjacentPairsTileAllBits)
+{
+    const auto pairs = Code72::adjacentPairs();
+    ASSERT_EQ(pairs.size(), 36u);
+    std::set<int> covered;
+    for (const auto& [a, b] : pairs) {
+        EXPECT_EQ(b, a + 1);
+        covered.insert(a);
+        covered.insert(b);
+    }
+    EXPECT_EQ(covered.size(), 72u);
+}
+
+TEST(Code72Pairs, Stride4PairsTileAllBits)
+{
+    const auto pairs = Code72::stride4Pairs();
+    ASSERT_EQ(pairs.size(), 36u);
+    std::set<int> covered;
+    for (const auto& [a, b] : pairs) {
+        EXPECT_EQ(b, a + 4);
+        EXPECT_EQ(a / 8, b / 8); // within one 8-bit group
+        covered.insert(a);
+        covered.insert(b);
+    }
+    EXPECT_EQ(covered.size(), 72u);
+}
+
+TEST(Code72Properties, HsiaoPropertyQueries)
+{
+    const Code72 code(hsiao7264Matrix());
+    EXPECT_TRUE(code.isSec());
+    EXPECT_TRUE(code.isDed());
+    // Hsiao was not designed for aligned-2b correction and (as a
+    // property of this arrangement) its pair syndromes collide.
+    const double rate = code.nonAligned2bMiscorrectionRate();
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+}
+
+TEST(Code72Properties, ColumnSyndromeMatchesMatrix)
+{
+    const Code72 code(hsiao7264Matrix());
+    const Gf2Matrix& h = code.parityCheck();
+    for (int c = 0; c < 72; ++c) {
+        unsigned expected = 0;
+        for (int r = 0; r < 8; ++r)
+            expected |= static_cast<unsigned>(h.get(r, c)) << r;
+        EXPECT_EQ(code.columnSyndrome(c), expected);
+    }
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,149 @@
+/** @file Tests for the Table 1 error-pattern model. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "faultsim/patterns.hpp"
+#include "interleave/swizzle.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(PatternTable, ProbabilitiesMatchTable1)
+{
+    const auto& table = patternTable();
+    double total = 0.0;
+    for (const PatternInfo& info : table)
+        total += info.probability;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(patternInfo(ErrorPattern::oneBit).probability,
+                     0.7398);
+    EXPECT_DOUBLE_EQ(patternInfo(ErrorPattern::oneByte).probability,
+                     0.2256);
+    EXPECT_DOUBLE_EQ(patternInfo(ErrorPattern::wholeEntry).probability,
+                     0.0223);
+    EXPECT_EQ(patternInfo(ErrorPattern::onePin).bits_range, "2-4");
+}
+
+TEST(Classifier, SingleBit)
+{
+    Bits288 m;
+    m.set(17, 1);
+    EXPECT_EQ(classifyErrorMask(m), ErrorPattern::oneBit);
+}
+
+TEST(Classifier, PinBeatsByteInPriority)
+{
+    // Two bits on one pin across beats: same pin, different bytes.
+    Bits288 m;
+    m.set(layout::physicalIndex(0, 5), 1);
+    m.set(layout::physicalIndex(2, 5), 1);
+    EXPECT_EQ(classifyErrorMask(m), ErrorPattern::onePin);
+}
+
+TEST(Classifier, ByteBeatsTwoBits)
+{
+    Bits288 m;
+    m.set(16, 1);
+    m.set(23, 1); // both in byte 2
+    EXPECT_EQ(classifyErrorMask(m), ErrorPattern::oneByte);
+}
+
+TEST(Classifier, TwoAndThreeBits)
+{
+    Bits288 two;
+    two.set(0, 1);
+    two.set(100, 1);
+    EXPECT_EQ(classifyErrorMask(two), ErrorPattern::twoBits);
+
+    Bits288 three = two;
+    three.set(200, 1);
+    EXPECT_EQ(classifyErrorMask(three), ErrorPattern::threeBits);
+}
+
+TEST(Classifier, BeatAndEntry)
+{
+    Bits288 beat;
+    beat.set(72 + 1, 1);
+    beat.set(72 + 20, 1);
+    beat.set(72 + 40, 1);
+    beat.set(72 + 60, 1);
+    EXPECT_EQ(classifyErrorMask(beat), ErrorPattern::oneBeat);
+
+    Bits288 entry = beat;
+    entry.set(200, 1); // beat 2
+    EXPECT_EQ(classifyErrorMask(entry), ErrorPattern::wholeEntry);
+}
+
+TEST(Enumeration, CountsMatchCombinatorics)
+{
+    auto count = [](ErrorPattern p) {
+        return forEachErrorMask(p, [](const Bits288&) {});
+    };
+    EXPECT_EQ(count(ErrorPattern::oneBit), 288u);
+    // 72 pins x (2^4 - 1 - 4) multi-bit masks.
+    EXPECT_EQ(count(ErrorPattern::onePin), 72u * 11u);
+    // 36 bytes x (2^8 - 1 - 8) multi-bit masks.
+    EXPECT_EQ(count(ErrorPattern::oneByte), 36u * 247u);
+    // C(288,2) minus same-byte pairs (36*C(8,2)) minus same-pin
+    // pairs (72*C(4,2)).
+    EXPECT_EQ(count(ErrorPattern::twoBits),
+              288u * 287u / 2 - 36u * 28u - 72u * 6u);
+}
+
+TEST(Enumeration, EnumeratedMasksClassifyCorrectly)
+{
+    for (ErrorPattern p :
+         {ErrorPattern::oneBit, ErrorPattern::onePin,
+          ErrorPattern::oneByte, ErrorPattern::twoBits}) {
+        forEachErrorMask(p, [p](const Bits288& mask) {
+            ASSERT_EQ(classifyErrorMask(mask), p);
+        });
+    }
+}
+
+TEST(Enumeration, EnumerableQuery)
+{
+    EXPECT_TRUE(patternIsEnumerable(ErrorPattern::oneBit));
+    EXPECT_TRUE(patternIsEnumerable(ErrorPattern::threeBits));
+    EXPECT_FALSE(patternIsEnumerable(ErrorPattern::oneBeat));
+    EXPECT_FALSE(patternIsEnumerable(ErrorPattern::wholeEntry));
+}
+
+class SamplerProperty : public ::testing::TestWithParam<ErrorPattern>
+{
+};
+
+TEST_P(SamplerProperty, SamplesClassifyAsRequested)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+    for (int trial = 0; trial < 500; ++trial) {
+        const Bits288 mask = sampleErrorMask(GetParam(), rng);
+        ASSERT_FALSE(mask.none());
+        ASSERT_EQ(classifyErrorMask(mask), GetParam());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, SamplerProperty,
+    ::testing::Values(ErrorPattern::oneBit, ErrorPattern::onePin,
+                      ErrorPattern::oneByte, ErrorPattern::twoBits,
+                      ErrorPattern::threeBits, ErrorPattern::oneBeat,
+                      ErrorPattern::wholeEntry));
+
+TEST(Sampler, ByteSeveritiesSpanRange)
+{
+    // Conditioned random byte corruption produces 2..8 bits.
+    Rng rng(1);
+    std::set<int> seen;
+    for (int trial = 0; trial < 2000; ++trial)
+        seen.insert(sampleErrorMask(ErrorPattern::oneByte, rng)
+                        .popcount());
+    EXPECT_EQ(*seen.begin(), 2);
+    EXPECT_EQ(*seen.rbegin(), 8);
+}
+
+} // namespace
+} // namespace gpuecc

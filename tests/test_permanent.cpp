@@ -1,0 +1,134 @@
+/** @file Tests for permanent-fault (graceful degradation) modeling. */
+
+#include <gtest/gtest.h>
+
+#include "ecc/registry.hpp"
+#include "faultsim/permanent.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(PermanentFaultTest, MaskSemantics)
+{
+    Bits288 stored;
+    stored.set(0, 1);  // pin 0, beat 0
+    stored.set(72, 1); // pin 0, beat 1
+
+    // Pin 0 stuck at 1: only the beats storing 0 become erroneous.
+    const PermanentFault stuck1{PermanentFaultKind::stuckPin, 0, 1};
+    const Bits288 m1 = stuck1.maskFor(stored);
+    EXPECT_EQ(m1.popcount(), 2); // beats 2 and 3
+    EXPECT_EQ(m1.get(144), 1);
+    EXPECT_EQ(m1.get(216), 1);
+
+    // Pin 0 stuck at 0: the beats storing 1 become erroneous.
+    const PermanentFault stuck0{PermanentFaultKind::stuckPin, 0, 0};
+    const Bits288 m0 = stuck0.maskFor(stored);
+    EXPECT_EQ(m0.popcount(), 2);
+    EXPECT_EQ(m0.get(0), 1);
+    EXPECT_EQ(m0.get(72), 1);
+
+    const PermanentFault byte{PermanentFaultKind::stuckByte, 5, 1};
+    EXPECT_EQ(byte.regionMask().popcount(), 8);
+    EXPECT_EQ(byte.maskFor(Bits288{}).popcount(), 8);
+}
+
+TEST(PermanentFaultTest, PinCorrectingSchemesAbsorbStuckPins)
+{
+    // "Single-pin correction is therefore desirable, as it allows a
+    // GPU to gracefully degrade in the field."
+    for (const char* id : {"ni-secded", "duet", "trio", "i-ssc"}) {
+        const auto scheme = makeScheme(id);
+        DegradationEvaluator ev(*scheme);
+        const DegradationCounts counts =
+            ev.faultAlone(PermanentFaultKind::stuckPin, 2000);
+        EXPECT_EQ(counts.sdcRate(), 0.0) << id;
+        EXPECT_EQ(counts.dueRate(), 0.0) << id;
+    }
+}
+
+TEST(PermanentFaultTest, SscDsdPlusCannotDegradeGracefully)
+{
+    // The one scheme without pin correction: a stuck pin makes the
+    // entry a permanent DUE (never an SDC) for most stored data.
+    const auto dsd = makeScheme("ssc-dsd+");
+    DegradationEvaluator ev(*dsd);
+    const DegradationCounts counts =
+        ev.faultAlone(PermanentFaultKind::stuckPin, 2000);
+    EXPECT_EQ(counts.sdcRate(), 0.0);
+    // With random data a stuck pin corrupts 0 bits 1/16 of the time
+    // and 1 bit 1/4 of the time (both handled), leaving ~69% of
+    // trials as multi-symbol DUEs - a crash-prone degraded state.
+    EXPECT_GT(counts.dueRate(), 0.6);
+}
+
+TEST(PermanentFaultTest, TrioCorrectsPermanentWordlineFailures)
+{
+    // "Byte detection and correction are important for permanent
+    // local wordline failures."
+    const auto trio = makeScheme("trio");
+    DegradationEvaluator ev(*trio);
+    const DegradationCounts counts =
+        ev.faultAlone(PermanentFaultKind::stuckByte, 2000);
+    EXPECT_EQ(counts.sdcRate(), 0.0);
+    EXPECT_EQ(counts.dueRate(), 0.0);
+    EXPECT_GT(counts.dceRate(), 0.99);
+}
+
+TEST(PermanentFaultTest, DuetDetectsPermanentWordlineFailures)
+{
+    const auto duet = makeScheme("duet");
+    DegradationEvaluator ev(*duet);
+    const DegradationCounts counts =
+        ev.faultAlone(PermanentFaultKind::stuckByte, 2000);
+    EXPECT_EQ(counts.sdcRate(), 0.0);
+    // Roughly half the random byte patterns have <= 4 erroneous bits
+    // landing one-per-codeword (half-byte correction); the rest DUE.
+    EXPECT_GT(counts.dueRate(), 0.2);
+    EXPECT_GT(counts.dceRate(), 0.2);
+}
+
+TEST(PermanentFaultTest, DegradedPinNeverTurnsSoftErrorsIntoSdcDuet)
+{
+    // The graceful-degradation scenario that matters: with a pin
+    // already stuck, a new single-bit soft error must never escape
+    // silently under the detection-oriented DuetECC (two bits in one
+    // codeword always give an even, uncorrectable syndrome).
+    const auto duet = makeScheme("duet");
+    DegradationEvaluator ev(*duet);
+    const DegradationCounts counts = ev.faultPlusSoftError(
+        PermanentFaultKind::stuckPin, ErrorPattern::oneBit, 2000);
+    EXPECT_EQ(counts.sdcRate(), 0.0);
+    // Some combinations exceed correction, so DUEs appear; the
+    // system degrades loudly rather than corrupting.
+    EXPECT_GT(counts.dueRate(), 0.0);
+    EXPECT_GT(counts.dceRate(), 0.0);
+}
+
+TEST(PermanentFaultTest, DegradedPinUnderTrioHasSmallMiscorrectionTail)
+{
+    // Trio's aggressive 2b-symbol correction can miscorrect a stuck
+    // pin bit plus a soft bit landing in the same codeword when no
+    // sibling codeword corrects (the CSC needs two correctors); the
+    // tail is small - the correction/SDC trade-off in degraded mode.
+    const auto trio = makeScheme("trio");
+    DegradationEvaluator ev(*trio);
+    const DegradationCounts counts = ev.faultPlusSoftError(
+        PermanentFaultKind::stuckPin, ErrorPattern::oneBit, 4000);
+    EXPECT_LT(counts.sdcRate(), 0.05);
+    EXPECT_GT(counts.dueRate(), 0.5);
+}
+
+TEST(PermanentFaultTest, StuckBytePlusBitMostlySafeUnderTrio)
+{
+    const auto trio = makeScheme("trio");
+    DegradationEvaluator ev(*trio);
+    const DegradationCounts counts = ev.faultPlusSoftError(
+        PermanentFaultKind::stuckByte, ErrorPattern::oneBit, 4000);
+    EXPECT_LT(counts.sdcRate(), 0.02);
+    // Nearly every combination is flagged rather than silent.
+    EXPECT_GT(counts.dueRate() + counts.dceRate(), 0.98);
+}
+
+} // namespace
+} // namespace gpuecc

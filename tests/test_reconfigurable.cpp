@@ -1,0 +1,84 @@
+/** @file Tests for the reconfigurable DuetECC/TrioECC decoder. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "ecc/reconfigurable.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(Reconfigurable, EncodeIsPolicyIndependent)
+{
+    ReconfigurableDuetTrio codec(ReconfigurableDuetTrio::Policy::duet);
+    Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                             rng.next64()};
+        const Bits288 as_duet = codec.encode(data);
+        codec.setPolicy(ReconfigurableDuetTrio::Policy::trio);
+        EXPECT_EQ(codec.encode(data), as_duet);
+        codec.setPolicy(ReconfigurableDuetTrio::Policy::duet);
+    }
+}
+
+TEST(Reconfigurable, PolicySwitchesByteErrorHandling)
+{
+    // The correction/SDC trade-off in one codec: a full byte error
+    // is a DUE under the Duet policy and corrected under Trio.
+    ReconfigurableDuetTrio codec(ReconfigurableDuetTrio::Policy::duet);
+    Rng rng(2);
+    const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                         rng.next64()};
+    Bits288 received = codec.encode(data);
+    for (int t = 0; t < 8; ++t)
+        received.flip(8 * 11 + t);
+
+    EXPECT_EQ(codec.decode(received).status,
+              EntryDecode::Status::due);
+
+    codec.setPolicy(ReconfigurableDuetTrio::Policy::trio);
+    const EntryDecode trio = codec.decode(received);
+    ASSERT_EQ(trio.status, EntryDecode::Status::corrected);
+    EXPECT_EQ(trio.data, data);
+}
+
+TEST(Reconfigurable, BothPoliciesCorrectSingleBitsAndPins)
+{
+    for (const auto policy : {ReconfigurableDuetTrio::Policy::duet,
+                              ReconfigurableDuetTrio::Policy::trio}) {
+        ReconfigurableDuetTrio codec(policy);
+        Rng rng(3);
+        const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                             rng.next64()};
+        const Bits288 golden = codec.encode(data);
+        for (int i = 0; i < 288; i += 7) {
+            Bits288 received = golden;
+            received.flip(i);
+            const EntryDecode d = codec.decode(received);
+            ASSERT_EQ(d.status, EntryDecode::Status::corrected);
+            EXPECT_EQ(d.data, data);
+        }
+        for (int pin = 0; pin < 72; pin += 5) {
+            Bits288 received = golden;
+            for (int beat = 0; beat < 4; ++beat)
+                received.flip(72 * beat + pin);
+            const EntryDecode d = codec.decode(received);
+            ASSERT_EQ(d.status, EntryDecode::Status::corrected);
+            EXPECT_EQ(d.data, data);
+        }
+    }
+}
+
+TEST(Reconfigurable, NameTracksPolicy)
+{
+    ReconfigurableDuetTrio codec(ReconfigurableDuetTrio::Policy::trio);
+    EXPECT_NE(codec.name().find("Trio"), std::string::npos);
+    codec.setPolicy(ReconfigurableDuetTrio::Policy::duet);
+    EXPECT_NE(codec.name().find("Duet"), std::string::npos);
+    EXPECT_TRUE(codec.correctsPinErrors());
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,150 @@
+/** @file Tests for FIT math and system-level models (Section 7.3). */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "reliability/fit.hpp"
+#include "reliability/history.hpp"
+#include "reliability/system.hpp"
+
+namespace gpuecc {
+namespace reliability {
+namespace {
+
+/** Fig. 8 outcome fractions as the paper quotes them. */
+WeightedOutcome
+paperOutcome(const char* scheme)
+{
+    if (std::string(scheme) == "secded")
+        return {0.74, 0.202, 0.054};
+    if (std::string(scheme) == "duet")
+        return {0.807, 0.193, 1.3e-5};
+    if (std::string(scheme) == "trio")
+        return {0.97, 0.0326, 8.5e-5};
+    return {0.9654, 0.0346, 2e-8}; // ssc-dsd+
+}
+
+TEST(Fit, RawMemoryFit)
+{
+    // A100: 40GB = 320 Gb at 12.51 FIT/Gb.
+    EXPECT_NEAR(rawMemoryFit(12.51, 320.0), 4003.2, 0.1);
+}
+
+TEST(Fit, MttfOfZeroFitIsInfinite)
+{
+    EXPECT_TRUE(std::isinf(mttfHours(0.0)));
+    EXPECT_DOUBLE_EQ(mttfHours(1e9), 1.0);
+}
+
+TEST(Av, SecDedSdcFitMatchesPaper216)
+{
+    // "A SEC-DED protected A100 GPU suffers from 216 FIT of HBM2 SDC".
+    const AvModel av;
+    EXPECT_NEAR(av.vehicleSdcFit(paperOutcome("secded")), 216.0, 3.0);
+    EXPECT_FALSE(av.satisfiesIso26262(paperOutcome("secded")));
+}
+
+TEST(Av, DuetAndTrioSatisfyIso26262)
+{
+    // "TrioECC reduces this to 0.29 FIT, and DuetECC to 0.045 FIT".
+    const AvModel av;
+    EXPECT_NEAR(av.vehicleSdcFit(paperOutcome("trio")), 0.34, 0.1);
+    EXPECT_NEAR(av.vehicleSdcFit(paperOutcome("duet")), 0.052, 0.02);
+    EXPECT_TRUE(av.satisfiesIso26262(paperOutcome("trio")));
+    EXPECT_TRUE(av.satisfiesIso26262(paperOutcome("duet")));
+}
+
+TEST(Av, FleetEventArithmetic)
+{
+    // 225.8M drivers x 51 min/day = 1.92e8 hours/day.
+    const AvModel av;
+    EXPECT_NEAR(av.fleet_hours_per_day, 1.92e8, 0.01e8);
+    // SEC-DED: "an expected 41 SDC events on the road each day".
+    EXPECT_NEAR(av.fleetSdcPerDay(paperOutcome("secded")), 41.0, 2.0);
+}
+
+TEST(Hpc, GpuCountScalesLinearly)
+{
+    const HpcSystemModel hpc;
+    EXPECT_NEAR(hpc.gpusFor(0.5), 0.5e6 / 19.5, 1.0);
+    EXPECT_NEAR(hpc.gpusFor(2.0) / hpc.gpusFor(0.5), 4.0, 1e-9);
+}
+
+TEST(Hpc, MttiRatioBetweenDuetAndTrio)
+{
+    // Figure 9a: TrioECC's MTTI is ~5.9x DuetECC's (the DUE-rate
+    // ratio), independent of machine scale.
+    const HpcSystemModel hpc;
+    const double ratio = hpc.mttiHours(1.0, paperOutcome("trio")) /
+                         hpc.mttiHours(1.0, paperOutcome("duet"));
+    EXPECT_NEAR(ratio, 0.193 / 0.0326, 0.1);
+}
+
+TEST(Hpc, MttfOrderingAcrossSchemes)
+{
+    const HpcSystemModel hpc;
+    const double secded = hpc.mttfHours(1.0, paperOutcome("secded"));
+    const double trio = hpc.mttfHours(1.0, paperOutcome("trio"));
+    const double duet = hpc.mttfHours(1.0, paperOutcome("duet"));
+    EXPECT_LT(secded, trio);
+    EXPECT_LT(trio, duet);
+}
+
+TEST(Hpc, Figure9RatioAnchorsHold)
+{
+    // The paper's absolute Figure 9 values imply ~8x more raw machine
+    // FIT than 19.5 TFLOP/s / 40GB / 12.51 FIT/Gb GPUs provide (its
+    // GPUs-per-exaflop assumption is not stated), but its *ratios*
+    // are exact consequences of the outcome fractions:
+    // MTTF(SEC-DED) / MTTI(Duet) = detect(Duet) / sdc(SEC-DED), which
+    // makes 22.5 h SEC-DED SDC correspond to the quoted 6.3 h Duet
+    // DUE at the same scale.
+    const HpcSystemModel hpc;
+    const double mttf_secded =
+        hpc.mttfHours(0.5, paperOutcome("secded"));
+    const double mtti_duet = hpc.mttiHours(0.5, paperOutcome("duet"));
+    EXPECT_NEAR(mttf_secded / mtti_duet, 22.5 / 6.3, 0.2);
+    // Absolute values with our physical defaults land within an
+    // order of magnitude of the paper's plot.
+    EXPECT_GT(mttf_secded, 20.0);
+    EXPECT_LT(mttf_secded, 250.0);
+}
+
+TEST(Hpc, MttiShrinksWithScale)
+{
+    const HpcSystemModel hpc;
+    const auto o = paperOutcome("duet");
+    EXPECT_NEAR(hpc.mttiHours(0.5, o) / hpc.mttiHours(2.0, o), 4.0,
+                1e-9);
+}
+
+TEST(History, RegressionsReproduceFigure1Trends)
+{
+    const LineFit ser = regressSer();
+    const LineFit cap = regressCapacity();
+    EXPECT_LT(ser.slope, 0.0); // falling error rate
+    EXPECT_GT(cap.slope, 0.0); // rising capacity
+    EXPECT_GT(ser.r2, 0.98);
+    EXPECT_GT(cap.r2, 0.95);
+    // The per-chip SER decline outpaces the capacity increase.
+    EXPECT_GT(-ser.slope, 0.0);
+}
+
+TEST(History, Hbm2PointWithinNonBitcellBand)
+{
+    // Our simulated HBM2 event rate lands inside / near the flat
+    // non-bitcell band of Figure 1 when reduced to FIT per stack.
+    const auto [all_fit, mb_fit] =
+        hbm2PointFit(0.224, 0.315, 2.52e8, 8);
+    const auto [lo, hi] = nonBitcellBand();
+    EXPECT_GT(all_fit, lo);
+    EXPECT_LT(all_fit, hi);
+    EXPECT_GT(mb_fit, lo);
+    EXPECT_LT(mb_fit, hi);
+    EXPECT_LT(mb_fit, all_fit);
+}
+
+} // namespace
+} // namespace reliability
+} // namespace gpuecc

@@ -1,0 +1,156 @@
+/** @file Unit and statistical tests for the RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+    bool differs = false;
+    Rng a2(123);
+    for (int i = 0; i < 100; ++i)
+        differs = differs || (a2.next64() != c.next64());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(5);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedCoversSmallRange)
+{
+    Rng rng(6);
+    std::array<int, 5> seen{};
+    for (int i = 0; i < 1000; ++i)
+        ++seen[rng.nextBounded(5)];
+    for (int count : seen)
+        EXPECT_GT(count, 100); // uniform: expect ~200 each
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(7);
+    OnlineStats stats;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.nextDouble();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        stats.add(u);
+    }
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+    EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(8);
+    OnlineStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.nextGaussian());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.015);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(10);
+    OnlineStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.nextExponential(2.0));
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+class PoissonMeanProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PoissonMeanProperty, MeanAndVarianceMatch)
+{
+    const double mean = GetParam();
+    Rng rng(static_cast<std::uint64_t>(mean * 1000) + 11);
+    OnlineStats stats;
+    for (int i = 0; i < 30000; ++i)
+        stats.add(static_cast<double>(rng.nextPoisson(mean)));
+    EXPECT_NEAR(stats.mean(), mean, std::max(0.05, mean * 0.03));
+    EXPECT_NEAR(stats.variance(), mean, std::max(0.1, mean * 0.06));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanProperty,
+                         ::testing::Values(0.1, 0.5, 2.0, 10.0, 50.0,
+                                           200.0));
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng rng(12);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextPoisson(0.0), 0u);
+}
+
+TEST(Rng, BinomialEdgeCases)
+{
+    Rng rng(14);
+    EXPECT_EQ(rng.nextBinomial(0, 0.5), 0u);
+    EXPECT_EQ(rng.nextBinomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.nextBinomial(100, 1.0), 100u);
+    // p extremely close to 1 must still exhaust n (the displacement
+    // damage pool-exhaustion case).
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBinomial(500, 1.0 - 1e-18), 500u);
+}
+
+class BinomialMoments
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, double>>
+{
+};
+
+TEST_P(BinomialMoments, MeanMatches)
+{
+    const auto [n, p] = GetParam();
+    Rng rng(15);
+    OnlineStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(static_cast<double>(rng.nextBinomial(n, p)));
+    const double mean = static_cast<double>(n) * p;
+    EXPECT_NEAR(stats.mean(), mean, std::max(0.05, mean * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BinomialMoments,
+    ::testing::Values(std::pair<std::uint64_t, double>{20, 0.3},
+                      std::pair<std::uint64_t, double>{500, 0.01},
+                      std::pair<std::uint64_t, double>{2700, 0.4},
+                      std::pair<std::uint64_t, double>{2700, 0.97}));
+
+TEST(Rng, SplitStreamsDiffer)
+{
+    Rng parent(13);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next64() == child.next64();
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,279 @@
+/** @file Tests for Reed-Solomon codes and decoders. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gf256/gf256.hpp"
+#include "rs/decoders.hpp"
+#include "rs/rs_code.hpp"
+
+namespace gpuecc {
+namespace {
+
+std::vector<std::uint8_t>
+randomData(int k, Rng& rng)
+{
+    std::vector<std::uint8_t> d(k);
+    for (auto& v : d)
+        v = static_cast<std::uint8_t>(rng.nextBounded(256));
+    return d;
+}
+
+class RsCodeShapes : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(RsCodeShapes, EncodeYieldsZeroSyndromes)
+{
+    const auto [n, k] = GetParam();
+    const RsCode code(n, k);
+    Rng rng(n * 1000 + k);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto cw = code.encode(randomData(k, rng));
+        EXPECT_TRUE(code.isCodeword(cw));
+        for (std::uint8_t s : code.syndromes(cw))
+            EXPECT_EQ(s, 0);
+    }
+}
+
+TEST_P(RsCodeShapes, SystematicDataPlacement)
+{
+    const auto [n, k] = GetParam();
+    const RsCode code(n, k);
+    Rng rng(n * 7 + k);
+    const auto data = randomData(k, rng);
+    const auto cw = code.encode(data);
+    for (int i = 0; i < k; ++i)
+        EXPECT_EQ(cw[n - k + i], data[i]);
+}
+
+TEST_P(RsCodeShapes, SingleSymbolErrorSyndromeStructure)
+{
+    // S_j = e * alpha^(j*p) for a single error of magnitude e at p.
+    const auto [n, k] = GetParam();
+    const RsCode code(n, k);
+    Rng rng(n * 13 + k);
+    const auto cw = code.encode(randomData(k, rng));
+    for (int trial = 0; trial < 30; ++trial) {
+        const int p = static_cast<int>(rng.nextBounded(n));
+        const auto e =
+            static_cast<std::uint8_t>(1 + rng.nextBounded(255));
+        auto corrupted = cw;
+        corrupted[p] = gf256::add(corrupted[p], e);
+        const auto s = code.syndromes(corrupted);
+        for (int j = 0; j < code.r(); ++j) {
+            EXPECT_EQ(s[j], gf256::mul(e, gf256::alphaPow(j * p)));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RsCodeShapes,
+                         ::testing::Values(std::pair{18, 16},
+                                           std::pair{36, 32},
+                                           std::pair{10, 6}));
+
+TEST(SscOneShot, CorrectsEverySingleSymbolError)
+{
+    const RsCode code(18, 16);
+    Rng rng(1);
+    const auto cw = code.encode(randomData(16, rng));
+    for (int p = 0; p < 18; ++p) {
+        for (int e = 1; e < 256; ++e) {
+            auto corrupted = cw;
+            corrupted[p] =
+                gf256::add(corrupted[p], static_cast<std::uint8_t>(e));
+            const RsDecode d = decodeSscOneShot(code, corrupted);
+            ASSERT_EQ(d.status, RsDecode::Status::corrected)
+                << "p=" << p << " e=" << e;
+            EXPECT_EQ(d.word, cw);
+            ASSERT_EQ(d.error_positions.size(), 1u);
+            EXPECT_EQ(d.error_positions[0], p);
+        }
+    }
+}
+
+TEST(SscOneShot, CleanWordPassesThrough)
+{
+    const RsCode code(18, 16);
+    Rng rng(2);
+    const auto cw = code.encode(randomData(16, rng));
+    const RsDecode d = decodeSscOneShot(code, cw);
+    EXPECT_EQ(d.status, RsDecode::Status::clean);
+    EXPECT_EQ(d.word, cw);
+}
+
+TEST(SscOneShot, DoubleSymbolErrorsNeverCorrupt)
+{
+    // d = 3 gives no guaranteed double detection, but a decode that
+    // "corrects" a double error must never return the original
+    // codeword silently; we check DUE-or-changed-word semantics.
+    const RsCode code(18, 16);
+    Rng rng(3);
+    const auto cw = code.encode(randomData(16, rng));
+    int due = 0, miscorrect = 0;
+    const int trials = 5000;
+    for (int trial = 0; trial < trials; ++trial) {
+        auto corrupted = cw;
+        const int p1 = static_cast<int>(rng.nextBounded(18));
+        int p2 = 0;
+        do {
+            p2 = static_cast<int>(rng.nextBounded(18));
+        } while (p2 == p1);
+        corrupted[p1] = gf256::add(
+            corrupted[p1],
+            static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        corrupted[p2] = gf256::add(
+            corrupted[p2],
+            static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        const RsDecode d = decodeSscOneShot(code, corrupted);
+        ASSERT_NE(d.status, RsDecode::Status::clean);
+        if (d.status == RsDecode::Status::due)
+            ++due;
+        else if (d.word != cw)
+            ++miscorrect;
+    }
+    EXPECT_EQ(due + miscorrect, trials);
+    EXPECT_GT(due, 0);
+}
+
+TEST(SscDsdPlus, CorrectsEverySingleSymbolError)
+{
+    const RsCode code(36, 32);
+    Rng rng(4);
+    const auto cw = code.encode(randomData(32, rng));
+    for (int p = 0; p < 36; ++p) {
+        for (int e = 1; e < 256; e += 7) { // stride to keep it fast
+            auto corrupted = cw;
+            corrupted[p] =
+                gf256::add(corrupted[p], static_cast<std::uint8_t>(e));
+            const RsDecode d = decodeSscDsdPlus(code, corrupted);
+            ASSERT_EQ(d.status, RsDecode::Status::corrected)
+                << "p=" << p << " e=" << e;
+            EXPECT_EQ(d.word, cw);
+        }
+    }
+}
+
+TEST(SscDsdPlus, DetectsAllSampledDoubleErrors)
+{
+    // d = 5 with t = 1 bounded-distance decoding: guaranteed DSD.
+    const RsCode code(36, 32);
+    Rng rng(5);
+    const auto cw = code.encode(randomData(32, rng));
+    for (int trial = 0; trial < 20000; ++trial) {
+        auto corrupted = cw;
+        const int p1 = static_cast<int>(rng.nextBounded(36));
+        int p2 = 0;
+        do {
+            p2 = static_cast<int>(rng.nextBounded(36));
+        } while (p2 == p1);
+        corrupted[p1] = gf256::add(
+            corrupted[p1],
+            static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        corrupted[p2] = gf256::add(
+            corrupted[p2],
+            static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        ASSERT_EQ(decodeSscDsdPlus(code, corrupted).status,
+                  RsDecode::Status::due);
+    }
+}
+
+TEST(SscDsdPlus, DetectsAllSampledTripleErrors)
+{
+    // The "almost TSD" property: at this code length the three-pair
+    // agreement decoder detects sampled triple-symbol errors.
+    const RsCode code(36, 32);
+    Rng rng(6);
+    const auto cw = code.encode(randomData(32, rng));
+    for (int trial = 0; trial < 20000; ++trial) {
+        auto corrupted = cw;
+        int p[3];
+        p[0] = static_cast<int>(rng.nextBounded(36));
+        do {
+            p[1] = static_cast<int>(rng.nextBounded(36));
+        } while (p[1] == p[0]);
+        do {
+            p[2] = static_cast<int>(rng.nextBounded(36));
+        } while (p[2] == p[0] || p[2] == p[1]);
+        for (int i = 0; i < 3; ++i) {
+            corrupted[p[i]] = gf256::add(
+                corrupted[p[i]],
+                static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        }
+        ASSERT_EQ(decodeSscDsdPlus(code, corrupted).status,
+                  RsDecode::Status::due);
+    }
+}
+
+TEST(Dsc, CorrectsEverySampledDoubleError)
+{
+    const RsCode code(36, 32);
+    Rng rng(7);
+    const auto cw = code.encode(randomData(32, rng));
+    for (int trial = 0; trial < 5000; ++trial) {
+        auto corrupted = cw;
+        const int p1 = static_cast<int>(rng.nextBounded(36));
+        int p2 = 0;
+        do {
+            p2 = static_cast<int>(rng.nextBounded(36));
+        } while (p2 == p1);
+        corrupted[p1] = gf256::add(
+            corrupted[p1],
+            static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        corrupted[p2] = gf256::add(
+            corrupted[p2],
+            static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        const RsDecode d = decodeDsc(code, corrupted);
+        ASSERT_EQ(d.status, RsDecode::Status::corrected);
+        EXPECT_EQ(d.word, cw);
+        EXPECT_EQ(d.error_positions.size(), 2u);
+    }
+}
+
+TEST(Dsc, CorrectsSingleErrorsToo)
+{
+    const RsCode code(36, 32);
+    Rng rng(8);
+    const auto cw = code.encode(randomData(32, rng));
+    for (int p = 0; p < 36; ++p) {
+        auto corrupted = cw;
+        corrupted[p] = gf256::add(corrupted[p], 0x5A);
+        const RsDecode d = decodeDsc(code, corrupted);
+        ASSERT_EQ(d.status, RsDecode::Status::corrected);
+        EXPECT_EQ(d.word, cw);
+    }
+}
+
+TEST(Dsc, TripleErrorsNeverSilentlyAccepted)
+{
+    const RsCode code(36, 32);
+    Rng rng(9);
+    const auto cw = code.encode(randomData(32, rng));
+    for (int trial = 0; trial < 3000; ++trial) {
+        auto corrupted = cw;
+        int p[3];
+        p[0] = static_cast<int>(rng.nextBounded(36));
+        do {
+            p[1] = static_cast<int>(rng.nextBounded(36));
+        } while (p[1] == p[0]);
+        do {
+            p[2] = static_cast<int>(rng.nextBounded(36));
+        } while (p[2] == p[0] || p[2] == p[1]);
+        for (int i = 0; i < 3; ++i) {
+            corrupted[p[i]] = gf256::add(
+                corrupted[p[i]],
+                static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        }
+        const RsDecode d = decodeDsc(code, corrupted);
+        // A d=5 code with t=2 decoding may miscorrect 3 errors, but
+        // must never return the original codeword as "corrected" or
+        // report clean.
+        ASSERT_NE(d.status, RsDecode::Status::clean);
+        if (d.status == RsDecode::Status::corrected) {
+            EXPECT_NE(d.word, cw);
+        }
+    }
+}
+
+} // namespace
+} // namespace gpuecc

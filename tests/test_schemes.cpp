@@ -1,0 +1,260 @@
+/** @file Scheme-parameterized tests over all ECC organizations. */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "ecc/registry.hpp"
+#include "interleave/swizzle.hpp"
+
+namespace gpuecc {
+namespace {
+
+EntryData
+randomData(Rng& rng)
+{
+    return {rng.next64(), rng.next64(), rng.next64(), rng.next64()};
+}
+
+class AllSchemes : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    AllSchemes() : scheme_(makeScheme(GetParam())) {}
+    std::shared_ptr<EntryScheme> scheme_;
+};
+
+TEST_P(AllSchemes, EncodeDecodeRoundTrip)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        const EntryData data = randomData(rng);
+        const EntryDecode d = scheme_->decode(scheme_->encode(data));
+        EXPECT_EQ(d.status, EntryDecode::Status::clean);
+        EXPECT_EQ(d.data, data);
+    }
+}
+
+TEST_P(AllSchemes, EverySingleBitErrorCorrected)
+{
+    Rng rng(2);
+    const EntryData data = randomData(rng);
+    const Bits288 golden = scheme_->encode(data);
+    for (int i = 0; i < 288; ++i) {
+        Bits288 received = golden;
+        received.flip(i);
+        const EntryDecode d = scheme_->decode(received);
+        ASSERT_EQ(d.status, EntryDecode::Status::corrected)
+            << scheme_->id() << " bit " << i;
+        EXPECT_EQ(d.data, data) << scheme_->id() << " bit " << i;
+    }
+}
+
+TEST_P(AllSchemes, FullByteInversionNeverSilent)
+{
+    // A whole-byte flip must be corrected or detected by every
+    // interleaved/symbol organization (Table 2 byte column: "C"/"D").
+    if (scheme_->id() == "ni-secded" || scheme_->id() == "ni-sec2bec")
+        GTEST_SKIP() << "non-interleaved baselines have byte SDC";
+    Rng rng(3);
+    const EntryData data = randomData(rng);
+    const Bits288 golden = scheme_->encode(data);
+    for (int byte = 0; byte < 36; ++byte) {
+        Bits288 received = golden;
+        for (int t = 0; t < 8; ++t)
+            received.flip(8 * byte + t);
+        const EntryDecode d = scheme_->decode(received);
+        if (d.status == EntryDecode::Status::due)
+            continue;
+        ASSERT_EQ(d.status, EntryDecode::Status::corrected);
+        EXPECT_EQ(d.data, data) << scheme_->id() << " byte " << byte;
+    }
+}
+
+TEST_P(AllSchemes, AllByteErrorsNeverSilent)
+{
+    // Exhaustive over all 36 x 247 multi-bit byte errors: no paper
+    // organization suffers byte-error SDC except the non-interleaved
+    // baselines.
+    const std::string id = scheme_->id();
+    if (id == "ni-secded" || id == "ni-sec2bec")
+        GTEST_SKIP() << "non-interleaved baselines have byte SDC";
+    Rng rng(4);
+    const EntryData data = randomData(rng);
+    const Bits288 golden = scheme_->encode(data);
+    for (int byte = 0; byte < 36; ++byte) {
+        for (unsigned m = 1; m < 256; ++m) {
+            if (popcount64(m) < 2)
+                continue;
+            Bits288 received = golden;
+            for (int t = 0; t < 8; ++t) {
+                if ((m >> t) & 1)
+                    received.flip(8 * byte + t);
+            }
+            const EntryDecode d = scheme_->decode(received);
+            if (d.status == EntryDecode::Status::due)
+                continue;
+            ASSERT_EQ(d.data, data)
+                << id << " byte " << byte << " mask " << m;
+        }
+    }
+}
+
+TEST_P(AllSchemes, PinErrorBehaviourMatchesClaim)
+{
+    // Full 4-bit pin failures: corrected by every scheme that claims
+    // pin correction, detected (never silent) by the rest.
+    Rng rng(5);
+    const EntryData data = randomData(rng);
+    const Bits288 golden = scheme_->encode(data);
+    for (int pin = 0; pin < 72; ++pin) {
+        Bits288 received = golden;
+        for (int beat = 0; beat < 4; ++beat)
+            received.flip(layout::physicalIndex(beat, pin));
+        const EntryDecode d = scheme_->decode(received);
+        if (scheme_->correctsPinErrors()) {
+            ASSERT_EQ(d.status, EntryDecode::Status::corrected)
+                << scheme_->id() << " pin " << pin;
+            EXPECT_EQ(d.data, data);
+        } else if (d.status != EntryDecode::Status::due) {
+            EXPECT_EQ(d.data, data) << scheme_->id() << " pin " << pin;
+        }
+    }
+}
+
+TEST_P(AllSchemes, OutcomeIndependentOfData)
+{
+    // Linearity property: the decode outcome for a fixed error mask
+    // must not depend on the stored data.
+    Rng rng(6);
+    for (int trial = 0; trial < 30; ++trial) {
+        Bits288 mask;
+        const int nbits = 1 + static_cast<int>(rng.nextBounded(12));
+        for (int i = 0; i < nbits; ++i)
+            mask.set(static_cast<int>(rng.nextBounded(288)), 1);
+
+        const EntryData d1 = randomData(rng);
+        const EntryData d2 = randomData(rng);
+        const EntryDecode r1 = scheme_->decode(scheme_->encode(d1) ^ mask);
+        const EntryDecode r2 = scheme_->decode(scheme_->encode(d2) ^ mask);
+        ASSERT_EQ(r1.status, r2.status) << scheme_->id();
+        if (r1.status != EntryDecode::Status::due) {
+            // Identical residual corruption relative to the data.
+            EXPECT_EQ((r1.data[0] ^ d1[0]), (r2.data[0] ^ d2[0]));
+            EXPECT_EQ((r1.data[3] ^ d1[3]), (r2.data[3] ^ d2[3]));
+        }
+    }
+}
+
+TEST_P(AllSchemes, EncoderIsLinear)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        const EntryData a = randomData(rng);
+        const EntryData b = randomData(rng);
+        EntryData sum;
+        for (int w = 0; w < 4; ++w)
+            sum[w] = a[w] ^ b[w];
+        EXPECT_EQ(scheme_->encode(a) ^ scheme_->encode(b),
+                  scheme_->encode(sum));
+    }
+}
+
+TEST_P(AllSchemes, NamesAreStable)
+{
+    EXPECT_EQ(scheme_->id(), GetParam());
+    EXPECT_FALSE(scheme_->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllSchemes,
+    ::testing::Values("ni-secded", "i-secded", "duet", "ni-sec2bec",
+                      "i-sec2bec", "trio", "i-ssc", "i-ssc-csc",
+                      "ssc-dsd+", "dsc", "ssc-tsd"),
+    [](const auto& info) {
+        std::string name = info.param;
+        for (char& c : name) {
+            if (c == '-' || c == '+')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Registry, PaperSchemesOrderedAsTable2)
+{
+    const auto schemes = paperSchemes();
+    ASSERT_EQ(schemes.size(), 9u);
+    EXPECT_EQ(schemes.front()->id(), "ni-secded");
+    EXPECT_EQ(schemes[2]->id(), "duet");
+    EXPECT_EQ(schemes[5]->id(), "trio");
+    EXPECT_EQ(schemes.back()->id(), "ssc-dsd+");
+}
+
+TEST(Registry, ReferenceSchemes)
+{
+    const auto refs = referenceSchemes();
+    ASSERT_EQ(refs.size(), 2u);
+    EXPECT_EQ(refs[0]->id(), "dsc");
+    EXPECT_EQ(refs[1]->id(), "ssc-tsd");
+}
+
+TEST(SchemeBehaviour, TrioCorrectsAllFullByteErrors)
+{
+    // The headline TrioECC property: perfect byte correction.
+    const auto trio = makeScheme("trio");
+    Rng rng(8);
+    const EntryData data = randomData(rng);
+    const Bits288 golden = trio->encode(data);
+    for (int byte = 0; byte < 36; ++byte) {
+        for (unsigned m = 1; m < 256; ++m) {
+            if (popcount64(m) < 2)
+                continue;
+            Bits288 received = golden;
+            for (int t = 0; t < 8; ++t) {
+                if ((m >> t) & 1)
+                    received.flip(8 * byte + t);
+            }
+            const EntryDecode d = trio->decode(received);
+            ASSERT_EQ(d.status, EntryDecode::Status::corrected)
+                << "byte " << byte << " mask " << m;
+            ASSERT_EQ(d.data, data);
+        }
+    }
+}
+
+TEST(SchemeBehaviour, DuetDetectsAllFullByteErrors)
+{
+    // DuetECC: all byte errors with >4 bits are detected, smaller
+    // ones are opportunistically corrected (half-byte correction).
+    const auto duet = makeScheme("duet");
+    Rng rng(9);
+    const EntryData data = randomData(rng);
+    const Bits288 golden = duet->encode(data);
+    for (int byte = 0; byte < 36; ++byte) {
+        Bits288 received = golden;
+        for (int t = 0; t < 8; ++t)
+            received.flip(8 * byte + t);
+        EXPECT_EQ(duet->decode(received).status,
+                  EntryDecode::Status::due);
+    }
+}
+
+TEST(SchemeBehaviour, SscDsdPlusDetectsPinErrors)
+{
+    const auto dsd = makeScheme("ssc-dsd+");
+    Rng rng(10);
+    const EntryData data = randomData(rng);
+    const Bits288 golden = dsd->encode(data);
+    for (int pin = 0; pin < 72; ++pin) {
+        Bits288 received = golden;
+        for (int beat = 0; beat < 4; ++beat)
+            received.flip(layout::physicalIndex(beat, pin));
+        EXPECT_EQ(dsd->decode(received).status,
+                  EntryDecode::Status::due)
+            << "pin " << pin;
+    }
+}
+
+} // namespace
+} // namespace gpuecc

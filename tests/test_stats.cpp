@@ -1,0 +1,154 @@
+/** @file Unit tests for statistics utilities. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(OnlineStatsTest, KnownValues)
+{
+    OnlineStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineStatsTest, EmptyAndSingle)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    s.add(3.0);
+    EXPECT_EQ(s.mean(), 3.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(WilsonTest, ZeroTrials)
+{
+    const Interval iv = wilsonInterval(0, 0);
+    EXPECT_EQ(iv.lo, 0.0);
+    EXPECT_EQ(iv.hi, 1.0);
+}
+
+TEST(WilsonTest, ContainsTrueProportion)
+{
+    const Interval iv = wilsonInterval(50, 100);
+    EXPECT_LT(iv.lo, 0.5);
+    EXPECT_GT(iv.hi, 0.5);
+    EXPECT_NEAR(iv.lo, 0.404, 0.005);
+    EXPECT_NEAR(iv.hi, 0.596, 0.005);
+}
+
+TEST(WilsonTest, ZeroSuccessesHasPositiveUpperBound)
+{
+    const Interval iv = wilsonInterval(0, 1000);
+    EXPECT_EQ(iv.lo, 0.0);
+    EXPECT_GT(iv.hi, 0.0);
+    EXPECT_LT(iv.hi, 0.01);
+}
+
+TEST(NormalTest, CdfKnownPoints)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413, 1e-3);
+    EXPECT_NEAR(normalCdf(-1.0), 0.1587, 1e-3);
+    EXPECT_NEAR(normalCdf(3.0), 0.99865, 1e-4);
+}
+
+TEST(NormalTest, PdfSymmetric)
+{
+    EXPECT_NEAR(normalPdf(0.0), 0.3989, 1e-3);
+    EXPECT_DOUBLE_EQ(normalPdf(1.5), normalPdf(-1.5));
+}
+
+TEST(RegressionTest, PerfectLine)
+{
+    const std::vector<double> x{1, 2, 3, 4, 5};
+    const std::vector<double> y{3, 5, 7, 9, 11};
+    const LineFit f = linearRegression(x, y);
+    EXPECT_NEAR(f.intercept, 1.0, 1e-10);
+    EXPECT_NEAR(f.slope, 2.0, 1e-10);
+    EXPECT_NEAR(f.r2, 1.0, 1e-10);
+}
+
+TEST(RegressionTest, NoisyLineR2BelowOne)
+{
+    Rng rng(1);
+    std::vector<double> x, y;
+    for (int i = 0; i < 100; ++i) {
+        x.push_back(i);
+        y.push_back(2.0 * i + 5.0 + rng.nextGaussian() * 3.0);
+    }
+    const LineFit f = linearRegression(x, y);
+    EXPECT_NEAR(f.slope, 2.0, 0.05);
+    EXPECT_GT(f.r2, 0.97);
+    EXPECT_LT(f.r2, 1.0);
+}
+
+TEST(RegressionTest, ExponentialRecoversParameters)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i <= 10; ++i) {
+        x.push_back(i);
+        y.push_back(100.0 * std::exp(-0.3 * i));
+    }
+    const LineFit f = exponentialRegression(x, y);
+    EXPECT_NEAR(f.intercept, 100.0, 1e-6); // A
+    EXPECT_NEAR(f.slope, -0.3, 1e-9);      // b
+    EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(NelderMeadTest, MinimizesQuadraticBowl)
+{
+    auto f = [](const std::vector<double>& p) {
+        const double dx = p[0] - 3.0;
+        const double dy = p[1] + 2.0;
+        return dx * dx + 4.0 * dy * dy;
+    };
+    const auto best = nelderMead(f, {0.0, 0.0}, 0.5, 3000);
+    EXPECT_NEAR(best[0], 3.0, 1e-4);
+    EXPECT_NEAR(best[1], -2.0, 1e-4);
+}
+
+TEST(FitNormalCdfTest, RecoversPaperLikeRetentionModel)
+{
+    // Synthesize the Figure 3a curve: 2700 cells, mu 19 ms, sigma 9 ms.
+    std::vector<double> x, y;
+    for (double r : {8.0, 16.0, 24.0, 32.0, 40.0, 48.0}) {
+        x.push_back(r);
+        y.push_back(2700.0 * normalCdf((r - 19.0) / 9.0));
+    }
+    const NormalCdfFit fit = fitNormalCdf(x, y);
+    EXPECT_NEAR(fit.n, 2700.0, 30.0);
+    EXPECT_NEAR(fit.mu, 19.0, 0.3);
+    EXPECT_NEAR(fit.sigma, 9.0, 0.3);
+    EXPECT_LT(fit.rss, 1.0);
+}
+
+TEST(ExponentialHistogramTest, BinEdgesAndCounts)
+{
+    ExponentialHistogram h(5359);
+    EXPECT_EQ(h.binLo(0), 1u);
+    EXPECT_EQ(h.binHi(0), 1u);
+    EXPECT_EQ(h.binLo(3), 8u);
+    EXPECT_EQ(h.binHi(3), 15u);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(5359);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    // 5359 falls in the last bin ([4096, 8191]).
+    EXPECT_EQ(h.count(h.numBins() - 1), 1u);
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,170 @@
+/** @file Tests for the Eq. 1/2 interleave and entry geometry. */
+
+#include <array>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "interleave/swizzle.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(Layout, GeometryConstants)
+{
+    EXPECT_EQ(layout::entry_bits, 288);
+    EXPECT_EQ(layout::physicalIndex(1, 0), 72);
+    EXPECT_EQ(layout::physicalIndex(3, 71), 287);
+    EXPECT_EQ(layout::beatOf(100), 1);
+    EXPECT_EQ(layout::pinOf(100), 28);
+    EXPECT_EQ(layout::byteOf(100), 12);
+}
+
+TEST(EntryLayout, NonInterleavedIsIdentity)
+{
+    const EntryLayout layout(EntryLayout::Kind::nonInterleaved);
+    for (int cw = 0; cw < 4; ++cw) {
+        for (int bit = 0; bit < 72; ++bit)
+            EXPECT_EQ(layout.physicalFor(cw, bit), 72 * cw + bit);
+    }
+}
+
+TEST(EntryLayout, InterleavedMatchesEquationOne)
+{
+    // Eq. 1: I_bits[i] = NI_bits[(73 * i) mod 288].
+    const EntryLayout layout(EntryLayout::Kind::interleaved);
+    for (int i = 0; i < 288; ++i) {
+        const auto [cw, bit] = layout.logicalFor(i);
+        EXPECT_EQ(72 * cw + bit, (73 * i) % 288);
+    }
+}
+
+class LayoutKinds
+    : public ::testing::TestWithParam<EntryLayout::Kind>
+{
+};
+
+TEST_P(LayoutKinds, PermutationIsBijective)
+{
+    const EntryLayout layout(GetParam());
+    std::set<int> phys;
+    for (int cw = 0; cw < 4; ++cw) {
+        for (int bit = 0; bit < 72; ++bit)
+            phys.insert(layout.physicalFor(cw, bit));
+    }
+    EXPECT_EQ(phys.size(), 288u);
+}
+
+TEST_P(LayoutKinds, AssembleDisassembleRoundTrip)
+{
+    const EntryLayout layout(GetParam());
+    Rng rng(9);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::array<Bits72, 4> cws;
+        for (auto& cw : cws) {
+            cw.setWord(0, rng.next64());
+            cw.setWord(1, rng.next64());
+        }
+        EXPECT_EQ(layout.disassemble(layout.assemble(cws)), cws);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, LayoutKinds,
+    ::testing::Values(EntryLayout::Kind::nonInterleaved,
+                      EntryLayout::Kind::interleaved));
+
+/**
+ * The central geometric theorem behind TrioECC: every physical byte
+ * error deposits exactly 2 bits, stride-4 apart, in each codeword.
+ */
+TEST(InterleaveGeometry, ByteErrorsBecomeStride4Symbols)
+{
+    const EntryLayout layout(EntryLayout::Kind::interleaved);
+    for (int byte = 0; byte < 36; ++byte) {
+        std::array<std::vector<int>, 4> hits;
+        for (int t = 0; t < 8; ++t) {
+            const auto [cw, bit] = layout.logicalFor(8 * byte + t);
+            hits[cw].push_back(bit);
+        }
+        for (int cw = 0; cw < 4; ++cw) {
+            ASSERT_EQ(hits[cw].size(), 2u) << "byte " << byte;
+            const int a = std::min(hits[cw][0], hits[cw][1]);
+            const int b = std::max(hits[cw][0], hits[cw][1]);
+            EXPECT_EQ(b - a, 4) << "byte " << byte << " cw " << cw;
+            EXPECT_EQ(a / 8, b / 8);
+        }
+    }
+}
+
+/**
+ * The checkerboard rotation: a pin error contributes exactly one bit
+ * to each codeword, preserving single-pin correction.
+ */
+TEST(InterleaveGeometry, PinErrorsSpreadOneBitPerCodeword)
+{
+    const EntryLayout layout(EntryLayout::Kind::interleaved);
+    for (int pin = 0; pin < 72; ++pin) {
+        std::set<int> cws;
+        for (int beat = 0; beat < 4; ++beat) {
+            const auto [cw, bit] =
+                layout.logicalFor(layout::physicalIndex(beat, pin));
+            cws.insert(cw);
+        }
+        EXPECT_EQ(cws.size(), 4u) << "pin " << pin;
+    }
+}
+
+TEST(InterleaveGeometry, InducedPairingIdenticalAcrossCodewords)
+{
+    // Every codeword sees the same 36 stride-4 symbol pairs, so one
+    // swizzled H matrix serves all four decoders.
+    const EntryLayout layout(EntryLayout::Kind::interleaved);
+    std::array<std::set<std::pair<int, int>>, 4> pairs;
+    for (int byte = 0; byte < 36; ++byte) {
+        std::array<std::vector<int>, 4> hits;
+        for (int t = 0; t < 8; ++t) {
+            const auto [cw, bit] = layout.logicalFor(8 * byte + t);
+            hits[cw].push_back(bit);
+        }
+        for (int cw = 0; cw < 4; ++cw) {
+            pairs[cw].insert({std::min(hits[cw][0], hits[cw][1]),
+                              std::max(hits[cw][0], hits[cw][1])});
+        }
+    }
+    for (int cw = 1; cw < 4; ++cw)
+        EXPECT_EQ(pairs[cw], pairs[0]);
+    EXPECT_EQ(pairs[0].size(), 36u);
+}
+
+TEST(InterleaveGeometry, StrideChoiceIsEssentiallyUnique)
+{
+    // Among all strides coprime with 288, only 73 and its modular
+    // inverse 217 (Eq. 2's deswizzle) turn every byte into one
+    // stride-4 symbol per codeword; 73 * 217 = 1 (mod 288).
+    EXPECT_EQ((73 * 217) % 288, 1);
+
+    auto byte_property = [](int stride) {
+        for (int byte = 0; byte < 36; ++byte) {
+            std::array<int, 4> hits{};
+            for (int t = 0; t < 8; ++t) {
+                const int logical = (stride * (8 * byte + t)) % 288;
+                ++hits[logical / 72];
+            }
+            for (int cw = 0; cw < 4; ++cw) {
+                if (hits[cw] != 2)
+                    return false;
+            }
+        }
+        return true;
+    };
+    EXPECT_TRUE(byte_property(73));
+    EXPECT_TRUE(byte_property(217));
+    EXPECT_FALSE(byte_property(1));
+    EXPECT_FALSE(byte_property(145)); // also 1 mod 72, still fails
+    EXPECT_FALSE(byte_property(5));
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,82 @@
+/** @file Tests for the DRAM-utilization dependence (Section 5). */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "beam/campaign.hpp"
+#include "beam/classify.hpp"
+#include "beam/events.hpp"
+
+namespace gpuecc {
+namespace beam {
+namespace {
+
+TEST(Utilization, RateScaleEndpoints)
+{
+    EventGenerator gen(EventConfig{}, hbm2::Geometry(1), Rng(1));
+    EXPECT_DOUBLE_EQ(gen.rateScale(1.0), 1.0);
+    // At zero utilization only the array classes remain.
+    const EventConfig cfg;
+    EXPECT_NEAR(gen.rateScale(0.0), cfg.p_sbse + cfg.p_sbme, 1e-12);
+    EXPECT_LT(gen.rateScale(0.5), 1.0);
+    EXPECT_GT(gen.rateScale(0.5), gen.rateScale(0.0));
+}
+
+TEST(Utilization, ZeroUtilizationProducesOnlyArrayErrors)
+{
+    EventGenerator gen(EventConfig{}, hbm2::Geometry(1), Rng(2));
+    for (int trial = 0; trial < 2000; ++trial) {
+        const SoftErrorEvent ev = gen.sample(0.0);
+        ASSERT_TRUE(ev.cls == SoftErrorEvent::Class::sbse ||
+                    ev.cls == SoftErrorEvent::Class::sbme);
+    }
+}
+
+TEST(Utilization, FullUtilizationKeepsPaperMix)
+{
+    EventGenerator gen(EventConfig{}, hbm2::Geometry(1), Rng(3));
+    std::map<SoftErrorEvent::Class, int> counts;
+    const int trials = 20000;
+    for (int trial = 0; trial < trials; ++trial)
+        ++counts[gen.sample(1.0).cls];
+    EXPECT_NEAR(counts[SoftErrorEvent::Class::sbse] /
+                    static_cast<double>(trials),
+                0.65, 0.02);
+    EXPECT_NEAR(counts[SoftErrorEvent::Class::mbme] /
+                    static_cast<double>(trials),
+                0.28, 0.02);
+}
+
+TEST(Utilization, LogicErrorRateScalesWithAccesses)
+{
+    // The paper's finding: MB (logic) events scale with utilization;
+    // SB (array) events do not. Compare campaign event rates at 25%
+    // and 100% utilization.
+    auto rates = [](double util) {
+        CampaignConfig cfg;
+        cfg.runs = 220;
+        cfg.seed = 0x0712;
+        cfg.micro.utilization = util;
+        Campaign campaign(cfg);
+        campaign.runInBeam();
+        const ClassificationResult result =
+            classifyLog(campaign.log());
+        double sb = 0, mb = 0;
+        for (const auto& ev : result.events)
+            (ev.multi_bit ? mb : sb) += 1;
+        const double hours = campaign.timeSeconds() / 3600.0;
+        return std::pair{sb / hours, mb / hours};
+    };
+    const auto [sb_low, mb_low] = rates(0.25);
+    const auto [sb_full, mb_full] = rates(1.0);
+
+    // Array rate roughly flat (Poisson noise allows ~25%).
+    EXPECT_NEAR(sb_low / sb_full, 1.0, 0.3);
+    // Logic rate roughly 4x between 25% and 100% utilization.
+    EXPECT_NEAR(mb_full / mb_low, 4.0, 1.5);
+}
+
+} // namespace
+} // namespace beam
+} // namespace gpuecc
