@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_codesearch.dir/bench_ablation_codesearch.cpp.o"
+  "CMakeFiles/bench_ablation_codesearch.dir/bench_ablation_codesearch.cpp.o.d"
+  "bench_ablation_codesearch"
+  "bench_ablation_codesearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codesearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

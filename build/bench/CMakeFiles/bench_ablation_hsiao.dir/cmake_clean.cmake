@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hsiao.dir/bench_ablation_hsiao.cpp.o"
+  "CMakeFiles/bench_ablation_hsiao.dir/bench_ablation_hsiao.cpp.o.d"
+  "bench_ablation_hsiao"
+  "bench_ablation_hsiao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hsiao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_av.dir/bench_av.cpp.o"
+  "CMakeFiles/bench_av.dir/bench_av.cpp.o.d"
+  "bench_av"
+  "bench_av.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_av.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

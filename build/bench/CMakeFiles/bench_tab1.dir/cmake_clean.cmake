@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1.dir/bench_tab1.cpp.o"
+  "CMakeFiles/bench_tab1.dir/bench_tab1.cpp.o.d"
+  "bench_tab1"
+  "bench_tab1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2.dir/bench_tab2.cpp.o"
+  "CMakeFiles/bench_tab2.dir/bench_tab2.cpp.o.d"
+  "bench_tab2"
+  "bench_tab2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

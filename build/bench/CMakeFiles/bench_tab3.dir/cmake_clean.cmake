@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3.dir/bench_tab3.cpp.o"
+  "CMakeFiles/bench_tab3.dir/bench_tab3.cpp.o.d"
+  "bench_tab3"
+  "bench_tab3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

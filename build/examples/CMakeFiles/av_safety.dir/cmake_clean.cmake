@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_safety.dir/av_safety.cpp.o"
+  "CMakeFiles/av_safety.dir/av_safety.cpp.o.d"
+  "av_safety"
+  "av_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

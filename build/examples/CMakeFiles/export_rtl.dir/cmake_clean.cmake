@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_rtl.dir/export_rtl.cpp.o"
+  "CMakeFiles/export_rtl.dir/export_rtl.cpp.o.d"
+  "export_rtl"
+  "export_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_memory.dir/protected_memory.cpp.o"
+  "CMakeFiles/protected_memory.dir/protected_memory.cpp.o.d"
+  "protected_memory"
+  "protected_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

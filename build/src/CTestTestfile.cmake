@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("gf2")
+subdirs("gf256")
+subdirs("codes")
+subdirs("interleave")
+subdirs("rs")
+subdirs("ecc")
+subdirs("faultsim")
+subdirs("hbm2")
+subdirs("beam")
+subdirs("hwmodel")
+subdirs("reliability")

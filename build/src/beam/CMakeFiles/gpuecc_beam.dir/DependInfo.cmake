@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/beam/campaign.cpp" "src/beam/CMakeFiles/gpuecc_beam.dir/campaign.cpp.o" "gcc" "src/beam/CMakeFiles/gpuecc_beam.dir/campaign.cpp.o.d"
+  "/root/repo/src/beam/classify.cpp" "src/beam/CMakeFiles/gpuecc_beam.dir/classify.cpp.o" "gcc" "src/beam/CMakeFiles/gpuecc_beam.dir/classify.cpp.o.d"
+  "/root/repo/src/beam/damage.cpp" "src/beam/CMakeFiles/gpuecc_beam.dir/damage.cpp.o" "gcc" "src/beam/CMakeFiles/gpuecc_beam.dir/damage.cpp.o.d"
+  "/root/repo/src/beam/events.cpp" "src/beam/CMakeFiles/gpuecc_beam.dir/events.cpp.o" "gcc" "src/beam/CMakeFiles/gpuecc_beam.dir/events.cpp.o.d"
+  "/root/repo/src/beam/microbenchmark.cpp" "src/beam/CMakeFiles/gpuecc_beam.dir/microbenchmark.cpp.o" "gcc" "src/beam/CMakeFiles/gpuecc_beam.dir/microbenchmark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpuecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hbm2/CMakeFiles/gpuecc_hbm2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

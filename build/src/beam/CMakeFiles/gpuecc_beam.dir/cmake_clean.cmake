@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_beam.dir/campaign.cpp.o"
+  "CMakeFiles/gpuecc_beam.dir/campaign.cpp.o.d"
+  "CMakeFiles/gpuecc_beam.dir/classify.cpp.o"
+  "CMakeFiles/gpuecc_beam.dir/classify.cpp.o.d"
+  "CMakeFiles/gpuecc_beam.dir/damage.cpp.o"
+  "CMakeFiles/gpuecc_beam.dir/damage.cpp.o.d"
+  "CMakeFiles/gpuecc_beam.dir/events.cpp.o"
+  "CMakeFiles/gpuecc_beam.dir/events.cpp.o.d"
+  "CMakeFiles/gpuecc_beam.dir/microbenchmark.cpp.o"
+  "CMakeFiles/gpuecc_beam.dir/microbenchmark.cpp.o.d"
+  "libgpuecc_beam.a"
+  "libgpuecc_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

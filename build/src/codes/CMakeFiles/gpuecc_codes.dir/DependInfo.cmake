@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/code_search.cpp" "src/codes/CMakeFiles/gpuecc_codes.dir/code_search.cpp.o" "gcc" "src/codes/CMakeFiles/gpuecc_codes.dir/code_search.cpp.o.d"
+  "/root/repo/src/codes/crockford.cpp" "src/codes/CMakeFiles/gpuecc_codes.dir/crockford.cpp.o" "gcc" "src/codes/CMakeFiles/gpuecc_codes.dir/crockford.cpp.o.d"
+  "/root/repo/src/codes/hsiao.cpp" "src/codes/CMakeFiles/gpuecc_codes.dir/hsiao.cpp.o" "gcc" "src/codes/CMakeFiles/gpuecc_codes.dir/hsiao.cpp.o.d"
+  "/root/repo/src/codes/linear_code.cpp" "src/codes/CMakeFiles/gpuecc_codes.dir/linear_code.cpp.o" "gcc" "src/codes/CMakeFiles/gpuecc_codes.dir/linear_code.cpp.o.d"
+  "/root/repo/src/codes/sec2bec.cpp" "src/codes/CMakeFiles/gpuecc_codes.dir/sec2bec.cpp.o" "gcc" "src/codes/CMakeFiles/gpuecc_codes.dir/sec2bec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpuecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/gpuecc_gf2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

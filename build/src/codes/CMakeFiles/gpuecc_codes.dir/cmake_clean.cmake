@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_codes.dir/code_search.cpp.o"
+  "CMakeFiles/gpuecc_codes.dir/code_search.cpp.o.d"
+  "CMakeFiles/gpuecc_codes.dir/crockford.cpp.o"
+  "CMakeFiles/gpuecc_codes.dir/crockford.cpp.o.d"
+  "CMakeFiles/gpuecc_codes.dir/hsiao.cpp.o"
+  "CMakeFiles/gpuecc_codes.dir/hsiao.cpp.o.d"
+  "CMakeFiles/gpuecc_codes.dir/linear_code.cpp.o"
+  "CMakeFiles/gpuecc_codes.dir/linear_code.cpp.o.d"
+  "CMakeFiles/gpuecc_codes.dir/sec2bec.cpp.o"
+  "CMakeFiles/gpuecc_codes.dir/sec2bec.cpp.o.d"
+  "libgpuecc_codes.a"
+  "libgpuecc_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

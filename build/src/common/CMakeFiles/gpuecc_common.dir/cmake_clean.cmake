@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_common.dir/cli.cpp.o"
+  "CMakeFiles/gpuecc_common.dir/cli.cpp.o.d"
+  "CMakeFiles/gpuecc_common.dir/rng.cpp.o"
+  "CMakeFiles/gpuecc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gpuecc_common.dir/stats.cpp.o"
+  "CMakeFiles/gpuecc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gpuecc_common.dir/table.cpp.o"
+  "CMakeFiles/gpuecc_common.dir/table.cpp.o.d"
+  "libgpuecc_common.a"
+  "libgpuecc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

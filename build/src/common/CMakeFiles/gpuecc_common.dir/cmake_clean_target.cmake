@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuecc_common.a"
+)

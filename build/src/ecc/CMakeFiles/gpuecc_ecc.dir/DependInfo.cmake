@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/binary_scheme.cpp" "src/ecc/CMakeFiles/gpuecc_ecc.dir/binary_scheme.cpp.o" "gcc" "src/ecc/CMakeFiles/gpuecc_ecc.dir/binary_scheme.cpp.o.d"
+  "/root/repo/src/ecc/csc.cpp" "src/ecc/CMakeFiles/gpuecc_ecc.dir/csc.cpp.o" "gcc" "src/ecc/CMakeFiles/gpuecc_ecc.dir/csc.cpp.o.d"
+  "/root/repo/src/ecc/placement.cpp" "src/ecc/CMakeFiles/gpuecc_ecc.dir/placement.cpp.o" "gcc" "src/ecc/CMakeFiles/gpuecc_ecc.dir/placement.cpp.o.d"
+  "/root/repo/src/ecc/protected_memory.cpp" "src/ecc/CMakeFiles/gpuecc_ecc.dir/protected_memory.cpp.o" "gcc" "src/ecc/CMakeFiles/gpuecc_ecc.dir/protected_memory.cpp.o.d"
+  "/root/repo/src/ecc/reconfigurable.cpp" "src/ecc/CMakeFiles/gpuecc_ecc.dir/reconfigurable.cpp.o" "gcc" "src/ecc/CMakeFiles/gpuecc_ecc.dir/reconfigurable.cpp.o.d"
+  "/root/repo/src/ecc/registry.cpp" "src/ecc/CMakeFiles/gpuecc_ecc.dir/registry.cpp.o" "gcc" "src/ecc/CMakeFiles/gpuecc_ecc.dir/registry.cpp.o.d"
+  "/root/repo/src/ecc/rs_scheme.cpp" "src/ecc/CMakeFiles/gpuecc_ecc.dir/rs_scheme.cpp.o" "gcc" "src/ecc/CMakeFiles/gpuecc_ecc.dir/rs_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpuecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/gpuecc_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/interleave/CMakeFiles/gpuecc_interleave.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/gpuecc_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/gpuecc_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf256/CMakeFiles/gpuecc_gf256.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

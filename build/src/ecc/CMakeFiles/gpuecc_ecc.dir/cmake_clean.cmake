@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_ecc.dir/binary_scheme.cpp.o"
+  "CMakeFiles/gpuecc_ecc.dir/binary_scheme.cpp.o.d"
+  "CMakeFiles/gpuecc_ecc.dir/csc.cpp.o"
+  "CMakeFiles/gpuecc_ecc.dir/csc.cpp.o.d"
+  "CMakeFiles/gpuecc_ecc.dir/placement.cpp.o"
+  "CMakeFiles/gpuecc_ecc.dir/placement.cpp.o.d"
+  "CMakeFiles/gpuecc_ecc.dir/protected_memory.cpp.o"
+  "CMakeFiles/gpuecc_ecc.dir/protected_memory.cpp.o.d"
+  "CMakeFiles/gpuecc_ecc.dir/reconfigurable.cpp.o"
+  "CMakeFiles/gpuecc_ecc.dir/reconfigurable.cpp.o.d"
+  "CMakeFiles/gpuecc_ecc.dir/registry.cpp.o"
+  "CMakeFiles/gpuecc_ecc.dir/registry.cpp.o.d"
+  "CMakeFiles/gpuecc_ecc.dir/rs_scheme.cpp.o"
+  "CMakeFiles/gpuecc_ecc.dir/rs_scheme.cpp.o.d"
+  "libgpuecc_ecc.a"
+  "libgpuecc_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

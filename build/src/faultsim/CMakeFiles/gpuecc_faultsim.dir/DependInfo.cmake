@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultsim/evaluator.cpp" "src/faultsim/CMakeFiles/gpuecc_faultsim.dir/evaluator.cpp.o" "gcc" "src/faultsim/CMakeFiles/gpuecc_faultsim.dir/evaluator.cpp.o.d"
+  "/root/repo/src/faultsim/patterns.cpp" "src/faultsim/CMakeFiles/gpuecc_faultsim.dir/patterns.cpp.o" "gcc" "src/faultsim/CMakeFiles/gpuecc_faultsim.dir/patterns.cpp.o.d"
+  "/root/repo/src/faultsim/permanent.cpp" "src/faultsim/CMakeFiles/gpuecc_faultsim.dir/permanent.cpp.o" "gcc" "src/faultsim/CMakeFiles/gpuecc_faultsim.dir/permanent.cpp.o.d"
+  "/root/repo/src/faultsim/weighted.cpp" "src/faultsim/CMakeFiles/gpuecc_faultsim.dir/weighted.cpp.o" "gcc" "src/faultsim/CMakeFiles/gpuecc_faultsim.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpuecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gpuecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/interleave/CMakeFiles/gpuecc_interleave.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/gpuecc_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/gpuecc_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/gpuecc_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf256/CMakeFiles/gpuecc_gf256.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_faultsim.dir/evaluator.cpp.o"
+  "CMakeFiles/gpuecc_faultsim.dir/evaluator.cpp.o.d"
+  "CMakeFiles/gpuecc_faultsim.dir/patterns.cpp.o"
+  "CMakeFiles/gpuecc_faultsim.dir/patterns.cpp.o.d"
+  "CMakeFiles/gpuecc_faultsim.dir/permanent.cpp.o"
+  "CMakeFiles/gpuecc_faultsim.dir/permanent.cpp.o.d"
+  "CMakeFiles/gpuecc_faultsim.dir/weighted.cpp.o"
+  "CMakeFiles/gpuecc_faultsim.dir/weighted.cpp.o.d"
+  "libgpuecc_faultsim.a"
+  "libgpuecc_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_gf2.dir/matrix.cpp.o"
+  "CMakeFiles/gpuecc_gf2.dir/matrix.cpp.o.d"
+  "libgpuecc_gf2.a"
+  "libgpuecc_gf2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_gf2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_gf256.dir/gf256.cpp.o"
+  "CMakeFiles/gpuecc_gf256.dir/gf256.cpp.o.d"
+  "libgpuecc_gf256.a"
+  "libgpuecc_gf256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_gf256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

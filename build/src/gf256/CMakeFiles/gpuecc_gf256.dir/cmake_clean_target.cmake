@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuecc_gf256.a"
+)

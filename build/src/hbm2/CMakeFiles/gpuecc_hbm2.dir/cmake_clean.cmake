@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_hbm2.dir/device.cpp.o"
+  "CMakeFiles/gpuecc_hbm2.dir/device.cpp.o.d"
+  "CMakeFiles/gpuecc_hbm2.dir/geometry.cpp.o"
+  "CMakeFiles/gpuecc_hbm2.dir/geometry.cpp.o.d"
+  "CMakeFiles/gpuecc_hbm2.dir/retention.cpp.o"
+  "CMakeFiles/gpuecc_hbm2.dir/retention.cpp.o.d"
+  "libgpuecc_hbm2.a"
+  "libgpuecc_hbm2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_hbm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

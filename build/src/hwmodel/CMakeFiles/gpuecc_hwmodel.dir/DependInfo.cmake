@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/circuits.cpp" "src/hwmodel/CMakeFiles/gpuecc_hwmodel.dir/circuits.cpp.o" "gcc" "src/hwmodel/CMakeFiles/gpuecc_hwmodel.dir/circuits.cpp.o.d"
+  "/root/repo/src/hwmodel/netlist.cpp" "src/hwmodel/CMakeFiles/gpuecc_hwmodel.dir/netlist.cpp.o" "gcc" "src/hwmodel/CMakeFiles/gpuecc_hwmodel.dir/netlist.cpp.o.d"
+  "/root/repo/src/hwmodel/xor_network.cpp" "src/hwmodel/CMakeFiles/gpuecc_hwmodel.dir/xor_network.cpp.o" "gcc" "src/hwmodel/CMakeFiles/gpuecc_hwmodel.dir/xor_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpuecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/gpuecc_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf256/CMakeFiles/gpuecc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/gpuecc_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/gpuecc_gf2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

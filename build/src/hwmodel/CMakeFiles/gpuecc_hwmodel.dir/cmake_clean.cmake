@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_hwmodel.dir/circuits.cpp.o"
+  "CMakeFiles/gpuecc_hwmodel.dir/circuits.cpp.o.d"
+  "CMakeFiles/gpuecc_hwmodel.dir/netlist.cpp.o"
+  "CMakeFiles/gpuecc_hwmodel.dir/netlist.cpp.o.d"
+  "CMakeFiles/gpuecc_hwmodel.dir/xor_network.cpp.o"
+  "CMakeFiles/gpuecc_hwmodel.dir/xor_network.cpp.o.d"
+  "libgpuecc_hwmodel.a"
+  "libgpuecc_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpuecc_hwmodel.
+# This may be replaced when dependencies are built.

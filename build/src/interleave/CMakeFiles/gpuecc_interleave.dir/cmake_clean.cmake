@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_interleave.dir/swizzle.cpp.o"
+  "CMakeFiles/gpuecc_interleave.dir/swizzle.cpp.o.d"
+  "libgpuecc_interleave.a"
+  "libgpuecc_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

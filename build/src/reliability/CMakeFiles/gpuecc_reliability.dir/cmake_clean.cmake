@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_reliability.dir/fit.cpp.o"
+  "CMakeFiles/gpuecc_reliability.dir/fit.cpp.o.d"
+  "CMakeFiles/gpuecc_reliability.dir/history.cpp.o"
+  "CMakeFiles/gpuecc_reliability.dir/history.cpp.o.d"
+  "CMakeFiles/gpuecc_reliability.dir/system.cpp.o"
+  "CMakeFiles/gpuecc_reliability.dir/system.cpp.o.d"
+  "libgpuecc_reliability.a"
+  "libgpuecc_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

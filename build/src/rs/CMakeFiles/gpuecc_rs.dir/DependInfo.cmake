@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rs/decoders.cpp" "src/rs/CMakeFiles/gpuecc_rs.dir/decoders.cpp.o" "gcc" "src/rs/CMakeFiles/gpuecc_rs.dir/decoders.cpp.o.d"
+  "/root/repo/src/rs/rs_code.cpp" "src/rs/CMakeFiles/gpuecc_rs.dir/rs_code.cpp.o" "gcc" "src/rs/CMakeFiles/gpuecc_rs.dir/rs_code.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpuecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf256/CMakeFiles/gpuecc_gf256.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

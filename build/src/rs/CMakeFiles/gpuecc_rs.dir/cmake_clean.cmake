@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuecc_rs.dir/decoders.cpp.o"
+  "CMakeFiles/gpuecc_rs.dir/decoders.cpp.o.d"
+  "CMakeFiles/gpuecc_rs.dir/rs_code.cpp.o"
+  "CMakeFiles/gpuecc_rs.dir/rs_code.cpp.o.d"
+  "libgpuecc_rs.a"
+  "libgpuecc_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuecc_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam_classify.dir/test_beam_classify.cpp.o"
+  "CMakeFiles/test_beam_classify.dir/test_beam_classify.cpp.o.d"
+  "test_beam_classify"
+  "test_beam_classify.pdb"
+  "test_beam_classify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam_damage.dir/test_beam_damage.cpp.o"
+  "CMakeFiles/test_beam_damage.dir/test_beam_damage.cpp.o.d"
+  "test_beam_damage"
+  "test_beam_damage.pdb"
+  "test_beam_damage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

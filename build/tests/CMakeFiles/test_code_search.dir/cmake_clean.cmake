@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_code_search.dir/test_code_search.cpp.o"
+  "CMakeFiles/test_code_search.dir/test_code_search.cpp.o.d"
+  "test_code_search"
+  "test_code_search.pdb"
+  "test_code_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_code_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

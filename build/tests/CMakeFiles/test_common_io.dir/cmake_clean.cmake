@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_io.dir/test_common_io.cpp.o"
+  "CMakeFiles/test_common_io.dir/test_common_io.cpp.o.d"
+  "test_common_io"
+  "test_common_io.pdb"
+  "test_common_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

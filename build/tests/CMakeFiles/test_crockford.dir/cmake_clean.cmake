@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crockford.dir/test_crockford.cpp.o"
+  "CMakeFiles/test_crockford.dir/test_crockford.cpp.o.d"
+  "test_crockford"
+  "test_crockford.pdb"
+  "test_crockford[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crockford.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_erasure.dir/test_erasure.cpp.o"
+  "CMakeFiles/test_erasure.dir/test_erasure.cpp.o.d"
+  "test_erasure"
+  "test_erasure.pdb"
+  "test_erasure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

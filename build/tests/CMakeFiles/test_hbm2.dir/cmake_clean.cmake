@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hbm2.dir/test_hbm2.cpp.o"
+  "CMakeFiles/test_hbm2.dir/test_hbm2.cpp.o.d"
+  "test_hbm2"
+  "test_hbm2.pdb"
+  "test_hbm2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hbm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

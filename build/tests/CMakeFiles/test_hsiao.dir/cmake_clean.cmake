@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hsiao.dir/test_hsiao.cpp.o"
+  "CMakeFiles/test_hsiao.dir/test_hsiao.cpp.o.d"
+  "test_hsiao"
+  "test_hsiao.pdb"
+  "test_hsiao[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hsiao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

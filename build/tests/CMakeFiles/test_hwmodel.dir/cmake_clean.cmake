@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwmodel.dir/test_hwmodel.cpp.o"
+  "CMakeFiles/test_hwmodel.dir/test_hwmodel.cpp.o.d"
+  "test_hwmodel"
+  "test_hwmodel.pdb"
+  "test_hwmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_code.dir/test_linear_code.cpp.o"
+  "CMakeFiles/test_linear_code.dir/test_linear_code.cpp.o.d"
+  "test_linear_code"
+  "test_linear_code.pdb"
+  "test_linear_code[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microbenchmark.dir/test_microbenchmark.cpp.o"
+  "CMakeFiles/test_microbenchmark.dir/test_microbenchmark.cpp.o.d"
+  "test_microbenchmark"
+  "test_microbenchmark.pdb"
+  "test_microbenchmark[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permanent.dir/test_permanent.cpp.o"
+  "CMakeFiles/test_permanent.dir/test_permanent.cpp.o.d"
+  "test_permanent"
+  "test_permanent.pdb"
+  "test_permanent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permanent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protected_memory.dir/test_protected_memory.cpp.o"
+  "CMakeFiles/test_protected_memory.dir/test_protected_memory.cpp.o.d"
+  "test_protected_memory"
+  "test_protected_memory.pdb"
+  "test_protected_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protected_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

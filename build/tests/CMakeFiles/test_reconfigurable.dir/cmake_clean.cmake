@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconfigurable.dir/test_reconfigurable.cpp.o"
+  "CMakeFiles/test_reconfigurable.dir/test_reconfigurable.cpp.o.d"
+  "test_reconfigurable"
+  "test_reconfigurable.pdb"
+  "test_reconfigurable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconfigurable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rs.cpp" "tests/CMakeFiles/test_rs.dir/test_rs.cpp.o" "gcc" "tests/CMakeFiles/test_rs.dir/test_rs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/beam/CMakeFiles/gpuecc_beam.dir/DependInfo.cmake"
+  "/root/repo/build/src/hbm2/CMakeFiles/gpuecc_hbm2.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/gpuecc_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/gpuecc_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/gpuecc_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gpuecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/gpuecc_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/gpuecc_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/interleave/CMakeFiles/gpuecc_interleave.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/gpuecc_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf256/CMakeFiles/gpuecc_gf256.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpuecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sec2bec.dir/test_sec2bec.cpp.o"
+  "CMakeFiles/test_sec2bec.dir/test_sec2bec.cpp.o.d"
+  "test_sec2bec"
+  "test_sec2bec.pdb"
+  "test_sec2bec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sec2bec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
