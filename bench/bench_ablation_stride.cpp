@@ -18,7 +18,9 @@
 #include <set>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
+#include "sim/report.hpp"
 
 namespace {
 
@@ -87,8 +89,14 @@ analyze(int stride)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    gpuecc::Cli cli;
+    cli.addFlag("json", "", "write results to this JSON file");
+    cli.parse(argc, argv,
+              "Ablation: sweep of interleave strides coprime with "
+              "288 (why Eq. 1 uses 73).");
+
     int coprime = 0, pin_only = 0, byte_only = 0, both = 0;
     std::vector<int> winners;
     for (int stride = 1; stride < kEntryBits; ++stride) {
@@ -128,5 +136,20 @@ main()
                 "Eq. 2) - the paper's choice is\nunique up to "
                 "inversion. Stride 1 (no interleave) keeps whole "
                 "bytes inside one codeword.\n");
+
+    const std::string path = cli.getString("json");
+    if (!path.empty()) {
+        gpuecc::sim::JsonWriter json;
+        json.beginObject();
+        json.kv("coprime_strides", coprime);
+        json.kv("pin_property", pin_only);
+        json.kv("byte_property", byte_only);
+        json.kv("both_properties", both);
+        json.key("winners").beginArray();
+        for (int s : winners)
+            json.value(s);
+        json.endArray().endObject();
+        gpuecc::sim::writeTextFile(path, json.str());
+    }
     return 0;
 }

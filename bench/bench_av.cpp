@@ -7,12 +7,12 @@
 
 #include <cstdio>
 
-#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "ecc/registry.hpp"
-#include "faultsim/evaluator.hpp"
 #include "faultsim/weighted.hpp"
 #include "reliability/system.hpp"
+#include "sim/campaign.hpp"
+#include "sim/cli.hpp"
 
 using namespace gpuecc;
 
@@ -20,13 +20,14 @@ int
 main(int argc, char** argv)
 {
     Cli cli;
-    cli.addFlag("samples", "200000",
-                "Monte Carlo samples for beat/entry patterns");
+    sim::addCampaignFlags(cli);
     cli.parse(argc, argv,
               "Regenerate the Section 7.3 autonomous-vehicle "
               "analysis.");
-    const auto samples =
-        static_cast<std::uint64_t>(cli.getInt("samples"));
+
+    sim::CampaignSpec spec = sim::campaignSpecFromCli(cli);
+    spec.scheme_ids = {"ni-secded", "duet", "trio", "ssc-dsd+"};
+    const sim::CampaignResult result = sim::CampaignRunner(spec).run();
 
     const reliability::AvModel av;
     std::printf("per-vehicle GPU: %.0f GB HBM2 at %.2f FIT/Gb = "
@@ -39,11 +40,10 @@ main(int argc, char** argv)
 
     TextTable table({"scheme", "SDC FIT", "ASIL-D?", "fleet SDC",
                      "fleet DUE/day"});
-    for (const char* id : {"ni-secded", "duet", "trio", "ssc-dsd+"}) {
+    for (const std::string& id : spec.scheme_ids) {
         const auto scheme = makeScheme(id);
-        Evaluator ev(*scheme);
         const WeightedOutcome w =
-            weightedOutcome(ev.evaluateAll(samples));
+            weightedOutcome(result.perPattern(id));
         const double sdc_per_day = av.fleetSdcPerDay(w);
         char sdc_text[48];
         if (sdc_per_day >= 1.0) {
@@ -68,5 +68,6 @@ main(int argc, char** argv)
                 "swaps these two rates in prose); ~148 DuetECC\n"
                 "vehicles/day need DUE recovery vs ~25 for "
                 "TrioECC/SSC-DSD+.\n");
+    sim::emitCampaignArtifacts(result, cli);
     return 0;
 }

@@ -9,11 +9,11 @@
 
 #include <cstdio>
 
-#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "ecc/registry.hpp"
-#include "faultsim/evaluator.hpp"
 #include "faultsim/weighted.hpp"
+#include "sim/campaign.hpp"
+#include "sim/cli.hpp"
 
 using namespace gpuecc;
 
@@ -21,21 +21,20 @@ int
 main(int argc, char** argv)
 {
     Cli cli;
-    cli.addFlag("samples", "200000",
-                "Monte Carlo samples for beat/entry patterns");
+    sim::addCampaignFlags(cli);
     cli.parse(argc, argv,
               "Regenerate Figure 8 (event-weighted outcomes).");
-    const auto samples =
-        static_cast<std::uint64_t>(cli.getInt("samples"));
+
+    sim::CampaignSpec spec = sim::campaignSpecFromCli(cli);
+    for (const auto& scheme : paperSchemes())
+        spec.scheme_ids.push_back(scheme->id());
+    const sim::CampaignResult result = sim::CampaignRunner(spec).run();
 
     TextTable table({"scheme", "correct", "detect", "SDC",
                      "SDC vs SEC-DED"});
     std::map<std::string, WeightedOutcome> outcomes;
-    for (const auto& scheme : paperSchemes()) {
-        Evaluator ev(*scheme);
-        outcomes[scheme->id()] =
-            weightedOutcome(ev.evaluateAll(samples));
-    }
+    for (const std::string& id : spec.scheme_ids)
+        outcomes[id] = weightedOutcome(result.perPattern(id));
     const double base_sdc = outcomes.at("ni-secded").sdc;
     for (const auto& scheme : paperSchemes()) {
         const WeightedOutcome& w = outcomes.at(scheme->id());
@@ -72,5 +71,6 @@ main(int argc, char** argv)
     std::printf("  uncorrectable reduction: %.2fx for TrioECC vs "
                 "SEC-DED (paper: 7.87x)\n",
                 (base.detect + base.sdc) / (trio.detect + trio.sdc));
+    sim::emitCampaignArtifacts(result, cli);
     return 0;
 }

@@ -10,12 +10,12 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "ecc/registry.hpp"
-#include "faultsim/evaluator.hpp"
 #include "faultsim/weighted.hpp"
 #include "reliability/system.hpp"
+#include "sim/campaign.hpp"
+#include "sim/cli.hpp"
 
 using namespace gpuecc;
 
@@ -23,8 +23,7 @@ int
 main(int argc, char** argv)
 {
     Cli cli;
-    cli.addFlag("samples", "200000",
-                "Monte Carlo samples for beat/entry patterns");
+    sim::addCampaignFlags(cli);
     cli.addFlag("tflops-per-gpu", "19.5",
                 "peak FP64 tensor TFLOP/s per GPU (A100)");
     cli.addFlag("gb-per-gpu", "40", "HBM2 GB per GPU");
@@ -35,14 +34,13 @@ main(int argc, char** argv)
     hpc.tflops_per_gpu = cli.getDouble("tflops-per-gpu");
     hpc.gb_per_gpu = cli.getDouble("gb-per-gpu");
 
-    const auto samples =
-        static_cast<std::uint64_t>(cli.getInt("samples"));
+    sim::CampaignSpec spec = sim::campaignSpecFromCli(cli);
+    spec.scheme_ids = {"ni-secded", "duet", "trio", "ssc-dsd+"};
+    const sim::CampaignResult result = sim::CampaignRunner(spec).run();
+
     std::map<std::string, WeightedOutcome> outcomes;
-    for (const char* id : {"ni-secded", "duet", "trio", "ssc-dsd+"}) {
-        const auto scheme = makeScheme(id);
-        Evaluator ev(*scheme);
-        outcomes[id] = weightedOutcome(ev.evaluateAll(samples));
-    }
+    for (const std::string& id : spec.scheme_ids)
+        outcomes[id] = weightedOutcome(result.perPattern(id));
 
     const double scales[] = {0.5, 1.0, 1.5, 2.0};
 
@@ -85,5 +83,6 @@ main(int argc, char** argv)
     std::printf("(paper: SEC-DED SDC every 22.5 h at 0.5 EF; TrioECC "
                 "MTTF 5.7-22.6 months; DuetECC in years;\n SSC-DSD+ "
                 "in hundreds of years)\n");
+    sim::emitCampaignArtifacts(result, cli);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "hwmodel/circuits.hpp"
+#include "sim/report.hpp"
 
 using namespace gpuecc;
 using namespace gpuecc::hw;
@@ -21,6 +22,7 @@ int
 main(int argc, char** argv)
 {
     Cli cli;
+    cli.addFlag("json", "", "write the table to this JSON file");
     cli.parse(argc, argv, "Regenerate Table 3 (hardware overheads).");
 
     const auto rows = table3Reports();
@@ -71,5 +73,22 @@ main(int argc, char** argv)
                 "area and 60-95%% slower.\n");
     std::printf("(Interleaving is wires-only; Duet/Trio reuse the "
                 "SEC-DED / SEC-2bEC encoders.)\n");
+
+    const std::string path = cli.getString("json");
+    if (!path.empty()) {
+        sim::JsonWriter json;
+        json.beginObject();
+        json.key("rows").beginArray();
+        for (const SynthesisReport& r : rows) {
+            json.beginObject();
+            json.kv("circuit", r.circuit);
+            json.kv("design_point", r.design_point);
+            json.kv("area_and2", r.area_and2);
+            json.kv("delay_ns", r.delay_ns);
+            json.endObject();
+        }
+        json.endArray().endObject();
+        sim::writeTextFile(path, json.str());
+    }
     return 0;
 }

@@ -1,76 +1,82 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the software codecs: encode
- * and decode throughput per 32B entry for every organization, plus
- * the fault-injection evaluator's inner loop. These support the
- * paper's implicit claim that all the proposed decoders remain
- * simple single-pass operations.
+ * Self-timed throughput benchmarks: encode and decode rates per 32B
+ * entry for every organization (supporting the paper's implicit claim
+ * that all proposed decoders remain simple single-pass operations),
+ * plus a campaign-engine scaling sweep — the same fault-injection
+ * campaign run at 1, 2, 4, ... worker threads, with a bit-identity
+ * check across thread counts and the resulting wall-clock/speedup
+ * recorded in BENCH_throughput.json.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "ecc/registry.hpp"
-#include "faultsim/patterns.hpp"
-
-namespace {
+#include "sim/campaign.hpp"
+#include "sim/report.hpp"
 
 using namespace gpuecc;
 
-void
-BM_Encode(benchmark::State& state, const std::string& id)
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct CodecRates
+{
+    double encode_mops;
+    double decode_clean_mops;
+    double decode_1bit_mops;
+};
+
+CodecRates
+codecRates(const std::string& id, std::uint64_t iters)
 {
     const auto scheme = makeScheme(id);
     Rng rng(1);
+    CodecRates r{};
+
     EntryData data{rng.next64(), rng.next64(), rng.next64(),
                    rng.next64()};
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(scheme->encode(data));
+    auto start = std::chrono::steady_clock::now();
+    Bits288 sink;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        sink = sink ^ scheme->encode(data);
         data[0] += 1; // defeat caching
     }
-    state.SetBytesProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 32);
-}
+    r.encode_mops = iters / secondsSince(start) / 1e6;
 
-void
-BM_DecodeClean(benchmark::State& state, const std::string& id)
-{
-    const auto scheme = makeScheme(id);
-    Rng rng(2);
-    const EntryData data{rng.next64(), rng.next64(), rng.next64(),
-                         rng.next64()};
     const Bits288 entry = scheme->encode(data);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(scheme->decode(entry));
-    state.SetBytesProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 32);
-}
+    std::uint64_t guard = sink.popcount();
+    start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i)
+        guard += scheme->decode(entry).data[0];
+    r.decode_clean_mops = iters / secondsSince(start) / 1e6;
 
-void
-BM_DecodeSingleBit(benchmark::State& state, const std::string& id)
-{
-    const auto scheme = makeScheme(id);
-    Rng rng(3);
-    const EntryData data{rng.next64(), rng.next64(), rng.next64(),
-                         rng.next64()};
-    Bits288 entry = scheme->encode(data);
+    Bits288 flipped = entry;
     int bit = 0;
-    for (auto _ : state) {
-        entry.flip(bit);
-        benchmark::DoNotOptimize(scheme->decode(entry));
-        entry.flip(bit);
+    start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        flipped.flip(bit);
+        guard += scheme->decode(flipped).data[0];
+        flipped.flip(bit);
         bit = (bit + 1) % 288;
     }
-}
+    r.decode_1bit_mops = iters / secondsSince(start) / 1e6;
 
-void
-BM_SampleEntryPattern(benchmark::State& state)
-{
-    Rng rng(4);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            sampleErrorMask(ErrorPattern::wholeEntry, rng));
-    }
+    if (guard == 0x5EED5EED) // never true; defeats dead-code removal
+        std::printf("guard\n");
+    return r;
 }
 
 } // namespace
@@ -78,21 +84,119 @@ BM_SampleEntryPattern(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
-    for (const char* id :
-         {"ni-secded", "duet", "trio", "i-ssc", "ssc-dsd+"}) {
-        benchmark::RegisterBenchmark(
-            (std::string("encode/") + id).c_str(),
-            [id](benchmark::State& s) { BM_Encode(s, id); });
-        benchmark::RegisterBenchmark(
-            (std::string("decode_clean/") + id).c_str(),
-            [id](benchmark::State& s) { BM_DecodeClean(s, id); });
-        benchmark::RegisterBenchmark(
-            (std::string("decode_1bit/") + id).c_str(),
-            [id](benchmark::State& s) { BM_DecodeSingleBit(s, id); });
+    Cli cli;
+    cli.addFlag("iters", "200000", "iterations per codec measurement");
+    cli.addFlag("samples", "200000",
+                "campaign samples per sampled pattern");
+    cli.addFlag("threads", "8",
+                "max worker threads for the scaling sweep "
+                "(0 = one per hardware thread)");
+    cli.addFlag("seed", "0x5EED", "campaign seed");
+    cli.addFlag("json", "BENCH_throughput.json",
+                "output JSON path (empty to skip)");
+    cli.parse(argc, argv,
+              "Codec throughput and campaign-engine scaling.");
+
+    const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
+    const int max_threads = ThreadPool::resolveThreadCount(
+        static_cast<int>(cli.getInt("threads")));
+
+    sim::JsonWriter json;
+    json.beginObject();
+    json.kv("iters", iters);
+
+    const char* ids[] = {"ni-secded", "duet", "trio", "i-ssc",
+                         "ssc-dsd+"};
+    TextTable codecs({"scheme", "encode M/s", "decode clean M/s",
+                      "decode 1bit M/s"});
+    json.key("codecs").beginArray();
+    for (const char* id : ids) {
+        const CodecRates r = codecRates(id, iters);
+        codecs.addRow({id, formatFixed(r.encode_mops, 2),
+                       formatFixed(r.decode_clean_mops, 2),
+                       formatFixed(r.decode_1bit_mops, 2)});
+        json.beginObject();
+        json.kv("scheme", std::string(id));
+        json.kv("encode_mops", r.encode_mops);
+        json.kv("decode_clean_mops", r.decode_clean_mops);
+        json.kv("decode_1bit_mops", r.decode_1bit_mops);
+        json.endObject();
     }
-    benchmark::RegisterBenchmark("sample_entry_pattern",
-                                 BM_SampleEntryPattern);
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    json.endArray();
+    std::printf("== Codec throughput (millions of 32B entries/s) ==\n");
+    codecs.print();
+
+    // Campaign-engine scaling: the same spec at growing thread
+    // counts. Counts must be bit-identical at every width; speedup is
+    // relative to the single-threaded run.
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"duet", "trio"};
+    spec.patterns = {ErrorPattern::oneBeat, ErrorPattern::wholeEntry};
+    spec.samples = static_cast<std::uint64_t>(cli.getInt("samples"));
+    spec.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+
+    std::printf("\n== Campaign engine scaling (%llu samples x %zu "
+                "schemes x %zu patterns) ==\n",
+                static_cast<unsigned long long>(spec.samples),
+                spec.scheme_ids.size(), spec.patterns.size());
+    TextTable scaling({"threads", "seconds", "trials/s", "speedup",
+                       "bit-identical"});
+    json.kv("campaign_samples", spec.samples);
+    json.key("campaign_scaling").beginArray();
+
+    double base_seconds = 0.0;
+    std::vector<sim::CampaignCell> reference;
+    bool all_identical = true;
+    for (int t = 1; t <= max_threads; t *= 2) {
+        spec.threads = t;
+        const sim::CampaignResult result =
+            sim::CampaignRunner(spec).run();
+        if (t == 1) {
+            base_seconds = result.seconds;
+            reference = result.cells;
+        }
+        bool identical = result.cells.size() == reference.size();
+        for (std::size_t i = 0; identical && i < reference.size();
+             ++i) {
+            const OutcomeCounts& a = reference[i].counts;
+            const OutcomeCounts& b = result.cells[i].counts;
+            identical = a.trials == b.trials && a.dce == b.dce &&
+                a.due == b.due && a.sdc == b.sdc;
+        }
+        all_identical = all_identical && identical;
+        const double speedup =
+            result.seconds > 0.0 ? base_seconds / result.seconds : 0.0;
+        scaling.addRow({std::to_string(t),
+                        formatFixed(result.seconds, 3),
+                        formatScientific(result.trialsPerSecond()),
+                        formatFixed(speedup, 2) + "x",
+                        identical ? "yes" : "NO"});
+        json.beginObject();
+        json.kv("threads", t);
+        json.kv("seconds", result.seconds);
+        json.kv("trials_per_second", result.trialsPerSecond());
+        json.kv("speedup", speedup);
+        json.kv("bit_identical", identical);
+        json.endObject();
+    }
+    json.endArray();
+    json.kv("all_thread_counts_bit_identical", all_identical);
+    json.kv("hardware_threads", ThreadPool::hardwareThreads());
+    json.endObject();
+    scaling.print();
+    std::printf("(host has %d hardware thread(s); speedup saturates "
+                "there)\n",
+                ThreadPool::hardwareThreads());
+    if (!all_identical) {
+        std::printf("ERROR: thread counts disagreed — determinism "
+                    "violation\n");
+        return 1;
+    }
+
+    const std::string path = cli.getString("json");
+    if (!path.empty()) {
+        sim::writeTextFile(path, json.str());
+        std::printf("wrote %s\n", path.c_str());
+    }
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "sim/report.hpp"
 
 using namespace gpuecc;
 using namespace gpuecc::beam;
@@ -28,6 +29,7 @@ main(int argc, char** argv)
     Cli cli;
     cli.addFlag("runs", "300", "microbenchmark runs in the beam");
     cli.addFlag("seed", "0xBEA3", "random seed");
+    cli.addFlag("json", "", "write a campaign summary to this file");
     cli.parse(argc, argv, "Simulate a neutron beam testing campaign.");
 
     CampaignConfig cfg;
@@ -106,5 +108,35 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(pre48),
                 static_cast<unsigned long long>(
                     campaign.visibleWeakCells(48.0)));
+
+    const std::string path = cli.getString("json");
+    if (!path.empty()) {
+        sim::JsonWriter json;
+        json.beginObject();
+        json.kv("runs", static_cast<std::uint64_t>(cfg.runs));
+        json.kv("seed", cfg.seed);
+        json.kv("beam_seconds", campaign.timeSeconds());
+        json.kv("fluence", campaign.fluence());
+        json.kv("log_records",
+                static_cast<std::uint64_t>(campaign.log().size()));
+        json.kv("damaged_entries",
+                static_cast<std::uint64_t>(
+                    result.damaged_entries.size()));
+        json.kv("events", result.numEvents());
+        json.key("class_counts").beginObject();
+        for (const auto& [cls, label] : kinds) {
+            const auto it = result.class_counts.find(cls);
+            json.kv(label, it == result.class_counts.end()
+                               ? std::uint64_t{0}
+                               : it->second);
+        }
+        json.endObject();
+        json.key("retention_fit").beginObject();
+        json.kv("n", fit.n);
+        json.kv("mu_ms", fit.mu);
+        json.kv("sigma_ms", fit.sigma);
+        json.endObject().endObject();
+        sim::writeTextFile(path, json.str());
+    }
     return 0;
 }

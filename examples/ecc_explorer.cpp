@@ -5,10 +5,13 @@
  * Evaluates any registered organization against any Table 1 error
  * pattern (exhaustively where possible, Monte Carlo otherwise) and
  * prints DCE/DUE/SDC rates with confidence intervals - the tool you
- * would use to extend the paper's Table 2 with new codes.
+ * would use to extend the paper's Table 2 with new codes. Runs on
+ * the campaign engine, so --threads scales it and --json/--csv emit
+ * the standard campaign artifacts.
  *
  *   ./build/examples/ecc_explorer --scheme trio --samples 200000
  *   ./build/examples/ecc_explorer --scheme ssc-dsd+ --pattern entry
+ *   ./build/examples/ecc_explorer --scheme duet,trio --threads 0
  */
 
 #include <cstdio>
@@ -16,8 +19,9 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "ecc/registry.hpp"
-#include "faultsim/evaluator.hpp"
 #include "faultsim/weighted.hpp"
+#include "sim/campaign.hpp"
+#include "sim/cli.hpp"
 
 using namespace gpuecc;
 
@@ -41,6 +45,24 @@ patternFromName(const std::string& name)
           "' (use bit/pin/byte/2bit/3bit/beat/entry/all)");
 }
 
+std::vector<std::string>
+splitCommas(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -48,59 +70,66 @@ main(int argc, char** argv)
 {
     Cli cli;
     cli.addFlag("scheme", "trio",
-                "scheme id (ni-secded, i-secded, duet, ni-sec2bec, "
-                "i-sec2bec, trio, i-ssc, i-ssc-csc, ssc-dsd+, dsc, "
-                "ssc-tsd)");
+                "comma-separated scheme ids (ni-secded, i-secded, "
+                "duet, ni-sec2bec, i-sec2bec, trio, i-ssc, i-ssc-csc, "
+                "ssc-dsd+, dsc, ssc-tsd)");
     cli.addFlag("pattern", "all",
                 "error pattern: bit, pin, byte, 2bit, 3bit, beat, "
                 "entry, or all");
-    cli.addFlag("samples", "200000",
-                "Monte Carlo samples for beat/entry patterns");
-    cli.addFlag("seed", "0x5EED", "random seed");
+    sim::addCampaignFlags(cli);
     cli.parse(argc, argv,
-              "Evaluate an ECC organization against the paper's "
+              "Evaluate ECC organizations against the paper's "
               "error patterns.");
 
-    const auto scheme = makeScheme(cli.getString("scheme"));
-    const auto samples =
-        static_cast<std::uint64_t>(cli.getInt("samples"));
-    Evaluator ev(*scheme,
-                 static_cast<std::uint64_t>(cli.getInt("seed")));
-
-    std::printf("scheme: %s\n", scheme->name().c_str());
-    std::printf("pin-error correction: %s\n\n",
-                scheme->correctsPinErrors() ? "yes" : "no");
-
-    TextTable table({"pattern", "trials", "mode", "DCE", "DUE", "SDC",
-                     "SDC 95% CI"});
-    std::map<ErrorPattern, OutcomeCounts> per_pattern;
-
+    sim::CampaignSpec spec = sim::campaignSpecFromCli(cli);
+    spec.scheme_ids = splitCommas(cli.getString("scheme"));
     const std::string which = cli.getString("pattern");
-    for (const PatternInfo& info : patternTable()) {
-        if (which != "all" && patternFromName(which) != info.pattern)
-            continue;
-        const OutcomeCounts counts = ev.evaluate(info.pattern, samples);
-        per_pattern[info.pattern] = counts;
-        const Interval ci = counts.sdcInterval();
-        table.addRow({info.label, std::to_string(counts.trials),
-                      counts.exhaustive ? "exhaustive" : "sampled",
-                      formatPercent(counts.dceRate(), 4),
-                      formatPercent(counts.dueRate(), 4),
-                      formatPercent(counts.sdcRate(), 4),
-                      "[" + formatPercent(ci.lo, 4) + ", " +
-                          formatPercent(ci.hi, 4) + "]"});
-    }
-    table.print();
+    if (which != "all")
+        spec.patterns = {patternFromName(which)};
+    const sim::CampaignResult result = sim::CampaignRunner(spec).run();
 
-    if (which == "all") {
-        const WeightedOutcome w = weightedOutcome(per_pattern);
-        std::printf("\nTable-1-weighted (a random single event):\n");
-        std::printf("  corrected: %s\n",
-                    formatPercent(w.correct, 4).c_str());
-        std::printf("  detected:  %s\n",
-                    formatPercent(w.detect, 4).c_str());
-        std::printf("  SDC:       %s\n",
-                    formatPercent(w.sdc, 6).c_str());
+    for (const std::string& id : spec.scheme_ids) {
+        const auto scheme = makeScheme(id);
+        std::printf("scheme: %s\n", scheme->name().c_str());
+        std::printf("pin-error correction: %s\n\n",
+                    scheme->correctsPinErrors() ? "yes" : "no");
+
+        TextTable table({"pattern", "trials", "mode", "DCE", "DUE",
+                         "SDC", "SDC 95% CI"});
+        for (const PatternInfo& info : patternTable()) {
+            if (which != "all" &&
+                patternFromName(which) != info.pattern)
+                continue;
+            const OutcomeCounts& counts =
+                result.counts(id, info.pattern);
+            const Interval ci = counts.sdcInterval();
+            table.addRow({info.label, std::to_string(counts.trials),
+                          counts.exhaustive ? "exhaustive" : "sampled",
+                          formatPercent(counts.dceRate(), 4),
+                          formatPercent(counts.dueRate(), 4),
+                          formatPercent(counts.sdcRate(), 4),
+                          "[" + formatPercent(ci.lo, 4) + ", " +
+                              formatPercent(ci.hi, 4) + "]"});
+        }
+        table.print();
+
+        if (which == "all") {
+            const WeightedOutcome w =
+                weightedOutcome(result.perPattern(id));
+            std::printf("\nTable-1-weighted (a random single "
+                        "event):\n");
+            std::printf("  corrected: %s\n",
+                        formatPercent(w.correct, 4).c_str());
+            std::printf("  detected:  %s\n",
+                        formatPercent(w.detect, 4).c_str());
+            std::printf("  SDC:       %s\n",
+                        formatPercent(w.sdc, 6).c_str());
+        }
+        std::printf("\n");
     }
+    std::printf("%llu trials in %.2f s (%d threads)\n",
+                static_cast<unsigned long long>(result.totalTrials()),
+                result.seconds, spec.threads);
+    sim::emitCampaignArtifacts(result, cli);
     return 0;
 }

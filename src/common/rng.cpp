@@ -167,7 +167,29 @@ Rng::nextExponential(double rate)
 Rng
 Rng::split()
 {
-    return Rng(next64() ^ 0xA5A5A5A55A5A5A5Aull);
+    const std::uint64_t hi = next64();
+    const std::uint64_t lo = next64();
+    return forStream(hi, lo);
+}
+
+Rng
+Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+{
+    Rng r(seed);
+    // Second SplitMix64 chain with a distinct odd gamma: two streams
+    // of the same seed (or one stream of two seeds) end up with
+    // unrelated xoshiro states without consuming any generator output.
+    std::uint64_t y = stream;
+    for (auto& s : r.s_) {
+        y += 0xD1B54A32D192ED03ull;
+        std::uint64_t z = y;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        s ^= z ^ (z >> 31);
+    }
+    if (!(r.s_[0] | r.s_[1] | r.s_[2] | r.s_[3]))
+        r.s_[0] = 1;
+    return r;
 }
 
 } // namespace gpuecc

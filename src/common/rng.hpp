@@ -60,8 +60,23 @@ class Rng
      * Split off an independent child stream.
      *
      * Used so that parallel or per-subsystem streams don't correlate.
+     * The child is keyed by 128 bits of parent state (two draws), so
+     * split chains cannot collide the way a single-draw reseed could.
      */
     Rng split();
+
+    /**
+     * Statelessly derive stream `stream` of the family rooted at
+     * `seed`.
+     *
+     * This is the campaign engine's sharding primitive: shard k of a
+     * run always draws from forStream(seed, k), so results are
+     * bit-identical for any thread count and any execution order.
+     * Streams are decorrelated by perturbing the SplitMix64-expanded
+     * seed state with a second SplitMix64 chain (distinct gamma)
+     * keyed by the stream index.
+     */
+    static Rng forStream(std::uint64_t seed, std::uint64_t stream);
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Work-stealing thread pool for deterministic Monte Carlo campaigns.
+ *
+ * The campaign engine shards its work into chunks whose results are
+ * independent of execution order, so the pool only has to distribute
+ * chunk indices fairly: each worker owns a deque seeded with a
+ * contiguous block and steals from the tail of a victim's deque when
+ * its own runs dry. The calling thread participates as worker 0, and
+ * a pool of one thread runs everything inline, which keeps
+ * single-threaded runs free of synchronization overhead.
+ */
+
+#ifndef GPUECC_COMMON_THREAD_POOL_HPP
+#define GPUECC_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpuecc {
+
+/** A fixed-size work-stealing pool executing indexed loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means one per hardware thread.
+     *                The calling thread is one of the workers.
+     */
+    explicit ThreadPool(int threads = 0);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool();
+
+    /** Number of workers (including the calling thread). */
+    int threadCount() const { return num_threads_; }
+
+    /**
+     * Run body(i) for every i in [0, n), distributed over the pool;
+     * blocks until all iterations finish. The first exception thrown
+     * by any iteration is rethrown on the calling thread after the
+     * loop drains. Iteration order is unspecified, so the body must
+     * only produce order-independent (mergeable) results.
+     */
+    void parallelFor(std::uint64_t n,
+                     const std::function<void(std::uint64_t)>& body);
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int hardwareThreads();
+
+    /** Map a user-facing --threads value (0 = auto) to a count. */
+    static int resolveThreadCount(int requested);
+
+  private:
+    struct Worker
+    {
+        std::deque<std::uint64_t> queue;
+        std::mutex mutex;
+    };
+
+    void workerLoop(int self);
+    void drain(int self);
+    bool popOwn(int self, std::uint64_t& idx);
+    bool steal(int self, std::uint64_t& idx);
+
+    int num_threads_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    // Generation gate: bumping generation_ releases the background
+    // workers into drain(); remaining_ counts unfinished iterations.
+    std::mutex gate_mutex_;
+    std::condition_variable gate_cv_;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+
+    const std::function<void(std::uint64_t)>* body_ = nullptr;
+    std::mutex done_mutex_;
+    std::condition_variable done_cv_;
+    std::uint64_t remaining_ = 0;
+
+    std::mutex error_mutex_;
+    std::exception_ptr first_error_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_THREAD_POOL_HPP

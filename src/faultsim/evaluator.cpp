@@ -1,49 +1,56 @@
 #include "faultsim/evaluator.hpp"
 
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "faultsim/shard.hpp"
+
 namespace gpuecc {
 
-Evaluator::Evaluator(const EntryScheme& scheme, std::uint64_t seed)
-    : scheme_(scheme), rng_(seed)
+OutcomeCounts&
+OutcomeCounts::merge(const OutcomeCounts& other)
 {
-    // Linearity of every considered code makes outcome classification
-    // independent of the protected data (verified by property tests),
-    // so one random golden entry per evaluator suffices.
-    golden_data_ = {rng_.next64(), rng_.next64(), rng_.next64(),
-                    rng_.next64()};
-    golden_entry_ = scheme_.encode(golden_data_);
+    require(trials <= UINT64_MAX - other.trials &&
+                dce <= UINT64_MAX - other.dce &&
+                due <= UINT64_MAX - other.due &&
+                sdc <= UINT64_MAX - other.sdc,
+            "OutcomeCounts::merge: counter overflow");
+    // An accumulator that has seen no shard yet adopts the first
+    // shard's exactness; afterwards all shards must agree.
+    exhaustive = trials == 0 ? other.exhaustive
+                             : (exhaustive && other.exhaustive);
+    trials += other.trials;
+    dce += other.dce;
+    due += other.due;
+    sdc += other.sdc;
+    return *this;
 }
 
-OutcomeCounts
-Evaluator::runOne(ErrorPattern pattern, std::uint64_t samples)
+Evaluator::Evaluator(const EntryScheme& scheme, std::uint64_t seed,
+                     int threads)
+    : scheme_(scheme), seed_(seed),
+      threads_(ThreadPool::resolveThreadCount(threads))
 {
-    OutcomeCounts counts;
-    auto inject = [&](const Bits288& mask) {
-        const Bits288 received = golden_entry_ ^ mask;
-        const EntryDecode result = scheme_.decode(received);
-        ++counts.trials;
-        if (result.status == EntryDecode::Status::due) {
-            ++counts.due;
-        } else if (result.data == golden_data_) {
-            ++counts.dce;
-        } else {
-            ++counts.sdc;
-        }
-    };
-
-    if (patternIsEnumerable(pattern)) {
-        counts.exhaustive = true;
-        forEachErrorMask(pattern, inject);
-    } else {
-        for (std::uint64_t i = 0; i < samples; ++i)
-            inject(sampleErrorMask(pattern, rng_));
-    }
-    return counts;
 }
 
 OutcomeCounts
 Evaluator::evaluate(ErrorPattern pattern, std::uint64_t samples)
 {
-    return runOne(pattern, samples);
+    const GoldenEntry golden = makeGolden(scheme_, seed_);
+    const std::vector<Shard> shards = planShards(pattern, samples);
+    std::vector<OutcomeCounts> partial(shards.size());
+    auto body = [&](std::uint64_t i) {
+        partial[i] = evaluateShard(scheme_, golden, seed_, shards[i]);
+    };
+    if (threads_ == 1) {
+        for (std::uint64_t i = 0; i < shards.size(); ++i)
+            body(i);
+    } else {
+        ThreadPool(threads_).parallelFor(shards.size(), body);
+    }
+    OutcomeCounts total;
+    for (const OutcomeCounts& p : partial)
+        total.merge(p);
+    return total;
 }
 
 std::map<ErrorPattern, OutcomeCounts>
@@ -51,7 +58,7 @@ Evaluator::evaluateAll(std::uint64_t samples)
 {
     std::map<ErrorPattern, OutcomeCounts> out;
     for (ErrorPattern p : allErrorPatterns())
-        out[p] = runOne(p, samples);
+        out[p] = evaluate(p, samples);
     return out;
 }
 

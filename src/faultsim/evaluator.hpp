@@ -11,6 +11,10 @@
  * miscorrections and undetected errors). Bit, pin, byte, 2-bit and
  * 3-bit patterns are evaluated exhaustively; beat and whole-entry
  * patterns are sampled, mirroring the paper's methodology.
+ *
+ * Evaluator is a thin client of the deterministic shard kernel
+ * (faultsim/shard.hpp) that the sim-layer CampaignRunner also runs:
+ * the same seed gives bit-identical tallies for any thread count.
  */
 
 #ifndef GPUECC_FAULTSIM_EVALUATOR_HPP
@@ -19,7 +23,6 @@
 #include <cstdint>
 #include <map>
 
-#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "ecc/scheme.hpp"
 #include "faultsim/patterns.hpp"
@@ -35,6 +38,13 @@ struct OutcomeCounts
     std::uint64_t sdc = 0;  //!< wrong data without a flag
     /** True when every possible mask was visited (exact rates). */
     bool exhaustive = false;
+
+    /**
+     * Fold another shard's tallies into this one. Merging is
+     * commutative and associative, so shards may complete in any
+     * order; panics if any counter would overflow.
+     */
+    OutcomeCounts& merge(const OutcomeCounts& other);
 
     double dceRate() const
     {
@@ -61,11 +71,13 @@ class Evaluator
 {
   public:
     /**
-     * @param scheme the organization under test
-     * @param seed   RNG seed; results are deterministic per seed
+     * @param scheme  the organization under test
+     * @param seed    RNG seed; results are deterministic per seed and
+     *                identical for every thread count
+     * @param threads shard workers (1 = run inline, 0 = all cores)
      */
     explicit Evaluator(const EntryScheme& scheme,
-                       std::uint64_t seed = 0x5EED);
+                       std::uint64_t seed = 0x5EED, int threads = 1);
 
     /**
      * Evaluate one pattern.
@@ -81,12 +93,9 @@ class Evaluator
     evaluateAll(std::uint64_t samples);
 
   private:
-    OutcomeCounts runOne(ErrorPattern pattern, std::uint64_t samples);
-
     const EntryScheme& scheme_;
-    Rng rng_;
-    EntryData golden_data_;
-    Bits288 golden_entry_;
+    std::uint64_t seed_;
+    int threads_;
 };
 
 } // namespace gpuecc

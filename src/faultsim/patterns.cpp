@@ -170,13 +170,37 @@ patternIsEnumerable(ErrorPattern p)
 }
 
 std::uint64_t
-forEachErrorMask(ErrorPattern p,
-                 const std::function<void(const Bits288&)>& fn)
+enumerationOuterSize(ErrorPattern p)
 {
+    switch (p) {
+      case ErrorPattern::oneBit:
+        return layout::entry_bits;
+      case ErrorPattern::onePin:
+        return layout::num_pins;
+      case ErrorPattern::oneByte:
+        return layout::num_bytes;
+      case ErrorPattern::twoBits:
+      case ErrorPattern::threeBits:
+        // Sharded by the first (lowest) erroneous bit position.
+        return layout::entry_bits;
+      default:
+        fatal("enumerationOuterSize: pattern is not enumerable");
+    }
+}
+
+std::uint64_t
+forEachErrorMaskInRange(ErrorPattern p, std::uint64_t begin,
+                        std::uint64_t end,
+                        const std::function<void(const Bits288&)>& fn)
+{
+    require(begin <= end && end <= enumerationOuterSize(p),
+            "forEachErrorMaskInRange: bad outer slot range");
+    const int lo = static_cast<int>(begin);
+    const int hi = static_cast<int>(end);
     std::uint64_t count = 0;
     switch (p) {
       case ErrorPattern::oneBit: {
-        for (int i = 0; i < layout::entry_bits; ++i) {
+        for (int i = lo; i < hi; ++i) {
             Bits288 mask;
             mask.set(i, 1);
             fn(mask);
@@ -185,7 +209,7 @@ forEachErrorMask(ErrorPattern p,
         return count;
       }
       case ErrorPattern::onePin: {
-        for (int pin = 0; pin < layout::num_pins; ++pin) {
+        for (int pin = lo; pin < hi; ++pin) {
             for (unsigned m = 1; m < 16; ++m) {
                 if (popcount64(m) < 2)
                     continue;
@@ -201,7 +225,7 @@ forEachErrorMask(ErrorPattern p,
         return count;
       }
       case ErrorPattern::oneByte: {
-        for (int byte = 0; byte < layout::num_bytes; ++byte) {
+        for (int byte = lo; byte < hi; ++byte) {
             for (unsigned m = 1; m < 256; ++m) {
                 if (popcount64(m) < 2)
                     continue;
@@ -217,7 +241,7 @@ forEachErrorMask(ErrorPattern p,
         return count;
       }
       case ErrorPattern::twoBits: {
-        for (int a = 0; a < layout::entry_bits; ++a) {
+        for (int a = lo; a < hi; ++a) {
             for (int b = a + 1; b < layout::entry_bits; ++b) {
                 Bits288 mask;
                 mask.set(a, 1);
@@ -231,7 +255,7 @@ forEachErrorMask(ErrorPattern p,
         return count;
       }
       case ErrorPattern::threeBits: {
-        for (int a = 0; a < layout::entry_bits; ++a) {
+        for (int a = lo; a < hi; ++a) {
             for (int b = a + 1; b < layout::entry_bits; ++b) {
                 for (int c = b + 1; c < layout::entry_bits; ++c) {
                     Bits288 mask;
@@ -250,8 +274,15 @@ forEachErrorMask(ErrorPattern p,
         return count;
       }
       default:
-        fatal("forEachErrorMask: pattern is not enumerable");
+        fatal("forEachErrorMaskInRange: pattern is not enumerable");
     }
+}
+
+std::uint64_t
+forEachErrorMask(ErrorPattern p,
+                 const std::function<void(const Bits288&)>& fn)
+{
+    return forEachErrorMaskInRange(p, 0, enumerationOuterSize(p), fn);
 }
 
 } // namespace gpuecc

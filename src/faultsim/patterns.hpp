@@ -83,6 +83,26 @@ Bits288 sampleErrorMask(ErrorPattern p, Rng& rng);
 std::uint64_t forEachErrorMask(ErrorPattern p,
                                const std::function<void(const Bits288&)>& fn);
 
+/**
+ * Number of outer enumeration slots of an enumerable pattern: the
+ * unit the campaign engine shards exhaustive evaluations by. Each
+ * slot expands to a fixed, order-independent set of masks (one bit
+ * position, one pin, one byte, or all pairs/triples anchored at one
+ * first-bit position). Fatal for non-enumerable patterns.
+ */
+std::uint64_t enumerationOuterSize(ErrorPattern p);
+
+/**
+ * Visit the masks of outer slots [begin, end); the full enumeration
+ * is recovered with begin = 0, end = enumerationOuterSize(p).
+ *
+ * @return the number of masks visited
+ */
+std::uint64_t
+forEachErrorMaskInRange(ErrorPattern p, std::uint64_t begin,
+                        std::uint64_t end,
+                        const std::function<void(const Bits288&)>& fn);
+
 /** Whether forEachErrorMask supports the pattern. */
 bool patternIsEnumerable(ErrorPattern p);
 

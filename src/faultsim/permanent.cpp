@@ -1,6 +1,11 @@
 #include "faultsim/permanent.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 #include "interleave/swizzle.hpp"
 
 namespace gpuecc {
@@ -48,29 +53,31 @@ PermanentFault::regionMask() const
 }
 
 DegradationEvaluator::DegradationEvaluator(const EntryScheme& scheme,
-                                           std::uint64_t seed)
-    : scheme_(scheme), rng_(seed)
+                                           std::uint64_t seed,
+                                           int threads)
+    : scheme_(scheme), seed_(seed),
+      threads_(ThreadPool::resolveThreadCount(threads))
 {
 }
 
 DegradationCounts
-DegradationEvaluator::run(PermanentFaultKind kind, bool add_soft,
-                          ErrorPattern soft, std::uint64_t trials,
-                          bool erasure_mode)
+DegradationEvaluator::runChunk(PermanentFaultKind kind, bool add_soft,
+                               ErrorPattern soft, bool erasure_mode,
+                               std::uint64_t count, Rng rng) const
 {
     DegradationCounts counts;
     const int region_count = kind == PermanentFaultKind::stuckPin
         ? layout::num_pins
         : layout::num_bytes;
 
-    for (std::uint64_t trial = 0; trial < trials; ++trial) {
-        const EntryData data{rng_.next64(), rng_.next64(),
-                             rng_.next64(), rng_.next64()};
+    for (std::uint64_t trial = 0; trial < count; ++trial) {
+        const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                             rng.next64()};
         const Bits288 stored = scheme_.encode(data);
 
         PermanentFault fault{
-            kind, static_cast<int>(rng_.nextBounded(region_count)),
-            static_cast<int>(rng_.nextBounded(2))};
+            kind, static_cast<int>(rng.nextBounded(region_count)),
+            static_cast<int>(rng.nextBounded(2))};
         Bits288 mask = fault.maskFor(stored);
 
         if (add_soft) {
@@ -79,7 +86,7 @@ DegradationEvaluator::run(PermanentFaultKind kind, bool add_soft,
             Bits288 soft_mask;
             const Bits288 region = fault.regionMask();
             for (;;) {
-                soft_mask = sampleErrorMask(soft, rng_);
+                soft_mask = sampleErrorMask(soft, rng);
                 if ((soft_mask & region).none())
                     break;
             }
@@ -97,6 +104,51 @@ DegradationEvaluator::run(PermanentFaultKind kind, bool add_soft,
         else
             ++counts.sdc;
     }
+    return counts;
+}
+
+DegradationCounts
+DegradationEvaluator::run(PermanentFaultKind kind, bool add_soft,
+                          ErrorPattern soft, std::uint64_t trials,
+                          bool erasure_mode)
+{
+    // Fixed-size chunks, one derived stream per chunk: the experiment
+    // parameters key the high stream bits (with bit 63 tagging the
+    // degradation family, disjoint from the soft-error campaign
+    // streams), the chunk index keys the low bits, so results are
+    // bit-identical for any thread count.
+    constexpr std::uint64_t kChunk = 1 << 12;
+    const std::uint64_t experiment = (1ull << 63) |
+        (static_cast<std::uint64_t>(kind) << 40) |
+        (static_cast<std::uint64_t>(add_soft) << 42) |
+        (static_cast<std::uint64_t>(soft) << 43) |
+        (static_cast<std::uint64_t>(erasure_mode) << 47);
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> chunks;
+    for (std::uint64_t b = 0; b < trials; b += kChunk) {
+        chunks.emplace_back(chunks.size(),
+                            std::min(trials - b, kChunk));
+    }
+
+    std::vector<DegradationCounts> partial(chunks.size());
+    auto body = [&](std::uint64_t i) {
+        const auto& [index, count] = chunks[i];
+        partial[i] =
+            runChunk(kind, add_soft, soft, erasure_mode, count,
+                     Rng::forStream(seed_, experiment | index));
+    };
+    if (threads_ == 1) {
+        for (std::uint64_t i = 0; i < chunks.size(); ++i)
+            body(i);
+    } else {
+        ThreadPool(threads_).parallelFor(chunks.size(), body);
+    }
+
+    DegradationCounts counts;
+    for (const DegradationCounts& p : partial)
+        counts.merge(p);
+    // Degraded runs are sampled, never exhaustive.
+    counts.exhaustive = false;
     return counts;
 }
 

@@ -52,34 +52,24 @@ struct PermanentFault
     Bits288 regionMask() const;
 };
 
-/** Outcome tallies of a degraded-operation experiment. */
-struct DegradationCounts
-{
-    std::uint64_t trials = 0;
-    std::uint64_t dce = 0;
-    std::uint64_t due = 0;
-    std::uint64_t sdc = 0;
-
-    double dceRate() const
-    {
-        return trials ? static_cast<double>(dce) / trials : 0.0;
-    }
-    double dueRate() const
-    {
-        return trials ? static_cast<double>(due) / trials : 0.0;
-    }
-    double sdcRate() const
-    {
-        return trials ? static_cast<double>(sdc) / trials : 0.0;
-    }
-};
+/**
+ * Outcome tallies of a degraded-operation experiment. Degraded runs
+ * are always sampled, so the shared tally type's `exhaustive` flag
+ * simply stays false.
+ */
+using DegradationCounts = OutcomeCounts;
 
 /** Degraded-operation evaluator for one scheme. */
 class DegradationEvaluator
 {
   public:
+    /**
+     * @param threads shard workers (1 = run inline, 0 = all cores);
+     *                results are identical for every thread count
+     */
     DegradationEvaluator(const EntryScheme& scheme,
-                         std::uint64_t seed = 0xDE62ADE);
+                         std::uint64_t seed = 0xDE62ADE,
+                         int threads = 1);
 
     /**
      * The permanent fault alone: random data, random fault instance
@@ -109,9 +99,13 @@ class DegradationEvaluator
     DegradationCounts run(PermanentFaultKind kind, bool add_soft,
                           ErrorPattern soft, std::uint64_t trials,
                           bool erasure_mode = false);
+    DegradationCounts runChunk(PermanentFaultKind kind, bool add_soft,
+                               ErrorPattern soft, bool erasure_mode,
+                               std::uint64_t count, Rng rng) const;
 
     const EntryScheme& scheme_;
-    Rng rng_;
+    std::uint64_t seed_;
+    int threads_;
 };
 
 } // namespace gpuecc

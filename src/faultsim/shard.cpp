@@ -1,0 +1,90 @@
+#include "faultsim/shard.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace gpuecc {
+
+namespace {
+
+/**
+ * Stream id of a sampled shard: pattern in the high half, chunk index
+ * in the low half. Bit 63 is left clear — other deterministic
+ * consumers (the degradation evaluator) tag their streams there so
+ * the families never collide under one campaign seed.
+ */
+std::uint64_t
+shardStream(ErrorPattern p, std::uint64_t chunk_index)
+{
+    require(chunk_index < (1ull << 32),
+            "planShards: chunk index overflows the stream id space");
+    return (static_cast<std::uint64_t>(p) << 32) | chunk_index;
+}
+
+} // namespace
+
+std::vector<Shard>
+planShards(ErrorPattern p, std::uint64_t samples, std::uint64_t chunk)
+{
+    require(chunk > 0, "planShards: chunk must be positive");
+    std::vector<Shard> shards;
+    if (patternIsEnumerable(p)) {
+        const std::uint64_t outer = enumerationOuterSize(p);
+        for (std::uint64_t b = 0; b < outer; b += kShardOuterSlots) {
+            shards.push_back(
+                {p, b, std::min(outer, b + kShardOuterSlots), 0});
+        }
+        return shards;
+    }
+    std::uint64_t index = 0;
+    for (std::uint64_t b = 0; b < samples; b += chunk, ++index) {
+        shards.push_back({p, b, std::min(samples, b + chunk),
+                          shardStream(p, index)});
+    }
+    return shards;
+}
+
+GoldenEntry
+makeGolden(const EntryScheme& scheme, std::uint64_t seed)
+{
+    // Linearity of every considered code makes outcome classification
+    // independent of the protected data (verified by property tests),
+    // so one random golden entry per scheme suffices.
+    Rng rng(seed);
+    GoldenEntry g;
+    g.data = {rng.next64(), rng.next64(), rng.next64(), rng.next64()};
+    g.entry = scheme.encode(g.data);
+    return g;
+}
+
+OutcomeCounts
+evaluateShard(const EntryScheme& scheme, const GoldenEntry& golden,
+              std::uint64_t seed, const Shard& shard)
+{
+    OutcomeCounts counts;
+    auto inject = [&](const Bits288& mask) {
+        const Bits288 received = golden.entry ^ mask;
+        const EntryDecode result = scheme.decode(received);
+        ++counts.trials;
+        if (result.status == EntryDecode::Status::due) {
+            ++counts.due;
+        } else if (result.data == golden.data) {
+            ++counts.dce;
+        } else {
+            ++counts.sdc;
+        }
+    };
+
+    if (patternIsEnumerable(shard.pattern)) {
+        counts.exhaustive = true;
+        forEachErrorMaskInRange(shard.pattern, shard.begin, shard.end,
+                                inject);
+    } else {
+        Rng rng = Rng::forStream(seed, shard.stream);
+        for (std::uint64_t i = shard.begin; i < shard.end; ++i)
+            inject(sampleErrorMask(shard.pattern, rng));
+    }
+    return counts;
+}
+
+} // namespace gpuecc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic sharding of fault-injection work.
+ *
+ * A (scheme, pattern) evaluation is decomposed into fixed shards whose
+ * outcome tallies are independent of execution order: enumerable
+ * patterns shard their mask space by outer enumeration slot, sampled
+ * patterns shard their sample range into fixed-size chunks, each
+ * drawing from its own Rng::forStream(seed, stream) stream. Merging
+ * the shard tallies therefore yields bit-identical results for any
+ * thread count — the property the campaign engine's determinism
+ * guarantee rests on. The same kernel serves the sequential Evaluator
+ * and the parallel CampaignRunner.
+ */
+
+#ifndef GPUECC_FAULTSIM_SHARD_HPP
+#define GPUECC_FAULTSIM_SHARD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+#include "faultsim/evaluator.hpp"
+#include "faultsim/patterns.hpp"
+
+namespace gpuecc {
+
+/** Samples per shard of a non-enumerable pattern. */
+constexpr std::uint64_t kShardSamples = 1 << 16;
+
+/** Outer enumeration slots per shard of an enumerable pattern. */
+constexpr std::uint64_t kShardOuterSlots = 8;
+
+/** One order-independent unit of fault-injection work. */
+struct Shard
+{
+    ErrorPattern pattern;
+    /** Outer slot range (enumerable) or sample range (sampled). */
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    /** RNG stream id; meaningful for sampled patterns only. */
+    std::uint64_t stream = 0;
+};
+
+/**
+ * Plan the shards of one pattern evaluation.
+ *
+ * Enumerable patterns ignore `samples` and cover their whole mask
+ * space; sampled patterns cover [0, samples). The plan depends only
+ * on (pattern, samples, chunk), never on the thread count.
+ *
+ * @param chunk samples per shard for non-enumerable patterns
+ */
+std::vector<Shard> planShards(ErrorPattern p, std::uint64_t samples,
+                              std::uint64_t chunk = kShardSamples);
+
+/** The golden (error-free) entry all shards of a scheme inject into. */
+struct GoldenEntry
+{
+    EntryData data;
+    Bits288 entry;
+};
+
+/**
+ * Derive the golden entry for a scheme from a campaign seed (the
+ * same derivation the pre-refactor Evaluator used, so a given seed
+ * keeps meaning the same golden data).
+ */
+GoldenEntry makeGolden(const EntryScheme& scheme, std::uint64_t seed);
+
+/**
+ * Evaluate one shard: inject every mask of the shard's slice into the
+ * golden entry, decode, and tally outcomes. Pure — safe to call from
+ * any thread as long as the scheme's decode is const-thread-safe
+ * (all library schemes are).
+ */
+OutcomeCounts evaluateShard(const EntryScheme& scheme,
+                            const GoldenEntry& golden,
+                            std::uint64_t seed, const Shard& shard);
+
+} // namespace gpuecc
+
+#endif // GPUECC_FAULTSIM_SHARD_HPP

@@ -1,0 +1,133 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "ecc/registry.hpp"
+#include "faultsim/shard.hpp"
+
+namespace gpuecc::sim {
+
+std::vector<ErrorPattern>
+CampaignSpec::resolvedPatterns() const
+{
+    if (!patterns.empty())
+        return patterns;
+    const auto& all = allErrorPatterns();
+    return {all.begin(), all.end()};
+}
+
+std::uint64_t
+CampaignResult::totalTrials() const
+{
+    std::uint64_t total = 0;
+    for (const CampaignCell& cell : cells)
+        total += cell.counts.trials;
+    return total;
+}
+
+double
+CampaignResult::trialsPerSecond() const
+{
+    return seconds > 0.0 ? static_cast<double>(totalTrials()) / seconds
+                         : 0.0;
+}
+
+const OutcomeCounts&
+CampaignResult::counts(const std::string& scheme_id,
+                       ErrorPattern pattern) const
+{
+    for (const CampaignCell& cell : cells) {
+        if (cell.scheme_id == scheme_id && cell.pattern == pattern)
+            return cell.counts;
+    }
+    fatal("CampaignResult: no cell for scheme " + scheme_id);
+}
+
+std::map<ErrorPattern, OutcomeCounts>
+CampaignResult::perPattern(const std::string& scheme_id) const
+{
+    std::map<ErrorPattern, OutcomeCounts> out;
+    for (const CampaignCell& cell : cells) {
+        if (cell.scheme_id == scheme_id)
+            out[cell.pattern] = cell.counts;
+    }
+    require(!out.empty(),
+            "CampaignResult: unknown scheme " + scheme_id);
+    return out;
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec))
+{
+    require(!spec_.scheme_ids.empty(),
+            "CampaignRunner: spec names no schemes");
+    require(spec_.chunk > 0, "CampaignRunner: chunk must be positive");
+}
+
+CampaignResult
+CampaignRunner::run() const
+{
+    CampaignResult result;
+    result.spec = spec_;
+    result.spec.threads = ThreadPool::resolveThreadCount(spec_.threads);
+
+    const std::vector<ErrorPattern> patterns = spec_.resolvedPatterns();
+
+    // Resolve schemes and golden entries once; decode() is const and
+    // thread-safe, so one instance serves all workers.
+    std::vector<std::shared_ptr<EntryScheme>> schemes;
+    std::vector<GoldenEntry> goldens;
+    for (const std::string& id : spec_.scheme_ids) {
+        schemes.push_back(makeScheme(id));
+        goldens.push_back(makeGolden(*schemes.back(), spec_.seed));
+        result.cells.reserve(result.cells.size() + patterns.size());
+        for (ErrorPattern p : patterns)
+            result.cells.push_back({id, p, OutcomeCounts{}});
+    }
+
+    // Flatten the plan: every shard of every cell is one pool task.
+    // The same pattern plan (and thus the same RNG streams and masks)
+    // is shared by every scheme, which keeps scheme columns paired.
+    struct Task
+    {
+        std::size_t cell;
+        Shard shard;
+    };
+    std::vector<Task> tasks;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        for (std::size_t p = 0; p < patterns.size(); ++p) {
+            const std::size_t cell = s * patterns.size() + p;
+            for (const Shard& shard :
+                 planShards(patterns[p], spec_.samples, spec_.chunk))
+                tasks.push_back({cell, shard});
+        }
+    }
+    result.shards = tasks.size();
+
+    std::vector<OutcomeCounts> partial(tasks.size());
+    const auto start = std::chrono::steady_clock::now();
+    {
+        ThreadPool pool(result.spec.threads);
+        pool.parallelFor(tasks.size(), [&](std::uint64_t i) {
+            const Task& t = tasks[i];
+            const std::size_t scheme = t.cell / patterns.size();
+            partial[i] = evaluateShard(*schemes[scheme],
+                                       goldens[scheme], spec_.seed,
+                                       t.shard);
+        });
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    result.seconds =
+        std::chrono::duration<double>(stop - start).count();
+
+    // Merge in plan order; merging is associative and commutative, so
+    // the outcome is independent of which worker ran which shard.
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        result.cells[tasks[i].cell].counts.merge(partial[i]);
+    return result;
+}
+
+} // namespace gpuecc::sim

@@ -1,0 +1,48 @@
+#include "sim/cli.hpp"
+
+#include "common/log.hpp"
+#include "sim/report.hpp"
+
+namespace gpuecc::sim {
+
+void
+addCampaignFlags(Cli& cli, const std::string& default_samples)
+{
+    cli.addFlag("samples", default_samples,
+                "Monte Carlo samples for beat/entry patterns");
+    cli.addFlag("seed", "0x5EED",
+                "campaign seed (results bit-identical per seed)");
+    cli.addFlag("threads", "1",
+                "worker threads (0 = one per hardware thread)");
+    cli.addFlag("chunk", "65536", "samples per shard");
+    cli.addFlag("json", "", "write campaign results to this JSON file");
+    cli.addFlag("csv", "", "write campaign results to this CSV file");
+}
+
+CampaignSpec
+campaignSpecFromCli(const Cli& cli)
+{
+    CampaignSpec spec;
+    spec.samples = static_cast<std::uint64_t>(cli.getInt("samples"));
+    spec.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+    spec.threads = static_cast<int>(cli.getInt("threads"));
+    spec.chunk = static_cast<std::uint64_t>(cli.getInt("chunk"));
+    if (spec.chunk == 0)
+        fatal("--chunk must be positive");
+    if (spec.threads < 0)
+        fatal("--threads must be >= 0 (0 selects all cores)");
+    return spec;
+}
+
+void
+emitCampaignArtifacts(const CampaignResult& result, const Cli& cli)
+{
+    const std::string json = cli.getString("json");
+    if (!json.empty())
+        writeTextFile(json, campaignJson(result));
+    const std::string csv = cli.getString("csv");
+    if (!csv.empty())
+        writeTextFile(csv, campaignCsv(result));
+}
+
+} // namespace gpuecc::sim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The common campaign CLI surface.
+ *
+ * Every evaluation bench and example accepts the same knobs —
+ * --samples, --seed, --threads, --chunk, --json, --csv — declared and
+ * decoded here so the tools stay flag-compatible and new tools get
+ * the full surface for free.
+ */
+
+#ifndef GPUECC_SIM_CLI_HPP
+#define GPUECC_SIM_CLI_HPP
+
+#include <string>
+
+#include "common/cli.hpp"
+#include "sim/campaign.hpp"
+
+namespace gpuecc::sim {
+
+/**
+ * Declare the shared campaign flags on a Cli.
+ *
+ * @param default_samples default for --samples (tool-specific)
+ */
+void addCampaignFlags(Cli& cli,
+                      const std::string& default_samples = "200000");
+
+/**
+ * Build a spec from the shared flags (scheme ids and patterns are
+ * tool-specific and left empty for the caller to fill in).
+ */
+CampaignSpec campaignSpecFromCli(const Cli& cli);
+
+/**
+ * Honor --json/--csv: write the campaign artifacts to the requested
+ * paths (no-ops when the flags are unset).
+ */
+void emitCampaignArtifacts(const CampaignResult& result, const Cli& cli);
+
+} // namespace gpuecc::sim
+
+#endif // GPUECC_SIM_CLI_HPP

@@ -1,0 +1,235 @@
+#include "sim/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace gpuecc::sim {
+
+namespace {
+
+std::string
+escapeJson(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+JsonWriter::separate()
+{
+    if (need_comma_.back())
+        out_ += ',';
+    need_comma_.back() = true;
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    need_comma_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    out_ += '}';
+    need_comma_.pop_back();
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    need_comma_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    out_ += ']';
+    need_comma_.pop_back();
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(const std::string& k)
+{
+    separate();
+    out_ += '"' + escapeJson(k) + "\":";
+    // The upcoming value must not emit another separator.
+    need_comma_.back() = false;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const std::string& v)
+{
+    separate();
+    out_ += '"' + escapeJson(v) + '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter&
+JsonWriter::value(double v)
+{
+    separate();
+    out_ += formatDouble(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int v)
+{
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(bool v)
+{
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+std::string
+campaignCsv(const CampaignResult& result)
+{
+    std::string out = "scheme,pattern,trials,dce,due,sdc,exhaustive,"
+                      "dce_rate,due_rate,sdc_rate,sdc_ci_lo,"
+                      "sdc_ci_hi\n";
+    for (const CampaignCell& cell : result.cells) {
+        const OutcomeCounts& c = cell.counts;
+        const Interval ci = c.sdcInterval();
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s,%s,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 ",%d,%.9g,%.9g,%.9g,%.9g,%.9g\n",
+                      cell.scheme_id.c_str(),
+                      patternInfo(cell.pattern).label.c_str(),
+                      c.trials, c.dce, c.due, c.sdc,
+                      c.exhaustive ? 1 : 0, c.dceRate(), c.dueRate(),
+                      c.sdcRate(), ci.lo, ci.hi);
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+campaignJson(const CampaignResult& result)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("spec").beginObject();
+    w.kv("samples", result.spec.samples);
+    w.kv("seed", result.spec.seed);
+    w.kv("threads", result.spec.threads);
+    w.kv("chunk", result.spec.chunk);
+    w.key("schemes").beginArray();
+    for (const std::string& id : result.spec.scheme_ids)
+        w.value(id);
+    w.endArray();
+    w.endObject();
+
+    w.kv("seconds", result.seconds);
+    w.kv("shards", result.shards);
+    w.kv("total_trials", result.totalTrials());
+    w.kv("trials_per_second", result.trialsPerSecond());
+
+    w.key("cells").beginArray();
+    for (const CampaignCell& cell : result.cells) {
+        const OutcomeCounts& c = cell.counts;
+        const Interval ci = c.sdcInterval();
+        w.beginObject();
+        w.kv("scheme", cell.scheme_id);
+        w.kv("pattern", patternInfo(cell.pattern).label);
+        w.kv("trials", c.trials);
+        w.kv("dce", c.dce);
+        w.kv("due", c.due);
+        w.kv("sdc", c.sdc);
+        w.kv("exhaustive", c.exhaustive);
+        w.kv("dce_rate", c.dceRate());
+        w.kv("due_rate", c.dueRate());
+        w.kv("sdc_rate", c.sdcRate());
+        w.kv("sdc_ci_lo", ci.lo);
+        w.kv("sdc_ci_hi", ci.hi);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+writeTextFile(const std::string& path, const std::string& content)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open " + path + " for writing");
+    const std::size_t written =
+        std::fwrite(content.data(), 1, content.size(), f);
+    const bool ok = written == content.size() && std::fclose(f) == 0;
+    if (!ok)
+        fatal("short write to " + path);
+}
+
+} // namespace gpuecc::sim

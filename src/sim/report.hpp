@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Campaign result emission: CSV and JSON artifacts.
+ *
+ * Every bench and example shares one machine-readable surface so
+ * downstream tooling (plots, regression dashboards, the CI smoke run)
+ * can consume any campaign the same way. JsonWriter is a minimal
+ * streaming writer — no external JSON dependency — that the benches
+ * also use for their own bespoke artifacts (e.g. BENCH_throughput.json).
+ */
+
+#ifndef GPUECC_SIM_REPORT_HPP
+#define GPUECC_SIM_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hpp"
+
+namespace gpuecc::sim {
+
+/** Minimal streaming JSON writer (objects, arrays, scalars). */
+class JsonWriter
+{
+  public:
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Key of the next value inside an object. */
+    JsonWriter& key(const std::string& k);
+
+    JsonWriter& value(const std::string& v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(int v);
+    JsonWriter& value(bool v);
+
+    /** key(k) followed by value(v). */
+    template <typename T>
+    JsonWriter& kv(const std::string& k, const T& v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** The document so far; call after closing every scope. */
+    const std::string& str() const { return out_; }
+
+  private:
+    void separate();
+
+    std::string out_;
+    /** One entry per open scope: whether a separator is pending. */
+    std::vector<bool> need_comma_{false};
+};
+
+/** Campaign cells as CSV (header + one line per cell). */
+std::string campaignCsv(const CampaignResult& result);
+
+/** Campaign spec, run stats, and cells as a JSON document. */
+std::string campaignJson(const CampaignResult& result);
+
+/** Write content to path; fatal on I/O failure. */
+void writeTextFile(const std::string& path, const std::string& content);
+
+} // namespace gpuecc::sim
+
+#endif // GPUECC_SIM_REPORT_HPP

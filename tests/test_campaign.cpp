@@ -1,0 +1,241 @@
+/** @file Tests for the deterministic campaign engine. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ecc/registry.hpp"
+#include "faultsim/shard.hpp"
+#include "faultsim/weighted.hpp"
+#include "sim/campaign.hpp"
+#include "sim/report.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(ShardPlan, CoversEnumerableOuterSpaceExactly)
+{
+    for (ErrorPattern p :
+         {ErrorPattern::oneBit, ErrorPattern::onePin,
+          ErrorPattern::oneByte, ErrorPattern::twoBits,
+          ErrorPattern::threeBits}) {
+        const auto shards = planShards(p, 12345);
+        ASSERT_FALSE(shards.empty());
+        std::uint64_t expect_begin = 0;
+        for (const Shard& s : shards) {
+            EXPECT_EQ(s.pattern, p);
+            EXPECT_EQ(s.begin, expect_begin);
+            EXPECT_GT(s.end, s.begin);
+            expect_begin = s.end;
+        }
+        EXPECT_EQ(expect_begin, enumerationOuterSize(p));
+    }
+}
+
+TEST(ShardPlan, CoversSampleRangeExactly)
+{
+    for (std::uint64_t samples : {1ull, 1000ull, 65536ull, 200001ull}) {
+        const auto shards =
+            planShards(ErrorPattern::oneBeat, samples, 65536);
+        std::uint64_t covered = 0, expect_begin = 0;
+        for (const Shard& s : shards) {
+            EXPECT_EQ(s.begin, expect_begin);
+            expect_begin = s.end;
+            covered += s.end - s.begin;
+        }
+        EXPECT_EQ(covered, samples);
+    }
+    EXPECT_TRUE(planShards(ErrorPattern::wholeEntry, 0).empty());
+}
+
+TEST(ShardPlan, IndependentOfNothingButInputs)
+{
+    const auto a = planShards(ErrorPattern::wholeEntry, 100000, 4096);
+    const auto b = planShards(ErrorPattern::wholeEntry, 100000, 4096);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].begin, b[i].begin);
+        EXPECT_EQ(a[i].end, b[i].end);
+        EXPECT_EQ(a[i].stream, b[i].stream);
+    }
+}
+
+TEST(ShardPlan, SampledStreamsUniqueAcrossPatterns)
+{
+    // Stream ids only drive sampled shards (enumerable shards never
+    // draw random masks); those must be unique across the whole plan.
+    std::set<std::uint64_t> streams;
+    std::size_t total = 0;
+    for (ErrorPattern p :
+         {ErrorPattern::oneBeat, ErrorPattern::wholeEntry}) {
+        for (const Shard& s : planShards(p, 500000, 4096)) {
+            streams.insert(s.stream);
+            ++total;
+        }
+    }
+    EXPECT_EQ(streams.size(), total);
+}
+
+TEST(OutcomeCountsMerge, AssociativeAndCommutative)
+{
+    const auto trio = makeScheme("trio");
+    const GoldenEntry golden = makeGolden(*trio, 0x5EED);
+    const auto shards = planShards(ErrorPattern::oneBeat, 30000, 4096);
+    ASSERT_GE(shards.size(), 3u);
+    std::vector<OutcomeCounts> parts;
+    for (const Shard& s : shards)
+        parts.push_back(evaluateShard(*trio, golden, 0x5EED, s));
+
+    OutcomeCounts fwd;
+    for (const OutcomeCounts& p : parts)
+        fwd.merge(p);
+    OutcomeCounts rev;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+        rev.merge(*it);
+    OutcomeCounts grouped, left, right;
+    for (std::size_t i = 0; i < parts.size(); ++i)
+        (i % 2 ? left : right).merge(parts[i]);
+    grouped.merge(left).merge(right);
+
+    for (const OutcomeCounts& m : {fwd, rev, grouped}) {
+        EXPECT_EQ(m.trials, 30000u);
+        EXPECT_EQ(m.trials, fwd.trials);
+        EXPECT_EQ(m.dce, fwd.dce);
+        EXPECT_EQ(m.due, fwd.due);
+        EXPECT_EQ(m.sdc, fwd.sdc);
+        EXPECT_FALSE(m.exhaustive);
+    }
+}
+
+TEST(OutcomeCountsMerge, ExhaustiveOnlyWhenAllShardsAre)
+{
+    OutcomeCounts ex;
+    ex.trials = 10;
+    ex.exhaustive = true;
+    OutcomeCounts sampled;
+    sampled.trials = 10;
+
+    OutcomeCounts acc;
+    acc.merge(ex);
+    EXPECT_TRUE(acc.exhaustive);
+    acc.merge(sampled);
+    EXPECT_FALSE(acc.exhaustive);
+}
+
+TEST(OutcomeCountsMergeDeathTest, PanicsOnCounterOverflow)
+{
+    OutcomeCounts a, b;
+    a.trials = UINT64_MAX - 5;
+    b.trials = 10;
+    EXPECT_DEATH(a.merge(b), "overflow");
+}
+
+TEST(Campaign, BitIdenticalAcrossThreadCounts)
+{
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"duet", "trio"};
+    spec.samples = 20000;
+    spec.chunk = 1024; // many shards, so work actually interleaves
+    spec.threads = 1;
+    const sim::CampaignResult base = sim::CampaignRunner(spec).run();
+
+    for (int threads : {2, 8}) {
+        spec.threads = threads;
+        const sim::CampaignResult r = sim::CampaignRunner(spec).run();
+        ASSERT_EQ(r.cells.size(), base.cells.size());
+        for (std::size_t i = 0; i < base.cells.size(); ++i) {
+            const OutcomeCounts& a = base.cells[i].counts;
+            const OutcomeCounts& b = r.cells[i].counts;
+            EXPECT_EQ(b.trials, a.trials) << "threads=" << threads;
+            EXPECT_EQ(b.dce, a.dce) << "threads=" << threads;
+            EXPECT_EQ(b.due, a.due) << "threads=" << threads;
+            EXPECT_EQ(b.sdc, a.sdc) << "threads=" << threads;
+            EXPECT_EQ(b.exhaustive, a.exhaustive);
+        }
+    }
+}
+
+TEST(Campaign, MatchesSequentialEvaluator)
+{
+    const auto duet = makeScheme("duet");
+    Evaluator ev(*duet, 0x5EED);
+
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"duet"};
+    spec.samples = 30000;
+    spec.threads = 2;
+    const sim::CampaignResult r = sim::CampaignRunner(spec).run();
+
+    for (ErrorPattern p : allErrorPatterns()) {
+        const OutcomeCounts direct = ev.evaluate(p, spec.samples);
+        const OutcomeCounts& campaign = r.counts("duet", p);
+        EXPECT_EQ(campaign.trials, direct.trials);
+        EXPECT_EQ(campaign.dce, direct.dce);
+        EXPECT_EQ(campaign.due, direct.due);
+        EXPECT_EQ(campaign.sdc, direct.sdc);
+        EXPECT_EQ(campaign.exhaustive, direct.exhaustive);
+    }
+}
+
+TEST(Campaign, WeightedOutcomeProbabilitiesSumToOne)
+{
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"ni-secded", "trio", "ssc-dsd+"};
+    spec.samples = 5000;
+    const sim::CampaignResult r = sim::CampaignRunner(spec).run();
+    for (const std::string& id : spec.scheme_ids) {
+        const WeightedOutcome w = weightedOutcome(r.perPattern(id));
+        EXPECT_NEAR(w.correct + w.detect + w.sdc, 1.0, 1e-9) << id;
+    }
+}
+
+TEST(Campaign, EmptyPatternListMeansAllSeven)
+{
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"ni-secded"};
+    spec.samples = 100;
+    const sim::CampaignResult r = sim::CampaignRunner(spec).run();
+    EXPECT_EQ(r.cells.size(), allErrorPatterns().size());
+    EXPECT_GT(r.shards, 0u);
+    EXPECT_GT(r.totalTrials(), 0u);
+}
+
+TEST(CampaignReport, CsvAndJsonContainEveryCell)
+{
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"duet"};
+    spec.patterns = {ErrorPattern::oneBit, ErrorPattern::oneBeat};
+    spec.samples = 1000;
+    const sim::CampaignResult r = sim::CampaignRunner(spec).run();
+
+    const std::string csv = sim::campaignCsv(r);
+    EXPECT_NE(csv.find("scheme,pattern,trials"), std::string::npos);
+    EXPECT_NE(csv.find("duet"), std::string::npos);
+    // header + one line per cell (trailing newline).
+    const auto lines =
+        std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_EQ(lines, 1 + static_cast<long>(r.cells.size()));
+
+    const std::string json = sim::campaignJson(r);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"cells\""), std::string::npos);
+    EXPECT_NE(json.find("\"duet\""), std::string::npos);
+    EXPECT_NE(json.find("\"trials_per_second\""), std::string::npos);
+}
+
+TEST(CampaignReport, JsonWriterEscapesAndNests)
+{
+    sim::JsonWriter w;
+    w.beginObject();
+    w.kv("text", std::string("a\"b\\c\n"));
+    w.key("arr").beginArray().value(1).value(2.5).value(true)
+        .endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"text\":\"a\\\"b\\\\c\\n\",\"arr\":[1,2.5,true]}");
+}
+
+} // namespace
+} // namespace gpuecc

@@ -1,0 +1,75 @@
+/** @file Tests for the work-stealing thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 8}) {
+        for (std::uint64_t n : {0ull, 1ull, 7ull, 1000ull}) {
+            ThreadPool pool(threads);
+            std::vector<std::atomic<int>> hits(n);
+            pool.parallelFor(n, [&](std::uint64_t i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (std::uint64_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "threads=" << threads << " n=" << n
+                    << " i=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossLoops)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(100, [&](std::uint64_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 4950u);
+    }
+}
+
+TEST(ThreadPool, ThreadCountResolution)
+{
+    EXPECT_EQ(ThreadPool(1).threadCount(), 1);
+    EXPECT_EQ(ThreadPool(5).threadCount(), 5);
+    EXPECT_EQ(ThreadPool(0).threadCount(),
+              ThreadPool::hardwareThreads());
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        std::atomic<std::uint64_t> executed{0};
+        EXPECT_THROW(
+            pool.parallelFor(64,
+                             [&](std::uint64_t i) {
+                                 executed.fetch_add(1);
+                                 if (i == 13)
+                                     throw std::runtime_error("boom");
+                             }),
+            std::runtime_error);
+        // The loop drains before rethrowing, so the pool stays usable.
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(10, [&](std::uint64_t i) {
+            sum.fetch_add(i);
+        });
+        EXPECT_EQ(sum.load(), 45u);
+    }
+}
+
+} // namespace
+} // namespace gpuecc
