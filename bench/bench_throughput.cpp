@@ -7,12 +7,18 @@
  * campaign run at 1, 2, 4, ... worker threads, with a bit-identity
  * check across thread counts and the resulting wall-clock/speedup
  * recorded in BENCH_throughput.json.
+ *
+ * Every codec is measured under both backends (the compiled
+ * table-lookup path and the matrix/bit-by-bit reference), and one
+ * campaign is run under each backend with a cell-by-cell bit-identity
+ * check — the bench-level form of the differential harness guarantee.
  */
 
 #include <chrono>
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/codec_mode.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -40,8 +46,10 @@ struct CodecRates
 };
 
 CodecRates
-codecRates(const std::string& id, std::uint64_t iters)
+codecRates(const std::string& id, std::uint64_t iters,
+           CodecBackend backend)
 {
+    setCodecBackend(backend);
     const auto scheme = makeScheme(id);
     Rng rng(1);
     CodecRates r{};
@@ -76,6 +84,7 @@ codecRates(const std::string& id, std::uint64_t iters)
 
     if (guard == 0x5EED5EED) // never true; defeats dead-code removal
         std::printf("guard\n");
+    setCodecBackend(CodecBackend::compiled);
     return r;
 }
 
@@ -108,18 +117,32 @@ main(int argc, char** argv)
     const char* ids[] = {"ni-secded", "duet", "trio", "i-ssc",
                          "ssc-dsd+"};
     TextTable codecs({"scheme", "encode M/s", "decode clean M/s",
-                      "decode 1bit M/s"});
+                      "decode 1bit M/s", "ref decode M/s",
+                      "decode speedup"});
     json.key("codecs").beginArray();
     for (const char* id : ids) {
-        const CodecRates r = codecRates(id, iters);
+        const CodecRates r =
+            codecRates(id, iters, CodecBackend::compiled);
+        const CodecRates ref =
+            codecRates(id, iters, CodecBackend::reference);
+        const double speedup = ref.decode_clean_mops > 0.0
+                                   ? r.decode_clean_mops /
+                                         ref.decode_clean_mops
+                                   : 0.0;
         codecs.addRow({id, formatFixed(r.encode_mops, 2),
                        formatFixed(r.decode_clean_mops, 2),
-                       formatFixed(r.decode_1bit_mops, 2)});
+                       formatFixed(r.decode_1bit_mops, 2),
+                       formatFixed(ref.decode_clean_mops, 2),
+                       formatFixed(speedup, 2) + "x"});
         json.beginObject();
         json.kv("scheme", std::string(id));
         json.kv("encode_mops", r.encode_mops);
         json.kv("decode_clean_mops", r.decode_clean_mops);
         json.kv("decode_1bit_mops", r.decode_1bit_mops);
+        json.kv("reference_encode_mops", ref.encode_mops);
+        json.kv("reference_decode_clean_mops", ref.decode_clean_mops);
+        json.kv("reference_decode_1bit_mops", ref.decode_1bit_mops);
+        json.kv("decode_speedup_vs_reference", speedup);
         json.endObject();
     }
     json.endArray();
@@ -182,7 +205,6 @@ main(int argc, char** argv)
     json.endArray();
     json.kv("all_thread_counts_bit_identical", all_identical);
     json.kv("hardware_threads", ThreadPool::hardwareThreads());
-    json.endObject();
     scaling.print();
     std::printf("(host has %d hardware thread(s); speedup saturates "
                 "there)\n",
@@ -190,6 +212,46 @@ main(int argc, char** argv)
     if (!all_identical) {
         std::printf("ERROR: thread counts disagreed — determinism "
                     "violation\n");
+        return 1;
+    }
+
+    // Backend equivalence: the same campaign under the compiled and
+    // the reference codec must tally identically, cell by cell.
+    spec.threads = max_threads;
+    setCodecBackend(CodecBackend::compiled);
+    const sim::CampaignResult compiled_run =
+        sim::CampaignRunner(spec).run();
+    setCodecBackend(CodecBackend::reference);
+    const sim::CampaignResult reference_run =
+        sim::CampaignRunner(spec).run();
+    setCodecBackend(CodecBackend::compiled);
+
+    bool backends_identical =
+        compiled_run.cells.size() == reference_run.cells.size();
+    for (std::size_t i = 0;
+         backends_identical && i < compiled_run.cells.size(); ++i) {
+        const OutcomeCounts& a = compiled_run.cells[i].counts;
+        const OutcomeCounts& b = reference_run.cells[i].counts;
+        backends_identical = a.trials == b.trials && a.dce == b.dce &&
+            a.due == b.due && a.sdc == b.sdc;
+    }
+    const double campaign_speedup = compiled_run.seconds > 0.0
+        ? reference_run.seconds / compiled_run.seconds
+        : 0.0;
+    std::printf("\n== Codec backend equivalence ==\n"
+                "compiled %.3fs vs reference %.3fs (%.2fx), "
+                "cells bit-identical: %s\n",
+                compiled_run.seconds, reference_run.seconds,
+                campaign_speedup, backends_identical ? "yes" : "NO");
+    json.key("codec_equivalence").beginObject();
+    json.kv("compiled_seconds", compiled_run.seconds);
+    json.kv("reference_seconds", reference_run.seconds);
+    json.kv("campaign_speedup", campaign_speedup);
+    json.kv("bit_identical", backends_identical);
+    json.endObject();
+    json.endObject();
+    if (!backends_identical) {
+        std::printf("ERROR: compiled and reference codecs disagreed\n");
         return 1;
     }
 

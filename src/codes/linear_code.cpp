@@ -91,10 +91,62 @@ Code72::Code72(const Gf2Matrix& h, std::vector<std::pair<int, int>> pairs)
         if (s != 0 && syn_to_bit_[s] == -1 && syn_to_pair_[s] == -1)
             syn_to_pair_[s] = p;
     }
+
+    compileTables();
+}
+
+void
+Code72::compileTables()
+{
+    // Syndrome map: column c of H contributes col_syn_[c]; identical
+    // to the row-mask inner products, re-associated per input byte.
+    std::vector<std::uint64_t> syn_cols(n);
+    for (int c = 0; c < n; ++c)
+        syn_cols[c] = col_syn_[c];
+    syn_table_ = ByteParityTable<n>::fromColumnWords(syn_cols);
+
+    // Encoder map: check bit `row` depends on data bit c iff
+    // encoder_masks_[row] has bit c set.
+    std::vector<std::uint64_t> enc_cols(k, 0);
+    for (int row = 0; row < r; ++row) {
+        for (int c = 0; c < k; ++c) {
+            if ((encoder_masks_[row] >> c) & 1)
+                enc_cols[c] |= bit64(row);
+        }
+    }
+    enc_table_ = ByteParityTable<k>::fromColumnWords(enc_cols);
+
+    // Syndrome -> outcome tables: the compiled decode is one lookup.
+    for (int m = 0; m < 2; ++m) {
+        decode_tables_[m][0] = {CodewordDecode::Status::clean, Bits72{}};
+        for (int s = 1; s < 256; ++s) {
+            CodewordDecode d{CodewordDecode::Status::due, Bits72{}};
+            if (const int pos = syn_to_bit_[s]; pos >= 0) {
+                d.status = CodewordDecode::Status::corrected;
+                d.correction.set(pos, 1);
+            } else if (m == 1) {
+                if (const int p = syn_to_pair_[s]; p >= 0) {
+                    d.status = CodewordDecode::Status::corrected;
+                    d.correction.set(pairs_[p].first, 1);
+                    d.correction.set(pairs_[p].second, 1);
+                }
+            }
+            decode_tables_[m][s] = d;
+        }
+    }
 }
 
 Bits72
-Code72::encode(std::uint64_t data) const
+Code72::encodeCompiled(std::uint64_t data) const
+{
+    Bits72 cw;
+    cw.setWord(0, data);
+    cw.setWord(1, enc_table_.applyWord(data));
+    return cw;
+}
+
+Bits72
+Code72::encodeReference(std::uint64_t data) const
 {
     Bits72 cw;
     cw.setWord(0, data);
@@ -114,7 +166,7 @@ Code72::extractData(const Bits72& cw) const
 }
 
 std::uint8_t
-Code72::syndrome(const Bits72& received) const
+Code72::syndromeReference(const Bits72& received) const
 {
     std::uint8_t s = 0;
     for (int row = 0; row < r; ++row) {
@@ -125,9 +177,9 @@ Code72::syndrome(const Bits72& received) const
 }
 
 CodewordDecode
-Code72::decode(const Bits72& received, Mode mode) const
+Code72::decodeReference(const Bits72& received, Mode mode) const
 {
-    const std::uint8_t s = syndrome(received);
+    const std::uint8_t s = syndromeReference(received);
     if (s == 0)
         return {CodewordDecode::Status::clean, Bits72{}};
 
@@ -148,12 +200,12 @@ Code72::decode(const Bits72& received, Mode mode) const
 }
 
 CodewordDecode
-Code72::decodeWithErasure(const Bits72& received, int erased_pos) const
+Code72::decodeWithErasureImpl(int erased_pos, std::uint8_t s) const
 {
     require(erased_pos >= 0 && erased_pos < n,
             "decodeWithErasure: bad position");
-    // Interpretation A: the erased bit's received value is right.
-    const std::uint8_t s = syndrome(received);
+    // Interpretation A: the erased bit's received value is right
+    // (syndrome s was computed by the caller's chosen backend).
     // Interpretation B: it is flipped.
     const std::uint8_t s_flip =
         static_cast<std::uint8_t>(s ^ col_syn_[erased_pos]);

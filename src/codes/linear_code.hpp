@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/codec_mode.hpp"
 #include "gf2/matrix.hpp"
+#include "gf2/parity_table.hpp"
 
 namespace gpuecc {
 
@@ -81,17 +83,64 @@ class Code72
                     std::vector<std::pair<int, int>> pairs =
                         adjacentPairs());
 
-    /** Encode a 64-bit data word into a codeword (data in bits 0..63). */
-    Bits72 encode(std::uint64_t data) const;
+    /**
+     * Encode a 64-bit data word into a codeword (data in bits 0..63).
+     * Dispatches on the global codec backend; both implementations
+     * compute the same systematic encoding.
+     */
+    Bits72
+    encode(std::uint64_t data) const
+    {
+        return useReferenceCodec() ? encodeReference(data)
+                                   : encodeCompiled(data);
+    }
+
+    /** Table-compiled encode: one lookup per data byte. */
+    Bits72 encodeCompiled(std::uint64_t data) const;
+
+    /** Reference encode: one masked-parity product per check row. */
+    Bits72 encodeReference(std::uint64_t data) const;
 
     /** Extract the data bits (positions 0..63) from a codeword. */
     std::uint64_t extractData(const Bits72& cw) const;
 
     /** 8-bit syndrome of a received word (0 means a valid codeword). */
-    std::uint8_t syndrome(const Bits72& received) const;
+    std::uint8_t
+    syndrome(const Bits72& received) const
+    {
+        return useReferenceCodec() ? syndromeReference(received)
+                                   : syndromeCompiled(received);
+    }
 
-    /** Decode a received word in the given mode. */
-    CodewordDecode decode(const Bits72& received, Mode mode) const;
+    /** Table-compiled syndrome: 9 byte-table lookups. */
+    std::uint8_t
+    syndromeCompiled(const Bits72& received) const
+    {
+        return static_cast<std::uint8_t>(syn_table_.apply(received));
+    }
+
+    /** Reference syndrome: 8 H-row inner products. */
+    std::uint8_t syndromeReference(const Bits72& received) const;
+
+    /** Decode a received word in the given mode (backend dispatch). */
+    CodewordDecode
+    decode(const Bits72& received, Mode mode) const
+    {
+        return useReferenceCodec() ? decodeReference(received, mode)
+                                   : decodeCompiled(received, mode);
+    }
+
+    /** Compiled decode: syndrome lookup + one correction-table read. */
+    CodewordDecode
+    decodeCompiled(const Bits72& received, Mode mode) const
+    {
+        return decode_tables_[mode == Mode::sec2bEc]
+                             [syndromeCompiled(received)];
+    }
+
+    /** Reference decode: matrix syndrome + branched match logic. */
+    CodewordDecode decodeReference(const Bits72& received,
+                                   Mode mode) const;
 
     /**
      * Decode with one known-erased position (e.g. a diagnosed
@@ -103,14 +152,46 @@ class Code72
      * correction mask is relative to the received word, covering
      * both the erasure fill and any error correction.
      */
-    CodewordDecode decodeWithErasure(const Bits72& received,
-                                     int erased_pos) const;
+    CodewordDecode
+    decodeWithErasure(const Bits72& received, int erased_pos) const
+    {
+        return decodeWithErasureImpl(erased_pos, syndrome(received));
+    }
+
+    /** Erasure decode forced onto the compiled syndrome path. */
+    CodewordDecode
+    decodeWithErasureCompiled(const Bits72& received,
+                              int erased_pos) const
+    {
+        return decodeWithErasureImpl(erased_pos,
+                                     syndromeCompiled(received));
+    }
+
+    /** Erasure decode forced onto the reference syndrome path. */
+    CodewordDecode
+    decodeWithErasureReference(const Bits72& received,
+                               int erased_pos) const
+    {
+        return decodeWithErasureImpl(erased_pos,
+                                     syndromeReference(received));
+    }
 
     /** The (row-reduced, systematic) parity-check matrix in use. */
     const Gf2Matrix& parityCheck() const { return h_; }
 
     /** Syndrome of a single-bit error at the given position. */
     std::uint8_t columnSyndrome(int pos) const { return col_syn_[pos]; }
+
+    /**
+     * Precomputed decode outcome for a syndrome value in the given
+     * mode (the compiled codec's correction table; entry-level codecs
+     * re-map it through their layout).
+     */
+    const CodewordDecode&
+    outcomeForSyndrome(std::uint8_t s, Mode mode) const
+    {
+        return decode_tables_[mode == Mode::sec2bEc][s];
+    }
 
     /** The aligned symbol pairing in use. */
     const std::vector<std::pair<int, int>>& pairs() const
@@ -134,6 +215,12 @@ class Code72
     /** @} */
 
   private:
+    CodewordDecode decodeWithErasureImpl(int erased_pos,
+                                         std::uint8_t syn) const;
+
+    /** Lower H and the encoder into byte tables; fill decode_tables_. */
+    void compileTables();
+
     Gf2Matrix h_;                       //!< row-reduced systematic H
     std::array<Bits72, r> row_masks_;   //!< H rows for fast syndromes
     std::array<std::uint8_t, n> col_syn_;
@@ -141,6 +228,14 @@ class Code72
     std::vector<std::pair<int, int>> pairs_;
     std::array<int, 256> syn_to_bit_;   //!< -1 when no single-bit match
     std::array<int, 256> syn_to_pair_;  //!< -1 when no pair match
+
+    /** @name Compiled codec tables (built once at construction)
+     *  @{ */
+    ByteParityTable<n> syn_table_;      //!< 9 x 256 syndrome XOR table
+    ByteParityTable<k> enc_table_;      //!< 8 x 256 check-byte table
+    /** syndrome -> full decode outcome, per mode (secDed, sec2bEc). */
+    std::array<std::array<CodewordDecode, 256>, 2> decode_tables_;
+    /** @} */
 };
 
 } // namespace gpuecc

@@ -1,0 +1,51 @@
+#include "common/codec_mode.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace gpuecc {
+
+namespace {
+
+int
+initialBackend()
+{
+    const char* env = std::getenv("GPUECC_REFERENCE_CODEC");
+    const bool reference =
+        env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+    return static_cast<int>(reference ? CodecBackend::reference
+                                      : CodecBackend::compiled);
+}
+
+std::atomic<int>&
+backendState()
+{
+    static std::atomic<int> state{initialBackend()};
+    return state;
+}
+
+} // namespace
+
+CodecBackend
+codecBackend()
+{
+    return static_cast<CodecBackend>(
+        backendState().load(std::memory_order_relaxed));
+}
+
+void
+setCodecBackend(CodecBackend backend)
+{
+    backendState().store(static_cast<int>(backend),
+                         std::memory_order_relaxed);
+}
+
+const char*
+codecBackendName()
+{
+    return codecBackend() == CodecBackend::reference ? "reference"
+                                                     : "compiled";
+}
+
+} // namespace gpuecc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Global compiled-vs-reference codec selection.
+ *
+ * Every codec in the library keeps two decode implementations: the
+ * compiled fast path (byte-indexed parity tables and precomputed
+ * syndrome->correction tables) and the original matrix/bit-by-bit
+ * reference path, which is retained as the oracle the differential
+ * test harness cross-checks against. The reference path is selected
+ * process-wide by setting the environment variable
+ * GPUECC_REFERENCE_CODEC (to anything but "0" or the empty string),
+ * or programmatically via setCodecBackend() from tests and benches.
+ */
+
+#ifndef GPUECC_COMMON_CODEC_MODE_HPP
+#define GPUECC_COMMON_CODEC_MODE_HPP
+
+namespace gpuecc {
+
+/** Which decode implementation the codecs run. */
+enum class CodecBackend
+{
+    compiled, //!< table-lookup fast path (the default)
+    reference //!< matrix / bit-by-bit oracle
+};
+
+/**
+ * The active backend. First use reads GPUECC_REFERENCE_CODEC from the
+ * environment; later reads are a relaxed atomic load, cheap enough
+ * for per-decode dispatch.
+ */
+CodecBackend codecBackend();
+
+/** Override the backend (tests, benches, differential harness). */
+void setCodecBackend(CodecBackend backend);
+
+/** "compiled" or "reference" (for reports and logs). */
+const char* codecBackendName();
+
+/** Convenience predicate used at dispatch sites. */
+inline bool
+useReferenceCodec()
+{
+    return codecBackend() == CodecBackend::reference;
+}
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_CODEC_MODE_HPP

@@ -10,29 +10,29 @@ BinaryEntryScheme::BinaryEntryScheme(std::shared_ptr<const Code72> code,
     : code_(std::move(code)),
       config_(std::move(config)),
       layout_(config_.interleaved ? EntryLayout::Kind::interleaved
-                                  : EntryLayout::Kind::nonInterleaved)
+                                  : EntryLayout::Kind::nonInterleaved),
+      codec_(code_, layout_, config_.mode, config_.csc)
 {
-    require(code_ != nullptr, "BinaryEntryScheme needs a codeword code");
 }
 
 Bits288
-BinaryEntryScheme::encode(const EntryData& data) const
+BinaryEntryScheme::encodeReference(const EntryData& data) const
 {
     std::array<Bits72, 4> cws;
     for (int w = 0; w < 4; ++w)
-        cws[w] = code_->encode(data[w]);
+        cws[w] = code_->encodeReference(data[w]);
     return layout_.assemble(cws);
 }
 
 EntryDecode
-BinaryEntryScheme::decode(const Bits288& received) const
+BinaryEntryScheme::decodeReference(const Bits288& received) const
 {
     const std::array<Bits72, 4> cws = layout_.disassemble(received);
 
     std::array<CodewordDecode, 4> results;
     int num_correcting = 0;
     for (int w = 0; w < 4; ++w) {
-        results[w] = code_->decode(cws[w], config_.mode);
+        results[w] = code_->decodeReference(cws[w], config_.mode);
         if (results[w].status == CodewordDecode::Status::due) {
             // A DUE in any codeword discards the whole entry so that a
             // possible SDC in a sibling codeword cannot escape.

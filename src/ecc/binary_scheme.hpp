@@ -16,6 +16,7 @@
 #include <string>
 
 #include "codes/linear_code.hpp"
+#include "ecc/compiled_codec.hpp"
 #include "ecc/scheme.hpp"
 #include "interleave/swizzle.hpp"
 
@@ -47,8 +48,31 @@ class BinaryEntryScheme : public EntryScheme
 
     std::string id() const override { return config_.id; }
     std::string name() const override { return config_.name; }
-    Bits288 encode(const EntryData& data) const override;
-    EntryDecode decode(const Bits288& received) const override;
+
+    /** Encode (backend dispatch: compiled scatter tables vs the
+     *  per-codeword reference path). */
+    Bits288
+    encode(const EntryData& data) const override
+    {
+        return useReferenceCodec() ? encodeReference(data)
+                                   : codec_.encode(data);
+    }
+
+    /** Decode (backend dispatch: compiled gather/fix tables vs the
+     *  disassemble-and-matrix reference path). */
+    EntryDecode
+    decode(const Bits288& received) const override
+    {
+        return useReferenceCodec() ? decodeReference(received)
+                                   : codec_.decode(received);
+    }
+
+    /** The original per-codeword encode (the differential oracle). */
+    Bits288 encodeReference(const EntryData& data) const;
+
+    /** The original matrix-path decode (the differential oracle). */
+    EntryDecode decodeReference(const Bits288& received) const;
+
     bool correctsPinErrors() const override { return true; }
 
     /**
@@ -66,10 +90,14 @@ class BinaryEntryScheme : public EntryScheme
     /** The bit layout in use. */
     const EntryLayout& entryLayout() const { return layout_; }
 
+    /** The compiled fast-path codec (tables built at construction). */
+    const CompiledBinaryCodec& compiledCodec() const { return codec_; }
+
   private:
     std::shared_ptr<const Code72> code_;
     BinarySchemeConfig config_;
     EntryLayout layout_;
+    CompiledBinaryCodec codec_;
 };
 
 } // namespace gpuecc

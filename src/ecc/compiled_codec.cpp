@@ -1,0 +1,146 @@
+#include "ecc/compiled_codec.hpp"
+
+#include "common/log.hpp"
+#include "ecc/csc.hpp"
+
+namespace gpuecc {
+
+CompiledBinaryCodec::CompiledBinaryCodec(
+    std::shared_ptr<const Code72> code, const EntryLayout& layout,
+    Code72::Mode mode, bool csc)
+    : code_(std::move(code)), csc_(csc), gather_{}, fix_{}, enc_{}
+{
+    require(code_ != nullptr, "CompiledBinaryCodec needs a code");
+
+    // Gather tables: per-physical-bit syndrome and data-extraction
+    // contributions, XOR-folded over each byte's 256 values with the
+    // strip-lowest-bit dynamic program.
+    for (int b = 0; b < layout::num_bytes; ++b) {
+        std::array<Gather, 8> col{};
+        for (int t = 0; t < 8; ++t) {
+            const auto [cw, bit] = layout.logicalFor(8 * b + t);
+            col[t].syn = static_cast<std::uint32_t>(
+                             code_->columnSyndrome(bit))
+                         << (8 * cw);
+            if (bit < Code72::k)
+                col[t].data[cw] = bit64(bit);
+        }
+        auto& row = gather_[b];
+        row[0] = Gather{};
+        for (int v = 1; v < 256; ++v) {
+            const int low =
+                std::countr_zero(static_cast<unsigned>(v));
+            row[v] = row[v & (v - 1)];
+            row[v].syn ^= col[low].syn;
+            for (int w = 0; w < 4; ++w)
+                row[v].data[w] ^= col[low].data[w];
+        }
+    }
+
+    // Fix tables: the image of Code72's syndrome->outcome table under
+    // the layout permutation, one per codeword slot.
+    for (int cw = 0; cw < layout::num_codewords; ++cw) {
+        for (int s = 0; s < 256; ++s) {
+            const CodewordDecode& d = code_->outcomeForSyndrome(
+                static_cast<std::uint8_t>(s), mode);
+            Fix f{};
+            f.due = d.status == CodewordDecode::Status::due;
+            f.data_fix = d.correction.word(0);
+            f.phys = {-1, -1};
+            int i = 0;
+            d.correction.forEachSetBit([&](int bit) {
+                f.phys[i++] = static_cast<std::int16_t>(
+                    layout.physicalFor(cw, bit));
+            });
+            fix_[cw][s] = f;
+        }
+    }
+
+    // Encode scatter tables: the physical image (data placement plus
+    // check contributions) of each data bit, folded per data byte.
+    // code_->encode is linear, so encode(bit) is exactly bit's column.
+    for (int b = 0; b < 32; ++b) {
+        const int cw = b / 8;
+        std::array<Bits288, 8> col{};
+        for (int t = 0; t < 8; ++t) {
+            const Bits72 cw_col =
+                code_->encodeCompiled(bit64(8 * (b % 8) + t));
+            cw_col.forEachSetBit([&](int bit) {
+                col[t].set(layout.physicalFor(cw, bit), 1);
+            });
+        }
+        auto& row = enc_[b];
+        for (int v = 1; v < 256; ++v) {
+            const int low =
+                std::countr_zero(static_cast<unsigned>(v));
+            row[v] = row[v & (v - 1)] ^ col[low];
+        }
+    }
+}
+
+Bits288
+CompiledBinaryCodec::encode(const EntryData& data) const
+{
+    Bits288 physical;
+    for (int w = 0; w < 4; ++w) {
+        for (int j = 0; j < 8; ++j)
+            physical ^= enc_[8 * w + j][(data[w] >> (8 * j)) & 0xff];
+    }
+    return physical;
+}
+
+EntryDecode
+CompiledBinaryCodec::decode(const Bits288& received) const
+{
+    std::uint32_t syn = 0;
+    EntryData data{};
+    for (int b = 0; b < layout::num_bytes; ++b) {
+        const std::uint64_t byte =
+            (received.word(b >> 3) >> ((b & 7) * 8)) & 0xff;
+        const Gather& g = gather_[b][byte];
+        syn ^= g.syn;
+        data[0] ^= g.data[0];
+        data[1] ^= g.data[1];
+        data[2] ^= g.data[2];
+        data[3] ^= g.data[3];
+    }
+    if (syn == 0)
+        return {EntryDecode::Status::clean, data};
+
+    const Fix* fixes[4] = {};
+    int num_correcting = 0;
+    for (int cw = 0; cw < 4; ++cw) {
+        const std::uint8_t s =
+            static_cast<std::uint8_t>(syn >> (8 * cw));
+        if (s == 0)
+            continue;
+        const Fix& f = fix_[cw][s];
+        if (f.due)
+            return {EntryDecode::Status::due, EntryData{}};
+        fixes[cw] = &f;
+        ++num_correcting;
+    }
+
+    if (csc_ && num_correcting >= 2) {
+        // Same predicate, same corrected-bit set as the reference.
+        Bits288 corrected_physical;
+        for (int cw = 0; cw < 4; ++cw) {
+            if (!fixes[cw])
+                continue;
+            for (int p : fixes[cw]->phys) {
+                if (p >= 0)
+                    corrected_physical.set(p, 1);
+            }
+        }
+        if (!correctionSanityCheckPasses(corrected_physical))
+            return {EntryDecode::Status::due, EntryData{}};
+    }
+
+    for (int cw = 0; cw < 4; ++cw) {
+        if (fixes[cw])
+            data[cw] ^= fixes[cw]->data_fix;
+    }
+    return {EntryDecode::Status::corrected, data};
+}
+
+} // namespace gpuecc

@@ -1,5 +1,6 @@
 #include "ecc/rs_scheme.hpp"
 
+#include "common/codec_mode.hpp"
 #include "common/log.hpp"
 #include "ecc/csc.hpp"
 #include "interleave/swizzle.hpp"
@@ -7,6 +8,49 @@
 namespace gpuecc {
 
 namespace {
+
+/**
+ * Word-extracted aligned physical byte B (bits [8B, 8B+8)); byte
+ * fields never straddle the 64-bit words of a Bits288.
+ */
+std::uint8_t
+physByte(const Bits288& entry, int b)
+{
+    return static_cast<std::uint8_t>(entry.word(b >> 3)
+                                     >> ((b & 7) * 8));
+}
+
+/**
+ * Word-extracted 4-bit field at bit offset `off` (off % 4 == 0, so
+ * the field never straddles a word boundary).
+ */
+std::uint8_t
+physNibble(const Bits288& entry, int off)
+{
+    return static_cast<std::uint8_t>(
+        (entry.word(off >> 6) >> (off & 63)) & 0xf);
+}
+
+/** Accumulator for word-level scatter into a physical entry. */
+struct EntryWords
+{
+    std::array<std::uint64_t, Bits288::numWords> w{};
+
+    void
+    orField(int off, std::uint64_t value)
+    {
+        w[off >> 6] |= value << (off & 63);
+    }
+
+    Bits288
+    toBits() const
+    {
+        Bits288 out;
+        for (int i = 0; i < Bits288::numWords; ++i)
+            out.setWord(i, w[i]);
+        return out;
+    }
+};
 
 /** Entry data words -> 32 bytes (little-endian within each word). */
 std::array<std::uint8_t, 32>
@@ -63,14 +107,25 @@ std::array<std::vector<std::uint8_t>, 2>
 InterleavedSscScheme::gatherCodewords(const Bits288& physical) const
 {
     std::array<std::vector<std::uint8_t>, 2> cws;
+    const bool reference = useReferenceCodec();
     for (int cw = 0; cw < 2; ++cw) {
         cws[cw].assign(18, 0);
         for (int pos = 0; pos < 18; ++pos) {
             std::uint8_t sym = 0;
-            for (int t = 0; t < 8; ++t) {
-                sym |= static_cast<std::uint8_t>(
-                           physical.get(physicalBit(cw, pos, t)))
-                       << t;
+            if (reference) {
+                for (int t = 0; t < 8; ++t) {
+                    sym |= static_cast<std::uint8_t>(
+                               physical.get(physicalBit(cw, pos, t)))
+                           << t;
+                }
+            } else {
+                // A symbol is one 4-bit column slice of each beat of
+                // its beat-pair; both nibbles are word-extractable.
+                const int lo = physicalBit(cw, pos, 0);
+                const int hi = physicalBit(cw, pos, 4);
+                sym = static_cast<std::uint8_t>(
+                    physNibble(physical, lo)
+                    | (physNibble(physical, hi) << 4));
             }
             cws[cw][pos] = sym;
         }
@@ -82,19 +137,28 @@ Bits288
 InterleavedSscScheme::encode(const EntryData& data) const
 {
     const auto bytes = dataToBytes(data);
+    const bool reference = useReferenceCodec();
     Bits288 physical;
+    EntryWords fast;
     for (int cw = 0; cw < 2; ++cw) {
         std::vector<std::uint8_t> payload(bytes.begin() + 16 * cw,
                                           bytes.begin() + 16 * (cw + 1));
         const std::vector<std::uint8_t> encoded = code_.encode(payload);
         for (int pos = 0; pos < 18; ++pos) {
-            for (int t = 0; t < 8; ++t) {
-                if ((encoded[pos] >> t) & 1)
-                    physical.set(physicalBit(cw, pos, t), 1);
+            if (reference) {
+                for (int t = 0; t < 8; ++t) {
+                    if ((encoded[pos] >> t) & 1)
+                        physical.set(physicalBit(cw, pos, t), 1);
+                }
+            } else {
+                fast.orField(physicalBit(cw, pos, 0),
+                             encoded[pos] & 0xfull);
+                fast.orField(physicalBit(cw, pos, 4),
+                             (encoded[pos] >> 4) & 0xfull);
             }
         }
     }
-    return physical;
+    return reference ? physical : fast.toBits();
 }
 
 EntryDecode
@@ -216,6 +280,12 @@ Rs3632Scheme::encode(const EntryData& data) const
     const auto bytes = dataToBytes(data);
     const std::vector<std::uint8_t> payload(bytes.begin(), bytes.end());
     const std::vector<std::uint8_t> encoded = code_.encode(payload);
+    if (!useReferenceCodec()) {
+        EntryWords fast;
+        for (int pos = 0; pos < 36; ++pos)
+            fast.orField(8 * physicalByteOf(pos), encoded[pos]);
+        return fast.toBits();
+    }
     Bits288 physical;
     for (int pos = 0; pos < 36; ++pos) {
         const int base = 8 * physicalByteOf(pos);
@@ -231,12 +301,19 @@ EntryDecode
 Rs3632Scheme::decode(const Bits288& received) const
 {
     std::vector<std::uint8_t> word(36, 0);
-    for (int pos = 0; pos < 36; ++pos) {
-        const int base = 8 * physicalByteOf(pos);
-        std::uint8_t sym = 0;
-        for (int t = 0; t < 8; ++t)
-            sym |= static_cast<std::uint8_t>(received.get(base + t)) << t;
-        word[pos] = sym;
+    if (useReferenceCodec()) {
+        for (int pos = 0; pos < 36; ++pos) {
+            const int base = 8 * physicalByteOf(pos);
+            std::uint8_t sym = 0;
+            for (int t = 0; t < 8; ++t) {
+                sym |= static_cast<std::uint8_t>(received.get(base + t))
+                       << t;
+            }
+            word[pos] = sym;
+        }
+    } else {
+        for (int pos = 0; pos < 36; ++pos)
+            word[pos] = physByte(received, physicalByteOf(pos));
     }
 
     RsDecode result = decoder_ == Decoder::dsc
@@ -263,13 +340,20 @@ Rs3632Scheme::decodeWithPinErasure(const Bits288& received,
 
     std::vector<std::uint8_t> word(36, 0);
     std::array<int, 36> pos_of_byte{};
+    const bool reference = useReferenceCodec();
     for (int pos = 0; pos < 36; ++pos) {
         pos_of_byte[physicalByteOf(pos)] = pos;
-        const int base = 8 * physicalByteOf(pos);
-        std::uint8_t sym = 0;
-        for (int t = 0; t < 8; ++t)
-            sym |= static_cast<std::uint8_t>(received.get(base + t)) << t;
-        word[pos] = sym;
+        if (reference) {
+            const int base = 8 * physicalByteOf(pos);
+            std::uint8_t sym = 0;
+            for (int t = 0; t < 8; ++t) {
+                sym |= static_cast<std::uint8_t>(received.get(base + t))
+                       << t;
+            }
+            word[pos] = sym;
+        } else {
+            word[pos] = physByte(received, physicalByteOf(pos));
+        }
     }
 
     // The pin crosses one physical byte per beat.

@@ -8,17 +8,19 @@ namespace gpuecc {
 namespace {
 
 /**
- * Stream id of a sampled shard: pattern in the high half, chunk index
- * in the low half. Bit 63 is left clear — other deterministic
- * consumers (the degradation evaluator) tag their streams there so
- * the families never collide under one campaign seed.
+ * Stream id of a sampled stream block: pattern in the high half,
+ * block index in the low half. Bit 63 is left clear — other
+ * deterministic consumers (the degradation evaluator) tag their
+ * streams there so the families never collide under one campaign
+ * seed. Keying streams to fixed-size blocks rather than to shards is
+ * what makes tallies independent of the shard chunk size.
  */
 std::uint64_t
-shardStream(ErrorPattern p, std::uint64_t chunk_index)
+blockStream(ErrorPattern p, std::uint64_t block_index)
 {
-    require(chunk_index < (1ull << 32),
-            "planShards: chunk index overflows the stream id space");
-    return (static_cast<std::uint64_t>(p) << 32) | chunk_index;
+    require(block_index < (1ull << 32),
+            "planShards: block index overflows the stream id space");
+    return (static_cast<std::uint64_t>(p) << 32) | block_index;
 }
 
 } // namespace
@@ -36,10 +38,13 @@ planShards(ErrorPattern p, std::uint64_t samples, std::uint64_t chunk)
         }
         return shards;
     }
-    std::uint64_t index = 0;
-    for (std::uint64_t b = 0; b < samples; b += chunk, ++index) {
+    // Round the chunk up to a stream-block multiple so every shard
+    // boundary is block-aligned (the last shard may end mid-block).
+    chunk = ((chunk + kStreamBlockSamples - 1) / kStreamBlockSamples)
+            * kStreamBlockSamples;
+    for (std::uint64_t b = 0; b < samples; b += chunk) {
         shards.push_back({p, b, std::min(samples, b + chunk),
-                          shardStream(p, index)});
+                          blockStream(p, b / kStreamBlockSamples)});
     }
     return shards;
 }
@@ -80,9 +85,18 @@ evaluateShard(const EntryScheme& scheme, const GoldenEntry& golden,
         forEachErrorMaskInRange(shard.pattern, shard.begin, shard.end,
                                 inject);
     } else {
-        Rng rng = Rng::forStream(seed, shard.stream);
-        for (std::uint64_t i = shard.begin; i < shard.end; ++i)
-            inject(sampleErrorMask(shard.pattern, rng));
+        require(shard.begin % kStreamBlockSamples == 0,
+                "evaluateShard: shard must start on a stream block");
+        for (std::uint64_t b = shard.begin; b < shard.end;
+             b += kStreamBlockSamples) {
+            Rng rng = Rng::forStream(
+                seed,
+                blockStream(shard.pattern, b / kStreamBlockSamples));
+            const std::uint64_t stop =
+                std::min(shard.end, b + kStreamBlockSamples);
+            for (std::uint64_t i = b; i < stop; ++i)
+                inject(sampleErrorMask(shard.pattern, rng));
+        }
     }
     return counts;
 }

@@ -5,12 +5,15 @@
  * A (scheme, pattern) evaluation is decomposed into fixed shards whose
  * outcome tallies are independent of execution order: enumerable
  * patterns shard their mask space by outer enumeration slot, sampled
- * patterns shard their sample range into fixed-size chunks, each
- * drawing from its own Rng::forStream(seed, stream) stream. Merging
- * the shard tallies therefore yields bit-identical results for any
- * thread count — the property the campaign engine's determinism
- * guarantee rests on. The same kernel serves the sequential Evaluator
- * and the parallel CampaignRunner.
+ * patterns shard their sample range into chunks. Random draws are
+ * keyed to *stream blocks* of kStreamBlockSamples samples, not to
+ * shards: sample i always draws from Rng::forStream(seed,
+ * stream(pattern, i / kStreamBlockSamples)), and shard boundaries are
+ * required to fall on block boundaries. Merging the shard tallies
+ * therefore yields bit-identical results for any thread count AND any
+ * (block-aligned) chunk size — the property the campaign engine's
+ * determinism guarantee rests on. The same kernel serves the
+ * sequential Evaluator and the parallel CampaignRunner.
  */
 
 #ifndef GPUECC_FAULTSIM_SHARD_HPP
@@ -28,6 +31,13 @@ namespace gpuecc {
 /** Samples per shard of a non-enumerable pattern. */
 constexpr std::uint64_t kShardSamples = 1 << 16;
 
+/**
+ * Samples per RNG stream block. Sampled draws are keyed by block, not
+ * by shard, so tallies are invariant to the shard chunk size; chunks
+ * are rounded up to a multiple of this.
+ */
+constexpr std::uint64_t kStreamBlockSamples = 1024;
+
 /** Outer enumeration slots per shard of an enumerable pattern. */
 constexpr std::uint64_t kShardOuterSlots = 8;
 
@@ -38,7 +48,7 @@ struct Shard
     /** Outer slot range (enumerable) or sample range (sampled). */
     std::uint64_t begin = 0;
     std::uint64_t end = 0;
-    /** RNG stream id; meaningful for sampled patterns only. */
+    /** RNG stream id of the shard's first block (sampled only). */
     std::uint64_t stream = 0;
 };
 
@@ -47,9 +57,12 @@ struct Shard
  *
  * Enumerable patterns ignore `samples` and cover their whole mask
  * space; sampled patterns cover [0, samples). The plan depends only
- * on (pattern, samples, chunk), never on the thread count.
+ * on (pattern, samples, chunk), never on the thread count, and the
+ * resulting tallies are additionally independent of `chunk` because
+ * draws are keyed per stream block.
  *
- * @param chunk samples per shard for non-enumerable patterns
+ * @param chunk samples per shard for non-enumerable patterns,
+ *              rounded up to a multiple of kStreamBlockSamples
  */
 std::vector<Shard> planShards(ErrorPattern p, std::uint64_t samples,
                               std::uint64_t chunk = kShardSamples);

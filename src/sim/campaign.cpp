@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 
+#include "common/codec_mode.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "ecc/registry.hpp"
@@ -73,6 +74,7 @@ CampaignRunner::run() const
     CampaignResult result;
     result.spec = spec_;
     result.spec.threads = ThreadPool::resolveThreadCount(spec_.threads);
+    result.codec_backend = codecBackendName();
 
     const std::vector<ErrorPattern> patterns = spec_.resolvedPatterns();
 

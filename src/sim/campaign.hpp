@@ -58,6 +58,8 @@ struct CampaignResult
 {
     /** The spec as run (threads resolved to a concrete count). */
     CampaignSpec spec;
+    /** Codec backend the run decoded with ("compiled"/"reference"). */
+    std::string codec_backend;
     /** Scheme-major, pattern-minor, in spec order. */
     std::vector<CampaignCell> cells;
     /** Wall-clock of the sharded evaluation phase. */

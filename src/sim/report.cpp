@@ -190,6 +190,7 @@ campaignJson(const CampaignResult& result)
     w.endArray();
     w.endObject();
 
+    w.kv("codec_backend", result.codec_backend);
     w.kv("seconds", result.seconds);
     w.kv("shards", result.shards);
     w.kv("total_trials", result.totalTrials());

@@ -156,6 +156,32 @@ TEST(Campaign, BitIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(Campaign, BitIdenticalAcrossChunkSizes)
+{
+    // Draws are keyed to fixed stream blocks, not to shards, so the
+    // tallies must not depend on how the sample range is cut up.
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"duet", "i-ssc"};
+    spec.samples = 20000;
+    spec.chunk = 1024;
+    spec.threads = 2;
+    const sim::CampaignResult base = sim::CampaignRunner(spec).run();
+
+    for (std::uint64_t chunk : {100ull, 4096ull, 1ull << 16}) {
+        spec.chunk = chunk; // 100 exercises the round-up-to-block path
+        const sim::CampaignResult r = sim::CampaignRunner(spec).run();
+        ASSERT_EQ(r.cells.size(), base.cells.size());
+        for (std::size_t i = 0; i < base.cells.size(); ++i) {
+            const OutcomeCounts& a = base.cells[i].counts;
+            const OutcomeCounts& b = r.cells[i].counts;
+            EXPECT_EQ(b.trials, a.trials) << "chunk=" << chunk;
+            EXPECT_EQ(b.dce, a.dce) << "chunk=" << chunk;
+            EXPECT_EQ(b.due, a.due) << "chunk=" << chunk;
+            EXPECT_EQ(b.sdc, a.sdc) << "chunk=" << chunk;
+        }
+    }
+}
+
 TEST(Campaign, MatchesSequentialEvaluator)
 {
     const auto duet = makeScheme("duet");

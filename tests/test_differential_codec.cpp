@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Differential harness: compiled codec vs matrix reference.
+ *
+ * The compiled fast path (byte parity tables + syndrome->correction
+ * tables) must be observationally identical to the original
+ * matrix/bit-by-bit reference it was lowered from. This harness
+ * cross-checks the two backends bit-for-bit: at the Code72 level over
+ * every codeword-local error, and at the entry level for every
+ * registered scheme over all 1- and 2-bit flips, every aligned byte
+ * pattern, and seeded random sparse patterns — then once more at the
+ * campaign level, where a whole sampled campaign must produce
+ * identical outcome tallies under either backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "codes/hsiao.hpp"
+#include "codes/linear_code.hpp"
+#include "codes/sec2bec.hpp"
+#include "common/codec_mode.hpp"
+#include "common/rng.hpp"
+#include "ecc/reconfigurable.hpp"
+#include "ecc/registry.hpp"
+#include "sim/campaign.hpp"
+
+namespace gpuecc {
+namespace {
+
+/** Restores the codec backend a test body switches around. */
+class BackendGuard
+{
+  public:
+    BackendGuard() : saved_(codecBackend()) {}
+    ~BackendGuard() { setCodecBackend(saved_); }
+
+  private:
+    CodecBackend saved_;
+};
+
+/** Decode `received` under both backends and require identical results. */
+void
+expectBackendsAgree(const EntryScheme& scheme, const Bits288& received)
+{
+    setCodecBackend(CodecBackend::compiled);
+    const EntryDecode fast = scheme.decode(received);
+    setCodecBackend(CodecBackend::reference);
+    const EntryDecode ref = scheme.decode(received);
+    setCodecBackend(CodecBackend::compiled);
+
+    ASSERT_EQ(fast.status, ref.status);
+    if (fast.status != EntryDecode::Status::due)
+        ASSERT_EQ(fast.data, ref.data);
+}
+
+class DifferentialCodec : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    DifferentialCodec() : scheme_(makeScheme(GetParam()))
+    {
+        Rng rng(0xD1FFull);
+        data_ = {rng.next64(), rng.next64(), rng.next64(), rng.next64()};
+        setCodecBackend(CodecBackend::compiled);
+        golden_ = scheme_->encode(data_);
+    }
+
+    Bits288 flipped(std::initializer_list<int> positions) const
+    {
+        Bits288 r = golden_;
+        for (int p : positions)
+            r.set(p, !r.get(p));
+        return r;
+    }
+
+    BackendGuard guard_;
+    std::shared_ptr<EntryScheme> scheme_;
+    EntryData data_;
+    Bits288 golden_;
+};
+
+TEST_P(DifferentialCodec, EncodeIdenticalAcrossBackends)
+{
+    Rng rng(0xE2C0ull);
+    for (int trial = 0; trial < 64; ++trial) {
+        const EntryData d = {rng.next64(), rng.next64(), rng.next64(),
+                             rng.next64()};
+        setCodecBackend(CodecBackend::compiled);
+        const Bits288 fast = scheme_->encode(d);
+        setCodecBackend(CodecBackend::reference);
+        const Bits288 ref = scheme_->encode(d);
+        setCodecBackend(CodecBackend::compiled);
+        ASSERT_EQ(fast, ref);
+    }
+}
+
+TEST_P(DifferentialCodec, CleanEntryDecodesIdentically)
+{
+    expectBackendsAgree(*scheme_, golden_);
+}
+
+TEST_P(DifferentialCodec, AllSingleBitFlips)
+{
+    for (int a = 0; a < 288; ++a)
+        expectBackendsAgree(*scheme_, flipped({a}));
+}
+
+TEST_P(DifferentialCodec, AllDoubleBitFlips)
+{
+    for (int a = 0; a < 288; ++a) {
+        for (int b = a + 1; b < 288; ++b)
+            expectBackendsAgree(*scheme_, flipped({a, b}));
+    }
+}
+
+TEST_P(DifferentialCodec, AllAlignedBytePatterns)
+{
+    // Every value of every aligned byte: the compiled codec's native
+    // lookup granularity, so any table row defect surfaces here.
+    for (int byte = 0; byte < 36; ++byte) {
+        for (int v = 1; v < 256; ++v) {
+            Bits288 r = golden_;
+            for (int t = 0; t < 8; ++t) {
+                if ((v >> t) & 1) {
+                    const int pos = 8 * byte + t;
+                    r.set(pos, !r.get(pos));
+                }
+            }
+            expectBackendsAgree(*scheme_, r);
+        }
+    }
+}
+
+TEST_P(DifferentialCodec, RandomSparsePatterns)
+{
+    Rng rng(0xFA57ull);
+    for (int trial = 0; trial < 4000; ++trial) {
+        Bits288 r = golden_;
+        const int weight = 3 + static_cast<int>(rng.nextBounded(4));
+        for (int f = 0; f < weight; ++f) {
+            const int pos = static_cast<int>(rng.nextBounded(288));
+            r.set(pos, !r.get(pos));
+        }
+        expectBackendsAgree(*scheme_, r);
+    }
+}
+
+TEST_P(DifferentialCodec, PinErasureDecodeIdentical)
+{
+    // Erasure decode under both backends, for every pin, with the
+    // erased pin flipped across all beats plus one extra random flip.
+    Rng rng(0xE7A5ull);
+    for (int pin = 0; pin < 72; ++pin) {
+        Bits288 r = golden_;
+        for (int beat = 0; beat < 4; ++beat) {
+            if (rng.nextBool(0.5)) {
+                const int pos = 72 * beat + pin;
+                r.set(pos, !r.get(pos));
+            }
+        }
+        const int extra = static_cast<int>(rng.nextBounded(288));
+        r.set(extra, !r.get(extra));
+
+        setCodecBackend(CodecBackend::compiled);
+        const EntryDecode fast = scheme_->decodeWithPinErasure(r, pin);
+        setCodecBackend(CodecBackend::reference);
+        const EntryDecode ref = scheme_->decodeWithPinErasure(r, pin);
+        setCodecBackend(CodecBackend::compiled);
+
+        ASSERT_EQ(fast.status, ref.status);
+        if (fast.status != EntryDecode::Status::due)
+            ASSERT_EQ(fast.data, ref.data);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, DifferentialCodec,
+    ::testing::Values("ni-secded", "i-secded", "duet", "ni-sec2bec",
+                      "i-sec2bec", "trio", "i-ssc", "i-ssc-csc",
+                      "ssc-dsd+", "dsc", "ssc-tsd"),
+    [](const auto& info) {
+        std::string name = info.param;
+        for (char& c : name) {
+            if (c == '-' || c == '+')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(DifferentialReconfigurable, BothPoliciesAgreeAcrossBackends)
+{
+    BackendGuard guard;
+    ReconfigurableDuetTrio scheme;
+    Rng rng(0x12EC0ull);
+    const EntryData d = {rng.next64(), rng.next64(), rng.next64(),
+                         rng.next64()};
+    setCodecBackend(CodecBackend::compiled);
+    const Bits288 golden = scheme.encode(d);
+
+    for (ReconfigurableDuetTrio::Policy policy :
+         {ReconfigurableDuetTrio::Policy::duet,
+          ReconfigurableDuetTrio::Policy::trio}) {
+        scheme.setPolicy(policy);
+        for (int a = 0; a < 288; ++a) {
+            Bits288 r = golden;
+            r.set(a, !r.get(a));
+            const int b = static_cast<int>(rng.nextBounded(288));
+            r.set(b, !r.get(b));
+            expectBackendsAgree(scheme, r);
+        }
+    }
+}
+
+/** Code72-level differential over both paper codes and both modes. */
+class DifferentialCode72 : public ::testing::Test
+{
+  protected:
+    std::vector<Code72> codes() const
+    {
+        std::vector<Code72> out;
+        out.emplace_back(hsiao7264Matrix());
+        out.emplace_back(sec2becPaperMatrix());
+        out.emplace_back(sec2becInterleavedMatrix(),
+                         Code72::stride4Pairs());
+        return out;
+    }
+};
+
+TEST_F(DifferentialCode72, EncodeAndSyndromeIdentical)
+{
+    Rng rng(0xC0DEull);
+    for (const Code72& code : codes()) {
+        for (int trial = 0; trial < 256; ++trial) {
+            const std::uint64_t data = rng.next64();
+            ASSERT_EQ(code.encodeCompiled(data),
+                      code.encodeReference(data));
+        }
+        Bits72 w = code.encode(rng.next64());
+        for (int a = 0; a < 72; ++a) {
+            for (int b = 0; b < 72; ++b) {
+                Bits72 r = w;
+                r.set(a, !r.get(a));
+                r.set(b, r.get(b) ^ 1);
+                ASSERT_EQ(code.syndromeCompiled(r),
+                          code.syndromeReference(r));
+            }
+        }
+    }
+}
+
+TEST_F(DifferentialCode72, DecodeIdenticalForAllDoubleFlips)
+{
+    for (const Code72& code : codes()) {
+        const Bits72 w = code.encode(0x0123456789ABCDEFull);
+        for (Code72::Mode mode :
+             {Code72::Mode::secDed, Code72::Mode::sec2bEc}) {
+            for (int a = 0; a < 72; ++a) {
+                for (int b = a; b < 72; ++b) {
+                    Bits72 r = w;
+                    r.set(a, !r.get(a));
+                    if (b != a)
+                        r.set(b, !r.get(b));
+                    const CodewordDecode fast =
+                        code.decodeCompiled(r, mode);
+                    const CodewordDecode ref =
+                        code.decodeReference(r, mode);
+                    ASSERT_EQ(fast.status, ref.status);
+                    ASSERT_EQ(fast.correction, ref.correction);
+                }
+            }
+        }
+    }
+}
+
+TEST_F(DifferentialCode72, ErasureDecodeIdentical)
+{
+    for (const Code72& code : codes()) {
+        const Bits72 w = code.encode(0xFEDCBA9876543210ull);
+        for (int erased = 0; erased < 72; ++erased) {
+            for (int a = 0; a < 72; ++a) {
+                for (int b = a; b < 72; ++b) {
+                    Bits72 r = w;
+                    r.set(a, !r.get(a));
+                    if (b != a)
+                        r.set(b, !r.get(b));
+                    const CodewordDecode fast =
+                        code.decodeWithErasureCompiled(r, erased);
+                    const CodewordDecode ref =
+                        code.decodeWithErasureReference(r, erased);
+                    ASSERT_EQ(fast.status, ref.status);
+                    ASSERT_EQ(fast.correction, ref.correction);
+                }
+            }
+        }
+    }
+}
+
+TEST(DifferentialCampaign, TalliesIdenticalAcrossBackends)
+{
+    BackendGuard guard;
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"ni-secded", "duet", "trio", "i-ssc", "ssc-dsd+"};
+    spec.samples = 20000;
+    spec.seed = 0xD1FFC0DEull;
+    spec.threads = 2;
+    spec.chunk = 4096;
+
+    setCodecBackend(CodecBackend::compiled);
+    const sim::CampaignResult fast = sim::CampaignRunner(spec).run();
+    setCodecBackend(CodecBackend::reference);
+    const sim::CampaignResult ref = sim::CampaignRunner(spec).run();
+    setCodecBackend(CodecBackend::compiled);
+
+    EXPECT_EQ(fast.codec_backend, "compiled");
+    EXPECT_EQ(ref.codec_backend, "reference");
+    ASSERT_EQ(fast.cells.size(), ref.cells.size());
+    for (std::size_t i = 0; i < fast.cells.size(); ++i) {
+        const sim::CampaignCell& a = fast.cells[i];
+        const sim::CampaignCell& b = ref.cells[i];
+        ASSERT_EQ(a.scheme_id, b.scheme_id);
+        ASSERT_EQ(a.pattern, b.pattern);
+        EXPECT_EQ(a.counts.trials, b.counts.trials);
+        EXPECT_EQ(a.counts.dce, b.counts.dce);
+        EXPECT_EQ(a.counts.due, b.counts.due);
+        EXPECT_EQ(a.counts.sdc, b.counts.sdc);
+    }
+}
+
+} // namespace
+} // namespace gpuecc

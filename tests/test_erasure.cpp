@@ -124,6 +124,79 @@ TEST(BinaryErasure, ErasurePlusOneErrorAlwaysResolved)
     }
 }
 
+TEST(BinaryErasure, CheckBitErasureResolvedExhaustively)
+{
+    // The erased position may be a *check* bit (64..71): the
+    // two-interpretation resolution must work there too, including
+    // when the extra error also lands in the check byte.
+    const Code72 code(hsiao7264Matrix());
+    const std::uint64_t data = 0xD00DFEED0C0FFEE0ull;
+    const Bits72 golden = code.encode(data);
+    for (int erased = 64; erased < 72; ++erased) {
+        for (int flip_erased = 0; flip_erased < 2; ++flip_erased) {
+            for (int err = 0; err < 72; ++err) {
+                if (err == erased)
+                    continue;
+                Bits72 received = golden;
+                if (flip_erased)
+                    received.flip(erased);
+                received.flip(err);
+                const CodewordDecode d =
+                    code.decodeWithErasure(received, erased);
+                ASSERT_EQ(d.status, CodewordDecode::Status::corrected)
+                    << erased << "," << err;
+                EXPECT_EQ(code.extractData(received ^ d.correction),
+                          data);
+            }
+        }
+    }
+}
+
+TEST(BinaryErasure, CheckBitErasureAloneIsCleanOrFilled)
+{
+    // No extra error: an untouched check-bit erasure is clean, a
+    // flipped one is corrected back without touching the data.
+    const Code72 code(hsiao7264Matrix());
+    const Bits72 golden = code.encode(0xBEEF);
+    for (int erased = 64; erased < 72; ++erased) {
+        EXPECT_EQ(code.decodeWithErasure(golden, erased).status,
+                  CodewordDecode::Status::clean);
+        Bits72 flipped = golden;
+        flipped.flip(erased);
+        const CodewordDecode d = code.decodeWithErasure(flipped, erased);
+        ASSERT_EQ(d.status, CodewordDecode::Status::corrected);
+        EXPECT_EQ(code.extractData(flipped ^ d.correction),
+                  std::uint64_t{0xBEEF});
+    }
+}
+
+TEST(BinaryErasure, ErasurePlusDoubleErrorNeverClean)
+{
+    // Beyond the guarantee (erasure + two errors) the decoder may
+    // miscorrect or raise a DUE, but it must never report clean: with
+    // d = 4 no two extra flips can restore a valid codeword under
+    // either interpretation of the erased bit.
+    const Code72 code(hsiao7264Matrix());
+    const Bits72 golden = code.encode(0xCAFEF00Dull);
+    for (int erased = 0; erased < 72; erased += 7) {
+        for (int a = 0; a < 72; ++a) {
+            if (a == erased)
+                continue;
+            for (int b = a + 1; b < 72; ++b) {
+                if (b == erased)
+                    continue;
+                Bits72 received = golden;
+                received.flip(a);
+                received.flip(b);
+                const CodewordDecode d =
+                    code.decodeWithErasure(received, erased);
+                ASSERT_NE(d.status, CodewordDecode::Status::clean)
+                    << erased << "," << a << "," << b;
+            }
+        }
+    }
+}
+
 TEST(BinaryErasure, CleanWordWithErasureIsClean)
 {
     const Code72 code(hsiao7264Matrix());
@@ -192,6 +265,36 @@ TEST(PinErasure, BinarySchemesRegainSingleBitCorrectionWhenDegraded)
             ASSERT_NE(d.status, EntryDecode::Status::due)
                 << id << " bit " << bit;
             EXPECT_EQ(d.data, data) << id << " bit " << bit;
+        }
+    }
+}
+
+TEST(PinErasure, CheckPinErasureWithExtraFlipCorrected)
+{
+    // Pins 64..71 carry the check byte in beat-major layouts; erasure
+    // mode must absorb a stuck check pin plus one fresh soft error
+    // just as it does for data pins.
+    for (const char* id : {"ni-secded", "duet", "trio"}) {
+        const auto scheme = makeScheme(id);
+        Rng rng(9);
+        const EntryData data{rng.next64(), rng.next64(), rng.next64(),
+                             rng.next64()};
+        const Bits288 stored = scheme->encode(data);
+        for (int pin = 64; pin < 72; ++pin) {
+            const PermanentFault fault{PermanentFaultKind::stuckPin,
+                                       pin, 1};
+            for (int bit = 0; bit < 288; bit += 5) {
+                if (layout::pinOf(bit) == pin)
+                    continue;
+                Bits288 received = stored ^ fault.maskFor(stored);
+                received.flip(bit);
+                const EntryDecode d =
+                    scheme->decodeWithPinErasure(received, pin);
+                ASSERT_NE(d.status, EntryDecode::Status::due)
+                    << id << " pin " << pin << " bit " << bit;
+                EXPECT_EQ(d.data, data)
+                    << id << " pin " << pin << " bit " << bit;
+            }
         }
     }
 }

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Golden decode vectors for every registered scheme.
+ *
+ * Each row of the fixture is one (data, injected physical bits,
+ * expected outcome) triple, generated from the library's behavior at
+ * the time the compiled codec was introduced and committed verbatim.
+ * The suite decodes each vector under BOTH codec backends, so any
+ * future change to a parity-check matrix, layout permutation, or
+ * decode policy that silently alters an outcome fails here — the
+ * per-scheme expectations are frozen, not recomputed.
+ *
+ * Regenerate (after an *intentional* behavior change) by re-running
+ * the decode loop below and updating the rows; the fixture includes
+ * miscorrection rows (e.g. ni-secded {3,17,33}) whose expected data
+ * differs from the encoded data on purpose.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/codec_mode.hpp"
+#include "ecc/registry.hpp"
+
+namespace gpuecc {
+namespace {
+
+using Status = EntryDecode::Status;
+
+/** The data word every fixture entry protects. */
+constexpr EntryData kData = {0x0123456789ABCDEFull,
+                             0xFEDCBA9876543210ull,
+                             0xA5A5A5A5A5A5A5A5ull,
+                             0x0F0F0F0F00FF00FFull};
+
+struct GoldenVector
+{
+    const char* scheme_id;
+    std::vector<int> flipped_bits; //!< physical positions, 0..287
+    Status status;
+    EntryData data; //!< expected decode; ignored when status == due
+};
+
+const std::vector<GoldenVector>&
+goldenVectors()
+{
+    static const std::vector<GoldenVector> vectors = {
+    {"ni-secded", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-secded", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-secded", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-secded", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-secded", {10, 200}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-secded", {64, 65}, Status::due, {}},
+    {"ni-secded", {24, 25, 26, 27, 28, 29, 30, 31}, Status::due, {}},
+    {"ni-secded", {7, 79, 151, 223}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-secded", {0, 97, 195, 286}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-secded", {3, 17, 33}, Status::corrected,
+     {0x0123456589A9DDE7ull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-secded", {12, 23, 41, 58, 66}, Status::due, {}},
+    {"i-secded", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-secded", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-secded", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-secded", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-secded", {10, 200}, Status::due, {}},
+    {"i-secded", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-secded", {24, 25, 26, 27, 28, 29, 30, 31}, Status::due, {}},
+    {"i-secded", {7, 79, 151, 223}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-secded", {0, 97, 195, 286}, Status::due, {}},
+    {"i-secded", {3, 17, 33}, Status::due, {}},
+    {"i-secded", {12, 23, 41, 58, 66}, Status::due, {}},
+    {"duet", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"duet", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"duet", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"duet", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"duet", {10, 200}, Status::due, {}},
+    {"duet", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"duet", {24, 25, 26, 27, 28, 29, 30, 31}, Status::due, {}},
+    {"duet", {7, 79, 151, 223}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"duet", {0, 97, 195, 286}, Status::due, {}},
+    {"duet", {3, 17, 33}, Status::due, {}},
+    {"duet", {12, 23, 41, 58, 66}, Status::due, {}},
+    {"ni-sec2bec", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-sec2bec", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-sec2bec", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-sec2bec", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-sec2bec", {10, 200}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-sec2bec", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-sec2bec", {24, 25, 26, 27, 28, 29, 30, 31}, Status::due, {}},
+    {"ni-sec2bec", {7, 79, 151, 223}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-sec2bec", {0, 97, 195, 286}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-sec2bec", {3, 17, 33}, Status::corrected,
+     {0x0123456189A9CDE7ull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ni-sec2bec", {12, 23, 41, 58, 66}, Status::corrected,
+     {0x07234767892BDDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-sec2bec", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-sec2bec", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-sec2bec", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-sec2bec", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-sec2bec", {10, 200}, Status::due, {}},
+    {"i-sec2bec", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-sec2bec", {24, 25, 26, 27, 28, 29, 30, 31}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-sec2bec", {7, 79, 151, 223}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-sec2bec", {0, 97, 195, 286}, Status::due, {}},
+    {"i-sec2bec", {3, 17, 33}, Status::due, {}},
+    {"i-sec2bec", {12, 23, 41, 58, 66}, Status::due, {}},
+    {"trio", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"trio", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"trio", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"trio", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"trio", {10, 200}, Status::due, {}},
+    {"trio", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"trio", {24, 25, 26, 27, 28, 29, 30, 31}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"trio", {7, 79, 151, 223}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"trio", {0, 97, 195, 286}, Status::due, {}},
+    {"trio", {3, 17, 33}, Status::due, {}},
+    {"trio", {12, 23, 41, 58, 66}, Status::due, {}},
+    {"i-ssc", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {10, 200}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {24, 25, 26, 27, 28, 29, 30, 31}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {7, 79, 151, 223}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {0, 97, 195, 286}, Status::due, {}},
+    {"i-ssc", {3, 17, 33}, Status::corrected,
+     {0x0123456789A9CDE5ull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {12, 23, 41, 58, 66}, Status::due, {}},
+    {"i-ssc-csc", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {10, 200}, Status::due, {}},
+    {"i-ssc-csc", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {24, 25, 26, 27, 28, 29, 30, 31}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {7, 79, 151, 223}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {0, 97, 195, 286}, Status::due, {}},
+    {"i-ssc-csc", {3, 17, 33}, Status::corrected,
+     {0x0123456789A9CDE5ull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {12, 23, 41, 58, 66}, Status::due, {}},
+    {"ssc-dsd+", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {10, 200}, Status::due, {}},
+    {"ssc-dsd+", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {24, 25, 26, 27, 28, 29, 30, 31}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {7, 79, 151, 223}, Status::due, {}},
+    {"ssc-dsd+", {0, 97, 195, 286}, Status::due, {}},
+    {"ssc-dsd+", {3, 17, 33}, Status::due, {}},
+    {"ssc-dsd+", {12, 23, 41, 58, 66}, Status::due, {}},
+    {"dsc", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {10, 200}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {24, 25, 26, 27, 28, 29, 30, 31}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {7, 79, 151, 223}, Status::due, {}},
+    {"dsc", {0, 97, 195, 286}, Status::due, {}},
+    {"dsc", {3, 17, 33}, Status::due, {}},
+    {"dsc", {12, 23, 41, 58, 66}, Status::due, {}},
+    {"ssc-tsd", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {5}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {71}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {287}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {10, 200}, Status::due, {}},
+    {"ssc-tsd", {64, 65}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {24, 25, 26, 27, 28, 29, 30, 31}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {7, 79, 151, 223}, Status::due, {}},
+    {"ssc-tsd", {0, 97, 195, 286}, Status::due, {}},
+    {"ssc-tsd", {3, 17, 33}, Status::due, {}},
+    {"ssc-tsd", {12, 23, 41, 58, 66}, Status::due, {}},
+    };
+    return vectors;
+}
+
+class GoldenVectors
+    : public ::testing::TestWithParam<CodecBackend>
+{
+  protected:
+    GoldenVectors() : saved_(codecBackend())
+    {
+        setCodecBackend(GetParam());
+    }
+    ~GoldenVectors() override { setCodecBackend(saved_); }
+
+  private:
+    CodecBackend saved_;
+};
+
+TEST_P(GoldenVectors, AllVectorsDecodeAsCommitted)
+{
+    std::string current_id;
+    std::shared_ptr<EntryScheme> scheme;
+    Bits288 golden;
+    std::size_t covered = 0;
+    for (const GoldenVector& v : goldenVectors()) {
+        if (v.scheme_id != current_id) {
+            current_id = v.scheme_id;
+            scheme = makeScheme(current_id);
+            golden = scheme->encode(kData);
+            ++covered;
+        }
+        Bits288 received = golden;
+        for (int pos : v.flipped_bits)
+            received.set(pos, !received.get(pos));
+        const EntryDecode d = scheme->decode(received);
+        SCOPED_TRACE(std::string(v.scheme_id) + " flips=" +
+                     std::to_string(v.flipped_bits.size()));
+        EXPECT_EQ(d.status, v.status);
+        if (v.status != Status::due) {
+            EXPECT_EQ(d.data, v.data);
+        }
+    }
+    // One block per registered scheme; catches fixture truncation.
+    EXPECT_EQ(covered, schemeIds().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GoldenVectors,
+                         ::testing::Values(CodecBackend::compiled,
+                                           CodecBackend::reference),
+                         [](const auto& info) {
+                             return info.param ==
+                                            CodecBackend::compiled
+                                        ? "compiled"
+                                        : "reference";
+                         });
+
+} // namespace
+} // namespace gpuecc
