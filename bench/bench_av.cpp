@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "ecc/registry.hpp"
 #include "faultsim/weighted.hpp"
@@ -28,6 +29,13 @@ main(int argc, char** argv)
     sim::CampaignSpec spec = sim::campaignSpecFromCli(cli);
     spec.scheme_ids = {"ni-secded", "duet", "trio", "ssc-dsd+"};
     const sim::CampaignResult result = sim::CampaignRunner(spec).run();
+    if (result.interrupted)
+        return sim::finalizeCampaign(result, cli);
+    for (const std::string& id : spec.scheme_ids) {
+        if (!result.hasScheme(id))
+            fatal("scheme " + id + " produced no results; this "
+                  "analysis needs every scheme");
+    }
 
     const reliability::AvModel av;
     std::printf("per-vehicle GPU: %.0f GB HBM2 at %.2f FIT/Gb = "
@@ -68,6 +76,5 @@ main(int argc, char** argv)
                 "swaps these two rates in prose); ~148 DuetECC\n"
                 "vehicles/day need DUE recovery vs ~25 for "
                 "TrioECC/SSC-DSD+.\n");
-    sim::emitCampaignArtifacts(result, cli);
-    return 0;
+    return sim::finalizeCampaign(result, cli);
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "ecc/registry.hpp"
 #include "faultsim/weighted.hpp"
@@ -29,6 +30,13 @@ main(int argc, char** argv)
     for (const auto& scheme : paperSchemes())
         spec.scheme_ids.push_back(scheme->id());
     const sim::CampaignResult result = sim::CampaignRunner(spec).run();
+    if (result.interrupted)
+        return sim::finalizeCampaign(result, cli);
+    for (const std::string& id : spec.scheme_ids) {
+        if (!result.hasScheme(id))
+            fatal("scheme " + id + " produced no results; this "
+                  "figure needs every scheme");
+    }
 
     TextTable table({"scheme", "correct", "detect", "SDC",
                      "SDC vs SEC-DED"});
@@ -71,6 +79,5 @@ main(int argc, char** argv)
     std::printf("  uncorrectable reduction: %.2fx for TrioECC vs "
                 "SEC-DED (paper: 7.87x)\n",
                 (base.detect + base.sdc) / (trio.detect + trio.sdc));
-    sim::emitCampaignArtifacts(result, cli);
-    return 0;
+    return sim::finalizeCampaign(result, cli);
 }

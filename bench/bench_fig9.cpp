@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "ecc/registry.hpp"
 #include "faultsim/weighted.hpp"
@@ -37,6 +38,13 @@ main(int argc, char** argv)
     sim::CampaignSpec spec = sim::campaignSpecFromCli(cli);
     spec.scheme_ids = {"ni-secded", "duet", "trio", "ssc-dsd+"};
     const sim::CampaignResult result = sim::CampaignRunner(spec).run();
+    if (result.interrupted)
+        return sim::finalizeCampaign(result, cli);
+    for (const std::string& id : spec.scheme_ids) {
+        if (!result.hasScheme(id))
+            fatal("scheme " + id + " produced no results; this "
+                  "figure needs every scheme");
+    }
 
     std::map<std::string, WeightedOutcome> outcomes;
     for (const std::string& id : spec.scheme_ids)
@@ -83,6 +91,5 @@ main(int argc, char** argv)
     std::printf("(paper: SEC-DED SDC every 22.5 h at 0.5 EF; TrioECC "
                 "MTTF 5.7-22.6 months; DuetECC in years;\n SSC-DSD+ "
                 "in hundreds of years)\n");
-    sim::emitCampaignArtifacts(result, cli);
-    return 0;
+    return sim::finalizeCampaign(result, cli);
 }

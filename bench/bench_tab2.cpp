@@ -51,6 +51,8 @@ main(int argc, char** argv)
             spec.scheme_ids.push_back(ref->id());
     }
     const sim::CampaignResult result = sim::CampaignRunner(spec).run();
+    if (result.interrupted)
+        return sim::finalizeCampaign(result, cli);
 
     std::printf("SDC probability per error pattern "
                 "(C = always corrected, D = always detected):\n\n");
@@ -61,6 +63,8 @@ main(int argc, char** argv)
     TextTable table(headers);
 
     for (const std::string& id : spec.scheme_ids) {
+        if (!result.hasScheme(id))
+            continue;
         std::vector<std::string> row{makeScheme(id)->name()};
         for (const PatternInfo& info : patternTable())
             row.push_back(cell(result.counts(id, info.pattern)));
@@ -72,6 +76,8 @@ main(int argc, char** argv)
                 "column (%llu samples each):\n",
                 static_cast<unsigned long long>(spec.samples));
     for (const std::string& id : spec.scheme_ids) {
+        if (!result.hasScheme(id))
+            continue;
         const Interval ci =
             result.counts(id, ErrorPattern::wholeEntry).sdcInterval();
         std::printf("  %-12s [%s, %s]\n", id.c_str(),
@@ -85,6 +91,5 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(result.totalTrials()),
                 result.seconds, result.trialsPerSecond(),
                 result.spec.threads);
-    sim::emitCampaignArtifacts(result, cli);
-    return 0;
+    return sim::finalizeCampaign(result, cli);
 }

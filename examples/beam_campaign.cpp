@@ -16,6 +16,7 @@
 #include "beam/campaign.hpp"
 #include "beam/classify.hpp"
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "sim/report.hpp"
@@ -136,7 +137,11 @@ main(int argc, char** argv)
         json.kv("mu_ms", fit.mu);
         json.kv("sigma_ms", fit.sigma);
         json.endObject().endObject();
-        sim::writeTextFile(path, json.str());
+        if (Status s = sim::saveTextFile(path, json.str()); !s.ok()) {
+            warn("beam_campaign: summary write failed: " +
+                 s.toString());
+            return 1;
+        }
     }
     return 0;
 }

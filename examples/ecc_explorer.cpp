@@ -87,8 +87,12 @@ main(int argc, char** argv)
     if (which != "all")
         spec.patterns = {patternFromName(which)};
     const sim::CampaignResult result = sim::CampaignRunner(spec).run();
+    if (result.interrupted)
+        return sim::finalizeCampaign(result, cli);
 
     for (const std::string& id : spec.scheme_ids) {
+        if (!result.hasScheme(id))
+            continue;
         const auto scheme = makeScheme(id);
         std::printf("scheme: %s\n", scheme->name().c_str());
         std::printf("pin-error correction: %s\n\n",
@@ -130,6 +134,5 @@ main(int argc, char** argv)
     std::printf("%llu trials in %.2f s (%d threads)\n",
                 static_cast<unsigned long long>(result.totalTrials()),
                 result.seconds, spec.threads);
-    sim::emitCampaignArtifacts(result, cli);
-    return 0;
+    return sim::finalizeCampaign(result, cli);
 }

@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -14,24 +15,34 @@ Cli::addFlag(const std::string& name, const std::string& def,
     flags_[name] = {def, help};
 }
 
-void
-Cli::parse(int argc, char** argv, const std::string& program_desc)
+std::string
+Cli::usageText(const std::string& program_desc) const
 {
-    auto usage = [&](int code) {
-        std::printf("%s\n\nflags:\n", program_desc.c_str());
-        for (const auto& [name, flag] : flags_) {
-            std::printf("  --%-18s %s (default: %s)\n", name.c_str(),
-                        flag.help.c_str(), flag.value.c_str());
-        }
-        std::exit(code);
-    };
+    std::string out = program_desc + "\n\nflags:\n";
+    for (const auto& [name, flag] : flags_) {
+        char line[256];
+        std::snprintf(line, sizeof(line), "  --%-20s %s (default: %s)\n",
+                      name.c_str(), flag.help.c_str(),
+                      flag.value.c_str());
+        out += line;
+    }
+    return out;
+}
 
+Status
+Cli::tryParse(int argc, char** argv)
+{
+    help_requested_ = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h")
-            usage(0);
-        if (arg.rfind("--", 0) != 0)
-            fatal("unexpected positional argument: " + arg);
+        if (arg == "--help" || arg == "-h") {
+            help_requested_ = true;
+            continue;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            return Status::invalidArgument(
+                "unexpected positional argument: " + arg);
+        }
         arg = arg.substr(2);
         std::string name = arg, value;
         const auto eq = arg.find('=');
@@ -44,9 +55,27 @@ Cli::parse(int argc, char** argv, const std::string& program_desc)
             value = "true"; // boolean switch form
         }
         const auto it = flags_.find(name);
-        if (it == flags_.end())
-            fatal("unknown flag --" + name + " (try --help)");
+        if (it == flags_.end()) {
+            return Status::invalidArgument("unknown flag --" + name);
+        }
         it->second.value = value;
+    }
+    return {};
+}
+
+void
+Cli::parse(int argc, char** argv, const std::string& program_desc)
+{
+    const Status status = tryParse(argc, argv);
+    if (help_requested_) {
+        std::printf("%s", usageText(program_desc).c_str());
+        std::exit(0);
+    }
+    if (!status.ok()) {
+        std::fprintf(stderr, "error: %s (try --help)\n\n%s",
+                     status.message().c_str(),
+                     usageText(program_desc).c_str());
+        std::exit(kUsageExitCode);
     }
 }
 
@@ -58,16 +87,53 @@ Cli::getString(const std::string& name) const
     return it->second.value;
 }
 
+Result<std::int64_t>
+Cli::tryGetInt(const std::string& name) const
+{
+    const std::string text = getString(name);
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 0);
+    if (text.empty() || end != text.c_str() + text.size()) {
+        return Status::invalidArgument("--" + name + ": '" + text +
+                                       "' is not an integer");
+    }
+    if (errno == ERANGE) {
+        return Status::invalidArgument("--" + name + ": '" + text +
+                                       "' overflows 64 bits");
+    }
+    return static_cast<std::int64_t>(v);
+}
+
+Result<double>
+Cli::tryGetDouble(const std::string& name) const
+{
+    const std::string text = getString(name);
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size()) {
+        return Status::invalidArgument("--" + name + ": '" + text +
+                                       "' is not a number");
+    }
+    return v;
+}
+
 std::int64_t
 Cli::getInt(const std::string& name) const
 {
-    return std::strtoll(getString(name).c_str(), nullptr, 0);
+    Result<std::int64_t> v = tryGetInt(name);
+    if (!v.ok())
+        fatal(v.status().message());
+    return v.value();
 }
 
 double
 Cli::getDouble(const std::string& name) const
 {
-    return std::strtod(getString(name).c_str(), nullptr);
+    Result<double> v = tryGetDouble(name);
+    if (!v.ok())
+        fatal(v.status().message());
+    return v.value();
 }
 
 bool

@@ -1,0 +1,60 @@
+#include "common/interrupt.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace gpuecc {
+
+namespace {
+
+// std::atomic<bool> with the default constructor is not guaranteed
+// async-signal-safe to *initialize* dynamically, but namespace-scope
+// zero-initialization happens before main; lock-free load/store are
+// signal-safe per [atomics.lockfree].
+std::atomic<bool> interrupt_flag{false};
+std::atomic<bool> handlers_installed{false};
+
+extern "C" void
+onInterruptSignal(int sig)
+{
+    interrupt_flag.store(true, std::memory_order_relaxed);
+    // A second signal of the same kind kills the process the normal
+    // way — the escape hatch when a shard wedges and never polls.
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    if (handlers_installed.exchange(true, std::memory_order_relaxed))
+        return;
+    std::signal(SIGINT, onInterruptSignal);
+    std::signal(SIGTERM, onInterruptSignal);
+}
+
+bool
+interruptRequested()
+{
+    return interrupt_flag.load(std::memory_order_relaxed);
+}
+
+void
+requestInterrupt()
+{
+    interrupt_flag.store(true, std::memory_order_relaxed);
+}
+
+void
+clearInterrupt()
+{
+    interrupt_flag.store(false, std::memory_order_relaxed);
+    // Re-arm the handlers: a delivered signal reset its disposition.
+    if (handlers_installed.load(std::memory_order_relaxed)) {
+        std::signal(SIGINT, onInterruptSignal);
+        std::signal(SIGTERM, onInterruptSignal);
+    }
+}
+
+} // namespace gpuecc

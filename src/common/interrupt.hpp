@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cooperative interrupt flag for long-running campaigns.
+ *
+ * installInterruptHandlers() routes SIGINT and SIGTERM into a single
+ * process-wide flag that shard workers poll between tasks, so an
+ * interrupted campaign finishes the shards in flight, flushes a final
+ * checkpoint, and exits cleanly instead of dying mid-write. A second
+ * signal restores the default disposition, so a stuck process can
+ * still be force-killed with a repeated Ctrl-C.
+ */
+
+#ifndef GPUECC_COMMON_INTERRUPT_HPP
+#define GPUECC_COMMON_INTERRUPT_HPP
+
+namespace gpuecc {
+
+/**
+ * Route SIGINT/SIGTERM to the interrupt flag. Idempotent; installed
+ * lazily by the campaign runner when checkpointing is enabled.
+ */
+void installInterruptHandlers();
+
+/** Whether an interrupt (signal or programmatic) has been requested. */
+bool interruptRequested();
+
+/**
+ * Raise the flag programmatically — the chaos harness's kill-point
+ * and unit tests use this to simulate a mid-campaign SIGTERM.
+ */
+void requestInterrupt();
+
+/** Lower the flag (tests; a new process starts clear). */
+void clearInterrupt();
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_INTERRUPT_HPP

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Structured, recoverable error reporting: Status and Result<T>.
+ *
+ * panic()/fatal() (common/log.hpp) are for unrecoverable ends of the
+ * process; everything that can reasonably be retried, skipped, or
+ * reported in an artifact — file I/O, checkpoint load, CLI value
+ * parsing, registry lookup — returns a Status (or a Result<T> when
+ * there is a value to hand back) so the caller decides whether the
+ * campaign degrades gracefully or stops. Modeled on the absl::Status
+ * convention, sized down to what the campaign layer needs.
+ */
+
+#ifndef GPUECC_COMMON_STATUS_HPP
+#define GPUECC_COMMON_STATUS_HPP
+
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace gpuecc {
+
+/** Machine-readable failure category of a Status. */
+enum class ErrorCode
+{
+    ok = 0,
+    invalidArgument, //!< malformed input (flag value, chaos spec, JSON)
+    notFound,        //!< missing file, unknown scheme id
+    ioError,         //!< open/write/rename failure
+    dataLoss,        //!< file exists but its contents are corrupt
+    failedPrecondition, //!< valid data that doesn't match this run
+    unavailable,     //!< transient failure, retrying may succeed
+    internal         //!< invariant violation surfaced as a value
+};
+
+/** Stable lower-case name of a code (for logs and artifacts). */
+inline const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::ok: return "ok";
+      case ErrorCode::invalidArgument: return "invalid_argument";
+      case ErrorCode::notFound: return "not_found";
+      case ErrorCode::ioError: return "io_error";
+      case ErrorCode::dataLoss: return "data_loss";
+      case ErrorCode::failedPrecondition: return "failed_precondition";
+      case ErrorCode::unavailable: return "unavailable";
+      case ErrorCode::internal: return "internal";
+    }
+    return "unknown";
+}
+
+/** Outcome of an operation with no value: ok, or a coded message. */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Failure with a category and a human-actionable message. */
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+        require(code != ErrorCode::ok,
+                "Status: an error needs a non-ok code");
+    }
+
+    static Status invalidArgument(std::string msg)
+    {
+        return {ErrorCode::invalidArgument, std::move(msg)};
+    }
+    static Status notFound(std::string msg)
+    {
+        return {ErrorCode::notFound, std::move(msg)};
+    }
+    static Status ioError(std::string msg)
+    {
+        return {ErrorCode::ioError, std::move(msg)};
+    }
+    static Status dataLoss(std::string msg)
+    {
+        return {ErrorCode::dataLoss, std::move(msg)};
+    }
+    static Status failedPrecondition(std::string msg)
+    {
+        return {ErrorCode::failedPrecondition, std::move(msg)};
+    }
+    static Status unavailable(std::string msg)
+    {
+        return {ErrorCode::unavailable, std::move(msg)};
+    }
+    static Status internalError(std::string msg)
+    {
+        return {ErrorCode::internal, std::move(msg)};
+    }
+
+    bool ok() const { return code_ == ErrorCode::ok; }
+    ErrorCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "io_error: cannot open foo.json" (or "ok"). */
+    std::string toString() const
+    {
+        return ok() ? "ok"
+                    : std::string(errorCodeName(code_)) + ": " + message_;
+    }
+
+  private:
+    ErrorCode code_ = ErrorCode::ok;
+    std::string message_;
+};
+
+/**
+ * A value or the Status explaining its absence.
+ *
+ * Implicitly constructible from either, so functions can `return
+ * value;` and `return Status::ioError(...);` symmetrically. value()
+ * panics on an error Result — check ok() (or use valueOr) first.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Success carrying a value (anything convertible to T). */
+    template <typename U = T,
+              typename = std::enable_if_t<
+                  std::is_convertible_v<U&&, T> &&
+                  !std::is_same_v<std::decay_t<U>, Result> &&
+                  !std::is_same_v<std::decay_t<U>, Status>>>
+    Result(U&& value) : value_(std::forward<U>(value))
+    {
+    }
+
+    /** Failure; the status must not be ok. */
+    Result(Status status) : status_(std::move(status))
+    {
+        require(!status_.ok(),
+                "Result: an errorless Result needs a value");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    const Status& status() const { return status_; }
+
+    const T& value() const&
+    {
+        require(ok(), "Result::value on error: " + status_.toString());
+        return *value_;
+    }
+    T& value() &
+    {
+        require(ok(), "Result::value on error: " + status_.toString());
+        return *value_;
+    }
+    /** Move the value out (for move-only payloads). */
+    T&& value() &&
+    {
+        require(ok(), "Result::value on error: " + status_.toString());
+        return std::move(*value_);
+    }
+
+    /** The value, or a fallback when this Result is an error. */
+    T valueOr(T fallback) const&
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_STATUS_HPP

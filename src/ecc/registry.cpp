@@ -61,6 +61,15 @@ makeBinary(const std::string& id, const std::string& name,
 std::shared_ptr<EntryScheme>
 makeScheme(const std::string& id)
 {
+    Result<std::shared_ptr<EntryScheme>> scheme = findScheme(id);
+    if (!scheme.ok())
+        fatal(scheme.status().message());
+    return scheme.value();
+}
+
+Result<std::shared_ptr<EntryScheme>>
+findScheme(const std::string& id)
+{
     if (id == "ni-secded") {
         return makeBinary(id, "NI:SEC-DED (baseline)", false,
                           Code72::Mode::secDed, false);
@@ -99,7 +108,11 @@ makeScheme(const std::string& id)
         return std::make_shared<Rs3632Scheme>(
             Rs3632Scheme::Decoder::sscTsd);
     }
-    fatal("unknown ECC scheme id: " + id);
+    std::string known;
+    for (const std::string& k : schemeIds())
+        known += (known.empty() ? "" : ", ") + k;
+    return Status::notFound("unknown ECC scheme id: " + id +
+                            " (known: " + known + ")");
 }
 
 std::vector<std::string>

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "ecc/scheme.hpp"
 
 namespace gpuecc {
@@ -31,6 +32,14 @@ std::vector<std::shared_ptr<EntryScheme>> referenceSchemes();
  * i-ssc, i-ssc-csc, ssc-dsd+, dsc, ssc-tsd. Fatal on unknown ids.
  */
 std::shared_ptr<EntryScheme> makeScheme(const std::string& id);
+
+/**
+ * Construct one scheme by id, reporting an unknown id as a notFound
+ * error instead of exiting — the campaign runner uses this to skip a
+ * bad scheme and record it in the report rather than losing the run.
+ */
+Result<std::shared_ptr<EntryScheme>>
+findScheme(const std::string& id);
 
 /** All known scheme ids (paper order, then references). */
 std::vector<std::string> schemeIds();

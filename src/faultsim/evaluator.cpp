@@ -6,13 +6,28 @@
 
 namespace gpuecc {
 
+bool
+OutcomeCounts::fitsWithoutOverflow(const OutcomeCounts& other) const
+{
+    return trials <= UINT64_MAX - other.trials &&
+           dce <= UINT64_MAX - other.dce &&
+           due <= UINT64_MAX - other.due &&
+           sdc <= UINT64_MAX - other.sdc;
+}
+
+bool
+OutcomeCounts::selfConsistent() const
+{
+    // Checked without intermediate sums so corrupt values near
+    // UINT64_MAX cannot wrap their way into looking consistent.
+    return dce <= trials && due <= trials - dce &&
+           sdc == trials - dce - due;
+}
+
 OutcomeCounts&
 OutcomeCounts::merge(const OutcomeCounts& other)
 {
-    require(trials <= UINT64_MAX - other.trials &&
-                dce <= UINT64_MAX - other.dce &&
-                due <= UINT64_MAX - other.due &&
-                sdc <= UINT64_MAX - other.sdc,
+    require(fitsWithoutOverflow(other),
             "OutcomeCounts::merge: counter overflow");
     // An accumulator that has seen no shard yet adopts the first
     // shard's exactness; afterwards all shards must agree.

@@ -46,6 +46,20 @@ struct OutcomeCounts
      */
     OutcomeCounts& merge(const OutcomeCounts& other);
 
+    /**
+     * Whether merging `other` would keep every counter inside 64
+     * bits. merge() panics when this is false; resume-path callers
+     * check it first and surface a structured error instead.
+     */
+    bool fitsWithoutOverflow(const OutcomeCounts& other) const;
+
+    /**
+     * Whether the class tallies sum to the trial count — the
+     * invariant every freshly evaluated shard satisfies, used to
+     * reject torn or corrupt checkpoint entries.
+     */
+    bool selfConsistent() const;
+
     double dceRate() const
     {
         return trials ? static_cast<double>(dce) / trials : 0.0;

@@ -1,14 +1,20 @@
 #include "sim/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <set>
 
 #include "common/codec_mode.hpp"
+#include "common/interrupt.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "ecc/registry.hpp"
 #include "faultsim/shard.hpp"
+#include "sim/chaos.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace gpuecc::sim {
 
@@ -28,6 +34,16 @@ CampaignResult::totalTrials() const
     for (const CampaignCell& cell : cells)
         total += cell.counts.trials;
     return total;
+}
+
+bool
+CampaignResult::hasScheme(const std::string& scheme_id) const
+{
+    for (const CampaignCell& cell : cells) {
+        if (cell.scheme_id == scheme_id)
+            return true;
+    }
+    return false;
 }
 
 double
@@ -71,6 +87,44 @@ CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec))
 CampaignResult
 CampaignRunner::run() const
 {
+    Result<CampaignResult> result = tryRun();
+    if (!result.ok())
+        fatal("campaign: " + result.status().toString());
+    return std::move(result).value();
+}
+
+namespace {
+
+/** One pool task: a shard of one (scheme, pattern) cell. */
+struct Task
+{
+    std::size_t cell;
+    Shard shard;
+};
+
+/**
+ * Completion log shared by the workers and the checkpoint flusher.
+ * partial[i] is written by exactly one task execution *before* index
+ * i is appended here under the mutex, so any reader holding the
+ * mutex sees fully written tallies (and the final merge runs after
+ * the pool joins).
+ */
+struct Collector
+{
+    std::mutex mutex;
+    /** Plan indices whose partial tallies are valid. */
+    std::vector<std::uint64_t> completed;
+    /** Tasks evaluated by this run (excludes restored ones). */
+    std::uint64_t fresh_completed = 0;
+    std::chrono::steady_clock::time_point last_flush;
+    bool warned_checkpoint_failure = false;
+};
+
+} // namespace
+
+Result<CampaignResult>
+CampaignRunner::tryRun() const
+{
     CampaignResult result;
     result.spec = spec_;
     result.spec.threads = ThreadPool::resolveThreadCount(spec_.threads);
@@ -79,13 +133,28 @@ CampaignRunner::run() const
     const std::vector<ErrorPattern> patterns = spec_.resolvedPatterns();
 
     // Resolve schemes and golden entries once; decode() is const and
-    // thread-safe, so one instance serves all workers.
+    // thread-safe, so one instance serves all workers. A scheme that
+    // fails to resolve is skipped and recorded, not fatal.
+    std::vector<std::string> ids;
     std::vector<std::shared_ptr<EntryScheme>> schemes;
     std::vector<GoldenEntry> goldens;
     for (const std::string& id : spec_.scheme_ids) {
-        schemes.push_back(makeScheme(id));
+        Result<std::shared_ptr<EntryScheme>> scheme = findScheme(id);
+        if (!scheme.ok()) {
+            warn("campaign: skipping scheme " + id + ": " +
+                 scheme.status().toString());
+            result.errors.push_back({id, scheme.status().toString()});
+            continue;
+        }
+        schemes.push_back(scheme.value());
         goldens.push_back(makeGolden(*schemes.back(), spec_.seed));
-        result.cells.reserve(result.cells.size() + patterns.size());
+        ids.push_back(id);
+    }
+    if (schemes.empty()) {
+        return Status::notFound(
+            "no scheme in the spec could be constructed");
+    }
+    for (const std::string& id : ids) {
         for (ErrorPattern p : patterns)
             result.cells.push_back({id, p, OutcomeCounts{}});
     }
@@ -93,11 +162,6 @@ CampaignRunner::run() const
     // Flatten the plan: every shard of every cell is one pool task.
     // The same pattern plan (and thus the same RNG streams and masks)
     // is shared by every scheme, which keeps scheme columns paired.
-    struct Task
-    {
-        std::size_t cell;
-        Shard shard;
-    };
     std::vector<Task> tasks;
     for (std::size_t s = 0; s < schemes.size(); ++s) {
         for (std::size_t p = 0; p < patterns.size(); ++p) {
@@ -109,26 +173,210 @@ CampaignRunner::run() const
     }
     result.shards = tasks.size();
 
+    const bool checkpointing = !spec_.checkpoint_path.empty();
+    std::string fingerprint;
+    if (checkpointing) {
+        fingerprint = campaignFingerprint(
+            ids, patterns, spec_.samples, spec_.seed, spec_.chunk,
+            result.codec_backend, tasks.size());
+        // From here on SIGINT/SIGTERM mean "finish in-flight shards,
+        // flush, exit" rather than dying mid-write.
+        installInterruptHandlers();
+    }
+
     std::vector<OutcomeCounts> partial(tasks.size());
+    // done[i]: partial[i] holds a complete tally (restored or fresh).
+    // Distinct bytes, each written by at most one task execution.
+    std::vector<char> done(tasks.size(), 0);
+    Collector collector;
+
+    if (checkpointing && spec_.resume) {
+        Result<CampaignCheckpoint> loaded =
+            loadCheckpoint(spec_.checkpoint_path);
+        if (loaded.status().code() == ErrorCode::notFound) {
+            inform("campaign: no checkpoint at " +
+                   spec_.checkpoint_path + "; starting fresh");
+        } else if (!loaded.ok()) {
+            return loaded.status();
+        } else {
+            const CampaignCheckpoint& ckpt = loaded.value();
+            if (ckpt.fingerprint != fingerprint) {
+                return Status::failedPrecondition(
+                    "checkpoint " + spec_.checkpoint_path +
+                    " was written by a different campaign\n  theirs: " +
+                    ckpt.fingerprint + "\n  ours:   " + fingerprint);
+            }
+            for (const CheckpointEntry& entry : ckpt.done) {
+                if (entry.task >= tasks.size()) {
+                    return Status::dataLoss(
+                        "checkpoint " + spec_.checkpoint_path +
+                        ": task index " + std::to_string(entry.task) +
+                        " is outside the plan");
+                }
+                const Shard& shard = tasks[entry.task].shard;
+                // Width validation: a sampled shard's trial count is
+                // exactly its sample span, and exactness must match
+                // the pattern class.
+                const bool enumerable =
+                    patternIsEnumerable(shard.pattern);
+                if (entry.counts.exhaustive != enumerable ||
+                    (!enumerable &&
+                     entry.counts.trials != shard.end - shard.begin)) {
+                    return Status::dataLoss(
+                        "checkpoint " + spec_.checkpoint_path +
+                        ": task " + std::to_string(entry.task) +
+                        " tallies don't match its shard");
+                }
+                partial[entry.task] = entry.counts;
+                done[entry.task] = 1;
+                collector.completed.push_back(entry.task);
+            }
+            result.resumed_shards = ckpt.done.size();
+            inform("campaign: resumed " +
+                   std::to_string(result.resumed_shards) + " of " +
+                   std::to_string(tasks.size()) + " shard tasks from " +
+                   spec_.checkpoint_path);
+        }
+    }
+
+    // Failure bookkeeping: a cell whose shard task fails twice marks
+    // its whole scheme failed; remaining tasks of failed cells are
+    // skipped. cell_errors is guarded by collector.mutex.
+    std::unique_ptr<std::atomic<bool>[]> cell_failed(
+        new std::atomic<bool>[result.cells.size()]);
+    for (std::size_t i = 0; i < result.cells.size(); ++i)
+        cell_failed[i].store(false, std::memory_order_relaxed);
+    std::vector<std::pair<std::size_t, std::string>> cell_errors;
+
+    // Serialize completed tallies; call with collector.mutex held.
+    auto flushCheckpoint = [&]() -> Status {
+        CampaignCheckpoint ckpt;
+        ckpt.fingerprint = fingerprint;
+        std::vector<std::uint64_t> indices = collector.completed;
+        std::sort(indices.begin(), indices.end());
+        ckpt.done.reserve(indices.size());
+        for (std::uint64_t i : indices)
+            ckpt.done.push_back({i, partial[i]});
+        return saveCheckpoint(spec_.checkpoint_path, ckpt);
+    };
+
+    const auto interval = std::chrono::duration<double>(
+        std::max(0.0, spec_.checkpoint_interval_s));
+    collector.last_flush = std::chrono::steady_clock::now();
+
+    auto body = [&](std::uint64_t i) {
+        if (done[i] != 0 || interruptRequested())
+            return;
+        const Task& t = tasks[i];
+        if (cell_failed[t.cell].load(std::memory_order_relaxed))
+            return;
+        const std::size_t scheme = t.cell / patterns.size();
+
+        OutcomeCounts counts;
+        try {
+            chaosOnTaskAttempt(i);
+            counts = evaluateShard(*schemes[scheme], goldens[scheme],
+                                   spec_.seed, t.shard);
+        } catch (const std::exception& first) {
+            // Transient faults (chaos, OOM churn) get one retry; a
+            // second failure fails the scheme, not the campaign.
+            warn("campaign: shard task " + std::to_string(i) +
+                 " failed (" + first.what() + "); retrying once");
+            try {
+                chaosOnTaskAttempt(i);
+                counts = evaluateShard(*schemes[scheme],
+                                       goldens[scheme], spec_.seed,
+                                       t.shard);
+            } catch (const std::exception& second) {
+                cell_failed[t.cell].store(true,
+                                          std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(collector.mutex);
+                cell_errors.emplace_back(
+                    t.cell, std::string("shard task failed twice: ") +
+                                second.what());
+                return;
+            }
+        }
+        partial[i] = counts;
+        done[i] = 1;
+
+        std::lock_guard<std::mutex> lock(collector.mutex);
+        collector.completed.push_back(i);
+        ++collector.fresh_completed;
+        chaosOnTaskDone(collector.fresh_completed);
+        if (checkpointing && !interruptRequested()) {
+            const auto now = std::chrono::steady_clock::now();
+            if (now - collector.last_flush >= interval) {
+                Status s = flushCheckpoint();
+                if (s.ok()) {
+                    collector.last_flush = now;
+                } else if (!collector.warned_checkpoint_failure) {
+                    // Degrade gracefully: the campaign still runs,
+                    // it just can't persist progress right now.
+                    warn("campaign: checkpoint write failed (" +
+                         s.toString() + "); continuing without");
+                    collector.warned_checkpoint_failure = true;
+                    collector.last_flush = now;
+                }
+            }
+        }
+    };
+
     const auto start = std::chrono::steady_clock::now();
     {
         ThreadPool pool(result.spec.threads);
-        pool.parallelFor(tasks.size(), [&](std::uint64_t i) {
-            const Task& t = tasks[i];
-            const std::size_t scheme = t.cell / patterns.size();
-            partial[i] = evaluateShard(*schemes[scheme],
-                                       goldens[scheme], spec_.seed,
-                                       t.shard);
-        });
+        pool.parallelFor(tasks.size(), body);
     }
     const auto stop = std::chrono::steady_clock::now();
     result.seconds =
         std::chrono::duration<double>(stop - start).count();
+    result.interrupted = interruptRequested();
 
-    // Merge in plan order; merging is associative and commutative, so
-    // the outcome is independent of which worker ran which shard.
-    for (std::size_t i = 0; i < tasks.size(); ++i)
-        result.cells[tasks[i].cell].counts.merge(partial[i]);
+    // Always flush a final checkpoint: complete on success (so a
+    // later --resume is a no-op), partial on interrupt (so --resume
+    // loses nothing but the shards in flight).
+    if (checkpointing) {
+        std::lock_guard<std::mutex> lock(collector.mutex);
+        if (Status s = flushCheckpoint(); !s.ok()) {
+            warn("campaign: final checkpoint write failed: " +
+                 s.toString());
+        } else if (result.interrupted) {
+            inform("campaign: interrupted; " +
+                   std::to_string(collector.completed.size()) + " of " +
+                   std::to_string(tasks.size()) +
+                   " shard tasks checkpointed to " +
+                   spec_.checkpoint_path);
+        }
+    }
+
+    // Merge completed tallies in plan order; merging is associative
+    // and commutative, so the outcome is independent of which worker
+    // ran which shard. Tasks skipped by an interrupt or a failed
+    // scheme contribute nothing.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (done[i] != 0)
+            result.cells[tasks[i].cell].counts.merge(partial[i]);
+    }
+
+    // Drop failed schemes from the cells and record them — a partial
+    // scheme row would read as a measured (wrong) rate.
+    if (!cell_errors.empty()) {
+        std::set<std::string> failed;
+        for (const auto& [cell, message] : cell_errors) {
+            const CampaignCell& c = result.cells[cell];
+            if (failed.insert(c.scheme_id).second) {
+                warn("campaign: dropping scheme " + c.scheme_id +
+                     ": " + message);
+                result.errors.push_back(
+                    {c.scheme_id,
+                     "unavailable: pattern " +
+                         patternInfo(c.pattern).label + ": " + message});
+            }
+        }
+        std::erase_if(result.cells, [&](const CampaignCell& c) {
+            return failed.count(c.scheme_id) != 0;
+        });
+    }
     return result;
 }
 

@@ -10,6 +10,15 @@
  * thread count (one split RNG stream per shard), while the wall-clock
  * scales with cores. This is the engine all evaluation benches and
  * examples share instead of hand-rolled scheme × pattern loops.
+ *
+ * The runner is crash-tolerant: with a checkpoint path set it
+ * persists completed shard tallies atomically (sim/checkpoint.hpp),
+ * stops cleanly on SIGINT/SIGTERM after flushing a final checkpoint,
+ * resumes bit-identically from a prior checkpoint, retries a failing
+ * shard task once, and skips (rather than dies on) schemes that fail
+ * to construct or to evaluate — recording every degradation in the
+ * result. The failure paths are exercised by the chaos harness
+ * (sim/chaos.hpp).
  */
 
 #ifndef GPUECC_SIM_CAMPAIGN_HPP
@@ -20,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "faultsim/evaluator.hpp"
 #include "faultsim/patterns.hpp"
 
@@ -41,8 +51,35 @@ struct CampaignSpec
     /** Samples per shard of a sampled pattern. */
     std::uint64_t chunk = 1 << 16;
 
+    /**
+     * Checkpoint sidecar path; empty disables checkpointing. When
+     * set, completed shard tallies are flushed atomically to this
+     * file on an interval and on SIGINT/SIGTERM, and the final
+     * (complete) state is written on success.
+     */
+    std::string checkpoint_path;
+    /**
+     * Resume from checkpoint_path: completed shard tasks recorded
+     * there are restored instead of re-evaluated, and the final
+     * tallies are bit-identical to an uninterrupted run. A missing
+     * checkpoint file starts fresh; a checkpoint from a different
+     * campaign (fingerprint mismatch) is an error.
+     */
+    bool resume = false;
+    /** Minimum seconds between periodic flushes (<= 0: every task). */
+    double checkpoint_interval_s = 30.0;
+
     /** The patterns to run (resolving the empty-means-all default). */
     std::vector<ErrorPattern> resolvedPatterns() const;
+};
+
+/** One non-fatal failure the campaign degraded around. */
+struct CampaignError
+{
+    /** Scheme the failure belongs to (empty for campaign-level). */
+    std::string scheme_id;
+    /** Structured description, e.g. "not_found: unknown ECC ...". */
+    std::string message;
 };
 
 /** Merged tallies of one (scheme, pattern) cell. */
@@ -66,9 +103,25 @@ struct CampaignResult
     double seconds = 0.0;
     /** Number of shards the plan contained. */
     std::uint64_t shards = 0;
+    /** Shard tasks restored from a checkpoint instead of evaluated. */
+    std::uint64_t resumed_shards = 0;
+    /**
+     * True when SIGINT/SIGTERM (or a chaos kill-point) stopped the
+     * run early; the cells then hold partial tallies and a final
+     * checkpoint has been flushed for --resume.
+     */
+    bool interrupted = false;
+    /**
+     * Schemes the campaign skipped (failed lookup or persistent
+     * shard failure) — graceful degradation, recorded per scheme.
+     */
+    std::vector<CampaignError> errors;
 
     /** Total injected trials across all cells. */
     std::uint64_t totalTrials() const;
+
+    /** Whether the result holds cells for this scheme. */
+    bool hasScheme(const std::string& scheme_id) const;
 
     /** Injection throughput (trials per wall-clock second). */
     double trialsPerSecond() const;
@@ -93,6 +146,16 @@ class CampaignRunner
 
     /** Run the campaign; safe to call repeatedly (same result). */
     CampaignResult run() const;
+
+    /**
+     * Run the campaign, reporting unrecoverable setup problems (no
+     * usable scheme, a corrupt or mismatched resume checkpoint) as a
+     * structured error instead of exiting. Recoverable failures —
+     * one bad scheme among several, a failing checkpoint write, an
+     * interrupt — degrade gracefully inside the result (errors /
+     * interrupted fields). run() is this plus fatal() on error.
+     */
+    Result<CampaignResult> tryRun() const;
 
   private:
     CampaignSpec spec_;

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic chaos / failure injection for the campaign engine.
+ *
+ * The resilience machinery (checkpoint/resume, shard retry, graceful
+ * scheme skip) is only trustworthy if its failure paths are exercised,
+ * so the runner and the checkpoint writer call tiny hooks that are
+ * no-ops in production and inject faults when armed — either
+ * programmatically (tests) or via the GPUECC_CHAOS environment
+ * variable (CI):
+ *
+ *   GPUECC_CHAOS="task_fault=7,task_fault_count=2,kill_after=40,ckpt_fail=1"
+ *
+ *   task_fault=I        throw from shard task with plan index I
+ *   task_fault_count=N  fail the first N attempts of that task
+ *                       (default 1: the retry succeeds)
+ *   kill_after=N        request a clean interrupt once N tasks have
+ *                       completed (a simulated SIGTERM)
+ *   ckpt_fail=N         fail the next N checkpoint writes
+ *
+ * All triggers count events, never wall-clock or randomness, so a
+ * chaos scenario reproduces exactly.
+ */
+
+#ifndef GPUECC_SIM_CHAOS_HPP
+#define GPUECC_SIM_CHAOS_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace gpuecc::sim {
+
+/** Which faults to inject; the default injects nothing. */
+struct ChaosSpec
+{
+    /** Plan index of the shard task to throw from; -1 = never. */
+    std::int64_t task_fault = -1;
+    /** Number of attempts of that task to fail (1 = retry succeeds). */
+    int task_fault_count = 1;
+    /** Completed-task count that triggers an interrupt; -1 = never. */
+    std::int64_t kill_after = -1;
+    /** Number of upcoming checkpoint writes to fail. */
+    int ckpt_fail = 0;
+};
+
+/** The exception an armed task_fault raises inside a shard task. */
+class ChaosTaskFault : public std::runtime_error
+{
+  public:
+    explicit ChaosTaskFault(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Parse a GPUECC_CHAOS-style "key=value,key=value" spec. Unknown keys
+ * and non-numeric values are invalidArgument errors.
+ */
+Result<ChaosSpec> parseChaosSpec(const std::string& text);
+
+/** Arm the harness (resets all trigger counters). */
+void setChaosSpec(const ChaosSpec& spec);
+
+/** Disarm the harness (tests; also resets counters). */
+void clearChaosSpec();
+
+/**
+ * Whether any fault is armed. The first call reads GPUECC_CHAOS from
+ * the environment (fatal if it doesn't parse — a user error).
+ */
+bool chaosActive();
+
+/**
+ * Runner hook: called before evaluating the shard task with the given
+ * plan index. Throws ChaosTaskFault while that task's failure budget
+ * lasts.
+ */
+void chaosOnTaskAttempt(std::uint64_t plan_index);
+
+/**
+ * Runner hook: called after each task completes with the completed
+ * total so far; requests a clean interrupt at the kill-point.
+ */
+void chaosOnTaskDone(std::uint64_t completed_total);
+
+/**
+ * Checkpoint hook: ok in production; an ioError while the armed
+ * ckpt_fail budget lasts.
+ */
+Status chaosOnCheckpointWrite();
+
+} // namespace gpuecc::sim
+
+#endif // GPUECC_SIM_CHAOS_HPP

@@ -1,5 +1,7 @@
 #include "sim/cli.hpp"
 
+#include <cstdio>
+
 #include "common/log.hpp"
 #include "sim/report.hpp"
 
@@ -17,6 +19,15 @@ addCampaignFlags(Cli& cli, const std::string& default_samples)
     cli.addFlag("chunk", "65536", "samples per shard");
     cli.addFlag("json", "", "write campaign results to this JSON file");
     cli.addFlag("csv", "", "write campaign results to this CSV file");
+    cli.addFlag("checkpoint", "",
+                "persist progress to this file (atomic; also flushed "
+                "on SIGINT/SIGTERM)");
+    cli.addFlag("resume", "false",
+                "restore completed shards from --checkpoint before "
+                "running (bit-identical to an uninterrupted run)");
+    cli.addFlag("checkpoint-interval", "30",
+                "min seconds between periodic checkpoint flushes "
+                "(0 = after every shard)");
 }
 
 CampaignSpec
@@ -27,22 +38,58 @@ campaignSpecFromCli(const Cli& cli)
     spec.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
     spec.threads = static_cast<int>(cli.getInt("threads"));
     spec.chunk = static_cast<std::uint64_t>(cli.getInt("chunk"));
+    spec.checkpoint_path = cli.getString("checkpoint");
+    spec.resume = cli.getBool("resume");
+    spec.checkpoint_interval_s = cli.getDouble("checkpoint-interval");
     if (spec.chunk == 0)
         fatal("--chunk must be positive");
     if (spec.threads < 0)
         fatal("--threads must be >= 0 (0 selects all cores)");
+    if (spec.resume && spec.checkpoint_path.empty())
+        fatal("--resume needs --checkpoint to name the file");
+    if (spec.checkpoint_interval_s < 0)
+        fatal("--checkpoint-interval must be >= 0");
     return spec;
 }
 
-void
+Status
 emitCampaignArtifacts(const CampaignResult& result, const Cli& cli)
 {
     const std::string json = cli.getString("json");
-    if (!json.empty())
-        writeTextFile(json, campaignJson(result));
+    if (!json.empty()) {
+        if (Status s = saveTextFile(json, campaignJson(result));
+            !s.ok())
+            return s;
+    }
     const std::string csv = cli.getString("csv");
-    if (!csv.empty())
-        writeTextFile(csv, campaignCsv(result));
+    if (!csv.empty()) {
+        if (Status s = saveTextFile(csv, campaignCsv(result)); !s.ok())
+            return s;
+    }
+    return {};
+}
+
+int
+finalizeCampaign(const CampaignResult& result, const Cli& cli)
+{
+    for (const CampaignError& e : result.errors) {
+        warn("campaign: scheme " + e.scheme_id + " skipped: " +
+             e.message);
+    }
+    if (result.interrupted) {
+        const std::string& path = result.spec.checkpoint_path;
+        std::string hint = "rerun with --resume";
+        if (!path.empty())
+            hint += " --checkpoint " + path;
+        std::fprintf(stderr, "campaign interrupted; %s to continue\n",
+                     hint.c_str());
+        return 130; // 128 + SIGINT, the conventional interrupt code
+    }
+    if (Status s = emitCampaignArtifacts(result, cli); !s.ok()) {
+        warn("campaign: artifact write failed: " + s.toString());
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace gpuecc::sim

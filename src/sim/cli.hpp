@@ -3,9 +3,10 @@
  * The common campaign CLI surface.
  *
  * Every evaluation bench and example accepts the same knobs —
- * --samples, --seed, --threads, --chunk, --json, --csv — declared and
- * decoded here so the tools stay flag-compatible and new tools get
- * the full surface for free.
+ * --samples, --seed, --threads, --chunk, --json, --csv, plus the
+ * resilience flags --checkpoint, --resume, --checkpoint-interval —
+ * declared and decoded here so the tools stay flag-compatible and
+ * new tools get the full surface for free.
  */
 
 #ifndef GPUECC_SIM_CLI_HPP
@@ -34,9 +35,20 @@ CampaignSpec campaignSpecFromCli(const Cli& cli);
 
 /**
  * Honor --json/--csv: write the campaign artifacts to the requested
- * paths (no-ops when the flags are unset).
+ * paths (no-ops when the flags are unset). An unwritable path or a
+ * short write is an ioError, never a silently truncated artifact.
  */
-void emitCampaignArtifacts(const CampaignResult& result, const Cli& cli);
+Status emitCampaignArtifacts(const CampaignResult& result,
+                             const Cli& cli);
+
+/**
+ * Standard campaign epilogue: report recorded scheme errors, write
+ * the artifacts, and map the outcome to a process exit code —
+ * 130 (interrupted; artifacts are skipped, the checkpoint holds the
+ * progress), 1 (artifact write failed), 0 otherwise. Intended as
+ * `return sim::finalizeCampaign(result, cli);` from main().
+ */
+int finalizeCampaign(const CampaignResult& result, const Cli& cli);
 
 } // namespace gpuecc::sim
 

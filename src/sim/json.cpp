@@ -1,0 +1,360 @@
+#include "sim/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace gpuecc::sim {
+
+Result<bool>
+JsonValue::asBool() const
+{
+    if (!isBool())
+        return Status::dataLoss("JSON value is not a boolean");
+    return bool_;
+}
+
+Result<std::uint64_t>
+JsonValue::asUint64() const
+{
+    if (!isNumber())
+        return Status::dataLoss("JSON value is not a number");
+    if (scalar_.find_first_of(".eE") != std::string::npos)
+        return Status::dataLoss("JSON number " + scalar_ +
+                                " is not an integer");
+    if (!scalar_.empty() && scalar_[0] == '-')
+        return Status::dataLoss("JSON number " + scalar_ +
+                                " is negative");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(scalar_.c_str(), &end, 10);
+    if (errno == ERANGE || end != scalar_.c_str() + scalar_.size())
+        return Status::dataLoss("JSON number " + scalar_ +
+                                " overflows 64 bits");
+    return static_cast<std::uint64_t>(v);
+}
+
+Result<double>
+JsonValue::asDouble() const
+{
+    if (!isNumber())
+        return Status::dataLoss("JSON value is not a number");
+    return std::strtod(scalar_.c_str(), nullptr);
+}
+
+Result<std::string>
+JsonValue::asString() const
+{
+    if (!isString())
+        return Status::dataLoss("JSON value is not a string");
+    return scalar_;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    for (const auto& [k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+Result<const JsonValue*>
+JsonValue::get(const std::string& key) const
+{
+    const JsonValue* v = find(key);
+    if (v == nullptr)
+        return Status::dataLoss("JSON object has no member \"" + key +
+                                '"');
+    return v;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+} // namespace
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    Result<JsonValue> parse()
+    {
+        JsonValue root;
+        Status s = parseValue(root, 0);
+        if (!s.ok())
+            return s;
+        skipSpace();
+        if (pos_ != text_.size())
+            return error("trailing characters after the document");
+        return root;
+    }
+
+  private:
+    Status error(const std::string& what) const
+    {
+        return Status::dataLoss("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Status expectLiteral(const char* word)
+    {
+        for (const char* p = word; *p != '\0'; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                return error(std::string("expected '") + word + "'");
+            ++pos_;
+        }
+        return {};
+    }
+
+    Status parseValue(JsonValue& out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return error("nesting deeper than 64 levels");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return error("unexpected end of document");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.kind_ = JsonValue::Kind::string;
+            return parseString(out.scalar_);
+          case 't':
+            out.kind_ = JsonValue::Kind::boolean;
+            out.bool_ = true;
+            return expectLiteral("true");
+          case 'f':
+            out.kind_ = JsonValue::Kind::boolean;
+            out.bool_ = false;
+            return expectLiteral("false");
+          case 'n':
+            out.kind_ = JsonValue::Kind::null;
+            return expectLiteral("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    Status parseObject(JsonValue& out, int depth)
+    {
+        out.kind_ = JsonValue::Kind::object;
+        ++pos_; // '{'
+        skipSpace();
+        if (consume('}'))
+            return {};
+        for (;;) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return error("expected an object key string");
+            std::string key;
+            if (Status s = parseString(key); !s.ok())
+                return s;
+            skipSpace();
+            if (!consume(':'))
+                return error("expected ':' after object key");
+            JsonValue value;
+            if (Status s = parseValue(value, depth + 1); !s.ok())
+                return s;
+            out.members_.emplace_back(std::move(key),
+                                      std::move(value));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return {};
+            return error("expected ',' or '}' in object");
+        }
+    }
+
+    Status parseArray(JsonValue& out, int depth)
+    {
+        out.kind_ = JsonValue::Kind::array;
+        ++pos_; // '['
+        skipSpace();
+        if (consume(']'))
+            return {};
+        for (;;) {
+            JsonValue value;
+            if (Status s = parseValue(value, depth + 1); !s.ok())
+                return s;
+            out.elements_.push_back(std::move(value));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return {};
+            return error("expected ',' or ']' in array");
+        }
+    }
+
+    Status parseHex4(unsigned& out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                return error("truncated \\u escape");
+            const char c = text_[pos_++];
+            unsigned digit;
+            if (c >= '0' && c <= '9') {
+                digit = static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                digit = static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                digit = static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                return error("bad hex digit in \\u escape");
+            }
+            out = out * 16 + digit;
+        }
+        return {};
+    }
+
+    static void appendUtf8(std::string& s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xF0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    Status parseString(std::string& out)
+    {
+        ++pos_; // '"'
+        for (;;) {
+            if (pos_ >= text_.size())
+                return error("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return {};
+            if (static_cast<unsigned char>(c) < 0x20)
+                return error("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return error("truncated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp;
+                if (Status s = parseHex4(cp); !s.ok())
+                    return s;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: a \uXXXX low half must follow.
+                    if (!consume('\\') || !consume('u'))
+                        return error("unpaired high surrogate");
+                    unsigned lo;
+                    if (Status s = parseHex4(lo); !s.ok())
+                        return s;
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        return error("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return error("unpaired low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return error("unknown escape");
+            }
+        }
+    }
+
+    Status parseNumber(JsonValue& out)
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_])))
+            return error("expected a value");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (consume('.')) {
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return error("expected digits after '.'");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return error("expected digits in exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        out.kind_ = JsonValue::Kind::number;
+        out.scalar_ = text_.substr(start, pos_ - start);
+        return {};
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+Result<JsonValue>
+parseJson(const std::string& text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace gpuecc::sim

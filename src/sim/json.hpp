@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal JSON parser — the read side of report.hpp's JsonWriter.
+ *
+ * Parses the documents this library itself writes (checkpoints,
+ * campaign reports) into a small DOM. Numbers keep their raw token so
+ * 64-bit counters round-trip exactly: asUint64() re-parses the token
+ * with full range checking instead of losing precision through a
+ * double, which is what makes checkpoint width validation possible.
+ * Errors are structured (Result), never thrown.
+ */
+
+#ifndef GPUECC_SIM_JSON_HPP
+#define GPUECC_SIM_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gpuecc::sim {
+
+/** One parsed JSON value (a tree of these is a document). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        null,
+        boolean,
+        number,
+        string,
+        array,
+        object
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::null; }
+    bool isBool() const { return kind_ == Kind::boolean; }
+    bool isNumber() const { return kind_ == Kind::number; }
+    bool isString() const { return kind_ == Kind::string; }
+    bool isArray() const { return kind_ == Kind::array; }
+    bool isObject() const { return kind_ == Kind::object; }
+
+    /** The boolean; error unless isBool(). */
+    Result<bool> asBool() const;
+
+    /**
+     * The number as an unsigned 64-bit integer; error when the value
+     * is not a number, not integral, negative, or out of range (the
+     * checkpoint loader's width check).
+     */
+    Result<std::uint64_t> asUint64() const;
+
+    /** The number as a double; error unless isNumber(). */
+    Result<double> asDouble() const;
+
+    /** The string; error unless isString(). */
+    Result<std::string> asString() const;
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<JsonValue>& elements() const { return elements_; }
+
+    /** Object members in document order (empty unless isObject()). */
+    const std::vector<std::pair<std::string, JsonValue>>&
+    members() const
+    {
+        return members_;
+    }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** Member lookup that reports the missing key as an error. */
+    Result<const JsonValue*> get(const std::string& key) const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::null;
+    bool bool_ = false;
+    /** Raw number token (isNumber) or decoded text (isString). */
+    std::string scalar_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse a complete JSON document. Trailing non-whitespace, unknown
+ * escapes, and nesting deeper than 64 levels are dataLoss errors with
+ * the byte offset in the message.
+ */
+Result<JsonValue> parseJson(const std::string& text);
+
+} // namespace gpuecc::sim
+
+#endif // GPUECC_SIM_JSON_HPP

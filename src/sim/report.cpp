@@ -1,7 +1,9 @@
 #include "sim/report.hpp"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
 #include "common/log.hpp"
 
@@ -196,6 +198,17 @@ campaignJson(const CampaignResult& result)
     w.kv("total_trials", result.totalTrials());
     w.kv("trials_per_second", result.trialsPerSecond());
 
+    // Degradations the run recorded (skipped schemes); empty on a
+    // clean run, so resumed and uninterrupted reports stay diffable.
+    w.key("errors").beginArray();
+    for (const CampaignError& e : result.errors) {
+        w.beginObject();
+        w.kv("scheme", e.scheme_id);
+        w.kv("message", e.message);
+        w.endObject();
+    }
+    w.endArray();
+
     w.key("cells").beginArray();
     for (const CampaignCell& cell : result.cells) {
         const OutcomeCounts& c = cell.counts;
@@ -220,17 +233,58 @@ campaignJson(const CampaignResult& result)
     return w.str();
 }
 
+Status
+saveTextFile(const std::string& path, const std::string& content)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return Status::ioError("cannot open " + path +
+                               " for writing: " +
+                               std::strerror(errno));
+    }
+    const std::size_t written =
+        std::fwrite(content.data(), 1, content.size(), f);
+    // fclose flushes the stdio buffer, so a full disk can surface
+    // here even when every fwrite "succeeded".
+    const bool flushed = std::fclose(f) == 0;
+    if (written != content.size() || !flushed) {
+        std::remove(path.c_str());
+        return Status::ioError("short write to " + path +
+                               " (disk full or I/O error); partial "
+                               "file removed");
+    }
+    return {};
+}
+
+Result<std::string>
+loadTextFile(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        const int err = errno;
+        const std::string detail =
+            "cannot open " + path + ": " + std::strerror(err);
+        if (err == ENOENT)
+            return Status::notFound(detail);
+        return Status::ioError(detail);
+    }
+    std::string content;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        return Status::ioError("read error on " + path);
+    return content;
+}
+
 void
 writeTextFile(const std::string& path, const std::string& content)
 {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("cannot open " + path + " for writing");
-    const std::size_t written =
-        std::fwrite(content.data(), 1, content.size(), f);
-    const bool ok = written == content.size() && std::fclose(f) == 0;
-    if (!ok)
-        fatal("short write to " + path);
+    if (Status s = saveTextFile(path, content); !s.ok())
+        fatal(s.toString());
 }
 
 } // namespace gpuecc::sim

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "sim/campaign.hpp"
 
 namespace gpuecc::sim {
@@ -60,10 +61,21 @@ class JsonWriter
 /** Campaign cells as CSV (header + one line per cell). */
 std::string campaignCsv(const CampaignResult& result);
 
-/** Campaign spec, run stats, and cells as a JSON document. */
+/** Campaign spec, run stats, cells, and errors as a JSON document. */
 std::string campaignJson(const CampaignResult& result);
 
-/** Write content to path; fatal on I/O failure. */
+/**
+ * Write content to path, detecting every failure mode fopen/fwrite/
+ * fclose can report (unwritable path, disk full, I/O error) — a
+ * partial artifact is deleted rather than left looking valid.
+ */
+Status saveTextFile(const std::string& path,
+                    const std::string& content);
+
+/** Read a whole file; notFound / ioError instead of exceptions. */
+Result<std::string> loadTextFile(const std::string& path);
+
+/** saveTextFile for contexts with no recovery path; fatal on error. */
 void writeTextFile(const std::string& path, const std::string& content);
 
 } // namespace gpuecc::sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "ecc/registry.hpp"
@@ -249,6 +250,99 @@ TEST(CampaignReport, CsvAndJsonContainEveryCell)
     EXPECT_NE(json.find("\"cells\""), std::string::npos);
     EXPECT_NE(json.find("\"duet\""), std::string::npos);
     EXPECT_NE(json.find("\"trials_per_second\""), std::string::npos);
+}
+
+TEST(Campaign, UnknownSchemeIsSkippedAndRecorded)
+{
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"duet", "no-such-code", "trio"};
+    spec.patterns = {ErrorPattern::oneBit};
+    spec.samples = 100;
+    const auto r = sim::CampaignRunner(spec).tryRun();
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+
+    EXPECT_TRUE(r.value().hasScheme("duet"));
+    EXPECT_TRUE(r.value().hasScheme("trio"));
+    EXPECT_FALSE(r.value().hasScheme("no-such-code"));
+    ASSERT_EQ(r.value().errors.size(), 1u);
+    EXPECT_EQ(r.value().errors[0].scheme_id, "no-such-code");
+    EXPECT_NE(r.value().errors[0].message.find("not_found"),
+              std::string::npos);
+    // The recorded degradation shows up in the JSON artifact.
+    EXPECT_NE(sim::campaignJson(r.value()).find("no-such-code"),
+              std::string::npos);
+}
+
+TEST(Campaign, AllSchemesUnknownIsAnError)
+{
+    sim::CampaignSpec spec;
+    spec.scheme_ids = {"nope", "also-nope"};
+    spec.patterns = {ErrorPattern::oneBit};
+    spec.samples = 100;
+    const auto r = sim::CampaignRunner(spec).tryRun();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::notFound);
+}
+
+TEST(Campaign, RegistryLookupIsStructured)
+{
+    const auto good = findScheme("trio");
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value()->id(), "trio");
+
+    const auto bad = findScheme("definitely-not-a-scheme");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::notFound);
+    // The message lists the known ids so the user can self-correct.
+    EXPECT_NE(bad.status().message().find("trio"), std::string::npos);
+}
+
+TEST(CampaignReport, SaveTextFileReportsUnwritablePaths)
+{
+    const Status s = sim::saveTextFile(
+        "/nonexistent_dir_gpuecc_xyz/out.json", "{}");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::ioError);
+    EXPECT_NE(s.message().find("out.json"), std::string::npos);
+}
+
+TEST(CampaignReport, LoadTextFileRoundTripsAndReportsMissing)
+{
+    const std::string path =
+        ::testing::TempDir() + "gpuecc_textfile_roundtrip.txt";
+    const std::string content = "line one\nline two\n";
+    ASSERT_TRUE(sim::saveTextFile(path, content).ok());
+    const auto loaded = sim::loadTextFile(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value(), content);
+    std::remove(path.c_str());
+
+    const auto missing = sim::loadTextFile(path);
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), ErrorCode::notFound);
+}
+
+TEST(OutcomeCountsTest, SelfConsistencyAndOverflowChecks)
+{
+    OutcomeCounts c;
+    c.trials = 100;
+    c.dce = 90;
+    c.due = 8;
+    c.sdc = 2;
+    EXPECT_TRUE(c.selfConsistent());
+    c.sdc = 3; // counts no longer sum to trials
+    EXPECT_FALSE(c.selfConsistent());
+    c.sdc = 2;
+
+    OutcomeCounts near_max;
+    near_max.trials = UINT64_MAX - 50;
+    near_max.dce = UINT64_MAX - 50;
+    EXPECT_TRUE(near_max.fitsWithoutOverflow(c) ==
+                (c.trials <= 50));
+    OutcomeCounts small;
+    small.trials = 50;
+    small.dce = 50;
+    EXPECT_TRUE(near_max.fitsWithoutOverflow(small));
 }
 
 TEST(CampaignReport, JsonWriterEscapesAndNests)

@@ -62,5 +62,83 @@ TEST(CliTest, HexIntegers)
     EXPECT_EQ(cli.getInt("seed"), 16);
 }
 
+TEST(CliTest, TryParseRejectsUnknownFlag)
+{
+    Cli cli;
+    cli.addFlag("samples", "1000", "sample count");
+    const char* argv[] = {"prog", "--smaples", "42"};
+    const Status s = cli.tryParse(3, const_cast<char**>(argv));
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::invalidArgument);
+    EXPECT_NE(s.message().find("smaples"), std::string::npos);
+}
+
+TEST(CliTest, TryParseRejectsPositionalArguments)
+{
+    Cli cli;
+    cli.addFlag("samples", "1000", "sample count");
+    const char* argv[] = {"prog", "stray"};
+    const Status s = cli.tryParse(2, const_cast<char**>(argv));
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::invalidArgument);
+    EXPECT_NE(s.message().find("stray"), std::string::npos);
+}
+
+TEST(CliTest, TryParseReportsHelpWithoutExiting)
+{
+    Cli cli;
+    cli.addFlag("samples", "1000", "sample count");
+    const char* argv[] = {"prog", "--help"};
+    EXPECT_TRUE(cli.tryParse(2, const_cast<char**>(argv)).ok());
+    EXPECT_TRUE(cli.helpRequested());
+    EXPECT_NE(cli.usageText("desc").find("--samples"),
+              std::string::npos);
+}
+
+TEST(CliTest, TryGetRejectsMalformedNumbers)
+{
+    Cli cli;
+    cli.addFlag("samples", "1000", "sample count");
+    cli.addFlag("rate", "2.5", "a rate");
+    const char* argv[] = {"prog", "--samples", "12abc",
+                          "--rate", "fast"};
+    ASSERT_TRUE(cli.tryParse(5, const_cast<char**>(argv)).ok());
+
+    const auto n = cli.tryGetInt("samples");
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.status().code(), ErrorCode::invalidArgument);
+    const auto d = cli.tryGetDouble("rate");
+    ASSERT_FALSE(d.ok());
+    EXPECT_EQ(d.status().code(), ErrorCode::invalidArgument);
+
+    // Well-formed values still come through the same accessors.
+    const char* ok_argv[] = {"prog", "--samples=42", "--rate=0.5"};
+    Cli ok_cli;
+    ok_cli.addFlag("samples", "1000", "sample count");
+    ok_cli.addFlag("rate", "2.5", "a rate");
+    ASSERT_TRUE(ok_cli.tryParse(3, const_cast<char**>(ok_argv)).ok());
+    EXPECT_EQ(ok_cli.tryGetInt("samples").value(), 42);
+    EXPECT_DOUBLE_EQ(ok_cli.tryGetDouble("rate").value(), 0.5);
+}
+
+TEST(CliDeathTest, ParseExitsWithUsageCodeOnUnknownFlag)
+{
+    Cli cli;
+    cli.addFlag("samples", "1000", "sample count");
+    const char* argv[] = {"prog", "--bogus"};
+    EXPECT_EXIT(cli.parse(2, const_cast<char**>(argv), "test"),
+                ::testing::ExitedWithCode(kUsageExitCode),
+                "unknown flag");
+}
+
+TEST(CliDeathTest, GetIntDiesOnMalformedValue)
+{
+    Cli cli;
+    cli.addFlag("samples", "1000", "sample count");
+    const char* argv[] = {"prog", "--samples", "1e5"};
+    cli.parse(3, const_cast<char**>(argv), "test");
+    EXPECT_DEATH(cli.getInt("samples"), "samples");
+}
+
 } // namespace
 } // namespace gpuecc

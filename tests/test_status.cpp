@@ -1,0 +1,107 @@
+/** @file Tests for the structured Status / Result error types. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk)
+{
+    const Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::ok);
+    EXPECT_EQ(s.message(), "");
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage)
+{
+    const struct
+    {
+        Status status;
+        ErrorCode code;
+        const char* name;
+    } cases[] = {
+        {Status::invalidArgument("a"), ErrorCode::invalidArgument,
+         "invalid_argument"},
+        {Status::notFound("b"), ErrorCode::notFound, "not_found"},
+        {Status::ioError("c"), ErrorCode::ioError, "io_error"},
+        {Status::dataLoss("d"), ErrorCode::dataLoss, "data_loss"},
+        {Status::failedPrecondition("e"),
+         ErrorCode::failedPrecondition, "failed_precondition"},
+        {Status::unavailable("f"), ErrorCode::unavailable,
+         "unavailable"},
+        {Status::internalError("g"), ErrorCode::internal, "internal"},
+    };
+    for (const auto& c : cases) {
+        EXPECT_FALSE(c.status.ok());
+        EXPECT_EQ(c.status.code(), c.code);
+        EXPECT_EQ(errorCodeName(c.status.code()), std::string(c.name));
+        // toString is "code: message".
+        EXPECT_EQ(c.status.toString(),
+                  std::string(c.name) + ": " + c.status.message());
+    }
+}
+
+TEST(StatusDeathTest, ErrorStatusRejectsOkCode)
+{
+    EXPECT_DEATH(Status(ErrorCode::ok, "nope"), "non-ok code");
+}
+
+TEST(ResultTest, HoldsValue)
+{
+    const Result<int> r = 42;
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.valueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError)
+{
+    const Result<int> r = Status::notFound("missing");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::notFound);
+    EXPECT_EQ(r.valueOr(7), 7);
+}
+
+TEST(ResultTest, MovesValueOut)
+{
+    Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+    ASSERT_TRUE(r.ok());
+    const std::unique_ptr<int> moved = std::move(r).value();
+    EXPECT_EQ(*moved, 5);
+}
+
+TEST(ResultTest, ConvertingConstruction)
+{
+    // A Result<base pointer> accepts a derived pointer, the same way
+    // the registry returns a concrete scheme as Result<EntryScheme>.
+    struct Base
+    {
+        virtual ~Base() = default;
+    };
+    struct Derived : Base
+    {
+    };
+    const Result<std::shared_ptr<Base>> r =
+        std::make_shared<Derived>();
+    EXPECT_TRUE(r.ok());
+    // And a string literal converts into a Result<std::string>.
+    const Result<std::string> s = "text";
+    EXPECT_EQ(s.value(), "text");
+}
+
+TEST(ResultDeathTest, ValueOnErrorPanics)
+{
+    const Result<int> r = Status::ioError("disk on fire");
+    EXPECT_DEATH(r.value(), "disk on fire");
+}
+
+} // namespace
+} // namespace gpuecc
