@@ -19,10 +19,12 @@
 
 #include "common/cli.hpp"
 #include "common/codec_mode.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "ecc/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/campaign.hpp"
 #include "sim/report.hpp"
 
@@ -103,8 +105,15 @@ main(int argc, char** argv)
     cli.addFlag("seed", "0x5EED", "campaign seed");
     cli.addFlag("json", "BENCH_throughput.json",
                 "output JSON path (empty to skip)");
+    cli.addFlag("trace", "",
+                "write a Chrome trace-event JSON of the measurement "
+                "phases to this file");
     cli.parse(argc, argv,
               "Codec throughput and campaign-engine scaling.");
+
+    const std::string trace_path = cli.getString("trace");
+    if (!trace_path.empty())
+        obs::startTrace(trace_path);
 
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
     const int max_threads = ThreadPool::resolveThreadCount(
@@ -121,6 +130,8 @@ main(int argc, char** argv)
                       "decode speedup"});
     json.key("codecs").beginArray();
     for (const char* id : ids) {
+        obs::TraceSpan span(std::string("codec-rates:") + id,
+                            "bench");
         const CodecRates r =
             codecRates(id, iters, CodecBackend::compiled);
         const CodecRates ref =
@@ -172,6 +183,9 @@ main(int argc, char** argv)
     bool all_identical = true;
     for (int t = 1; t <= max_threads; t *= 2) {
         spec.threads = t;
+        obs::TraceSpan span("scaling:" + std::to_string(t) +
+                                "-threads",
+                            "bench");
         const sim::CampaignResult result =
             sim::CampaignRunner(spec).run();
         if (t == 1) {
@@ -218,13 +232,15 @@ main(int argc, char** argv)
     // Backend equivalence: the same campaign under the compiled and
     // the reference codec must tally identically, cell by cell.
     spec.threads = max_threads;
-    setCodecBackend(CodecBackend::compiled);
-    const sim::CampaignResult compiled_run =
-        sim::CampaignRunner(spec).run();
-    setCodecBackend(CodecBackend::reference);
-    const sim::CampaignResult reference_run =
-        sim::CampaignRunner(spec).run();
-    setCodecBackend(CodecBackend::compiled);
+    sim::CampaignResult compiled_run, reference_run;
+    {
+        obs::TraceSpan span("backend-equivalence", "bench");
+        setCodecBackend(CodecBackend::compiled);
+        compiled_run = sim::CampaignRunner(spec).run();
+        setCodecBackend(CodecBackend::reference);
+        reference_run = sim::CampaignRunner(spec).run();
+        setCodecBackend(CodecBackend::compiled);
+    }
 
     bool backends_identical =
         compiled_run.cells.size() == reference_run.cells.size();
@@ -249,6 +265,15 @@ main(int argc, char** argv)
     json.kv("campaign_speedup", campaign_speedup);
     json.kv("bit_identical", backends_identical);
     json.endObject();
+
+    // Provenance + where the time went (for tools/compare_runs). The
+    // timing section describes the compiled backend-equivalence run —
+    // the last full campaign this bench executed.
+    json.key("manifest");
+    sim::writeRunManifest(json,
+                          sim::campaignRunManifest(compiled_run));
+    json.key("timing");
+    sim::writeCampaignTiming(json, compiled_run);
     json.endObject();
     if (!backends_identical) {
         std::printf("ERROR: compiled and reference codecs disagreed\n");
@@ -259,6 +284,14 @@ main(int argc, char** argv)
     if (!path.empty()) {
         sim::writeTextFile(path, json.str());
         std::printf("wrote %s\n", path.c_str());
+    }
+    if (obs::traceEnabled()) {
+        if (Status s = obs::stopTraceAndWrite(); !s.ok()) {
+            warn("bench_throughput: trace write failed: " +
+                 s.toString());
+            return 1;
+        }
+        std::printf("wrote %s\n", trace_path.c_str());
     }
     return 0;
 }

@@ -19,6 +19,8 @@
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "sim/report.hpp"
 
 using namespace gpuecc;
@@ -31,7 +33,14 @@ main(int argc, char** argv)
     cli.addFlag("runs", "300", "microbenchmark runs in the beam");
     cli.addFlag("seed", "0xBEA3", "random seed");
     cli.addFlag("json", "", "write a campaign summary to this file");
+    cli.addFlag("trace", "",
+                "write a Chrome trace-event JSON of the campaign "
+                "phases to this file");
     cli.parse(argc, argv, "Simulate a neutron beam testing campaign.");
+
+    const std::string trace_path = cli.getString("trace");
+    if (!trace_path.empty())
+        obs::startTrace(trace_path);
 
     CampaignConfig cfg;
     cfg.runs = static_cast<int>(cli.getInt("runs"));
@@ -39,14 +48,20 @@ main(int argc, char** argv)
 
     std::printf("== In the beam ==\n");
     Campaign campaign(cfg);
-    campaign.runInBeam();
+    {
+        obs::TraceSpan span("in-beam", "beam");
+        campaign.runInBeam();
+    }
     std::printf("beam time: %.0f s, fluence: %.3e n/cm^2, "
                 "log records: %zu\n",
                 campaign.timeSeconds(), campaign.fluence(),
                 campaign.log().size());
 
     std::printf("\n== Post-processing ==\n");
-    const ClassificationResult result = classifyLog(campaign.log());
+    const ClassificationResult result = [&] {
+        obs::TraceSpan span("post-process", "beam");
+        return classifyLog(campaign.log());
+    }();
     std::printf("damaged (intermittent) entries filtered: %zu\n",
                 result.damaged_entries.size());
     std::printf("soft-error events reconstructed: %llu\n\n",
@@ -81,9 +96,12 @@ main(int argc, char** argv)
                                           multi : 0.0, 1).c_str());
 
     std::printf("\n== Out of the beam: refresh-rate experiment ==\n");
-    campaign.soak(1e11); // heavily damage the GPU first
     const std::vector<double> periods{8, 16, 24, 32, 40, 48};
-    const auto sweep = campaign.refreshSweep(periods);
+    const auto sweep = [&] {
+        obs::TraceSpan span("refresh-sweep", "beam");
+        campaign.soak(1e11); // heavily damage the GPU first
+        return campaign.refreshSweep(periods);
+    }();
     std::vector<double> xs, ys;
     TextTable refresh({"refresh period (ms)", "weak cells"});
     for (const auto& [p, count] : sweep) {
@@ -101,7 +119,10 @@ main(int argc, char** argv)
     std::printf("\nannealing 3.5 h outside the beam...\n");
     const auto pre8 = campaign.visibleWeakCells(8.0);
     const auto pre48 = campaign.visibleWeakCells(48.0);
-    campaign.annealOutsideBeam(3.5);
+    {
+        obs::TraceSpan span("anneal", "beam");
+        campaign.annealOutsideBeam(3.5);
+    }
     std::printf("weak cells @8ms: %llu -> %llu; @48ms: %llu -> %llu\n",
                 static_cast<unsigned long long>(pre8),
                 static_cast<unsigned long long>(
@@ -136,12 +157,31 @@ main(int argc, char** argv)
         json.kv("n", fit.n);
         json.kv("mu_ms", fit.mu);
         json.kv("sigma_ms", fit.sigma);
-        json.endObject().endObject();
+        json.endObject();
+        obs::RunManifest manifest;
+        manifest.tool = obs::toolName();
+        manifest.build = obs::buildInfo();
+        manifest.threads = 1; // the beam simulation is sequential
+        manifest.chaos = obs::chaosEnvText();
+        manifest.samples = static_cast<std::uint64_t>(cfg.runs);
+        manifest.seed = cfg.seed;
+        manifest.traced = obs::traceEnabled();
+        json.key("manifest");
+        sim::writeRunManifest(json, manifest);
+        json.endObject();
         if (Status s = sim::saveTextFile(path, json.str()); !s.ok()) {
             warn("beam_campaign: summary write failed: " +
                  s.toString());
             return 1;
         }
+    }
+    if (obs::traceEnabled()) {
+        if (Status s = obs::stopTraceAndWrite(); !s.ok()) {
+            warn("beam_campaign: trace write failed: " +
+                 s.toString());
+            return 1;
+        }
+        std::printf("wrote %s\n", trace_path.c_str());
     }
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "common/thread_pool.hpp"
 
+#include <chrono>
+
 #include "common/log.hpp"
 
 namespace gpuecc {
@@ -89,12 +91,25 @@ ThreadPool::steal(int self, std::uint64_t& idx)
     return false;
 }
 
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    return stats_;
+}
+
 void
 ThreadPool::drain(int self)
 {
     std::uint64_t idx = 0;
     std::uint64_t done = 0;
-    while (popOwn(self, idx) || steal(self, idx)) {
+    std::uint64_t stolen = 0;
+    double busy = 0.0;
+    for (;;) {
+        const bool own = popOwn(self, idx);
+        if (!own && !steal(self, idx))
+            break;
+        const auto body_start = std::chrono::steady_clock::now();
         try {
             (*body_)(idx);
         } catch (...) {
@@ -102,10 +117,20 @@ ThreadPool::drain(int self)
             if (!first_error_)
                 first_error_ = std::current_exception();
         }
+        busy += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - body_start)
+                    .count();
+        if (!own)
+            ++stolen;
         ++done;
     }
     if (done > 0) {
+        // One merge per drain, piggybacking on the completion lock,
+        // keeps the telemetry off the per-task path.
         std::lock_guard<std::mutex> lock(done_mutex_);
+        stats_.tasks_executed += done;
+        stats_.steals += stolen;
+        stats_.busy_seconds += busy;
         remaining_ -= done;
         if (remaining_ == 0)
             done_cv_.notify_all();
@@ -120,11 +145,21 @@ ThreadPool::parallelFor(std::uint64_t n,
         return;
     if (num_threads_ == 1) {
         // Inline fast path: no queues, no locks.
+        const auto loop_start = std::chrono::steady_clock::now();
         for (std::uint64_t i = 0; i < n; ++i)
             body(i);
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - loop_start)
+                .count();
+        std::lock_guard<std::mutex> lock(done_mutex_);
+        stats_.tasks_executed += n;
+        stats_.busy_seconds += elapsed;
+        stats_.wall_seconds += elapsed;
         return;
     }
 
+    const auto loop_start = std::chrono::steady_clock::now();
     first_error_ = nullptr;
     body_ = &body;
     remaining_ = n;
@@ -146,6 +181,10 @@ ThreadPool::parallelFor(std::uint64_t n,
     {
         std::unique_lock<std::mutex> lock(done_mutex_);
         done_cv_.wait(lock, [&] { return remaining_ == 0; });
+        stats_.wall_seconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - loop_start)
+                .count();
     }
     body_ = nullptr;
     if (first_error_)

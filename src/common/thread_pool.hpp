@@ -44,6 +44,21 @@ class ThreadPool
     /** Number of workers (including the calling thread). */
     int threadCount() const { return num_threads_; }
 
+    /** Lifetime execution counters across every parallelFor so far. */
+    struct Stats
+    {
+        std::uint64_t tasks_executed = 0;
+        /** Tasks a worker took from another worker's queue. */
+        std::uint64_t steals = 0;
+        /** Summed per-worker time spent inside task bodies. */
+        double busy_seconds = 0.0;
+        /** Wall-clock time spent inside parallelFor calls. */
+        double wall_seconds = 0.0;
+    };
+
+    /** Snapshot of the counters (call between loops, not during). */
+    Stats stats() const;
+
     /**
      * Run body(i) for every i in [0, n), distributed over the pool;
      * blocks until all iterations finish. The first exception thrown
@@ -84,9 +99,11 @@ class ThreadPool
     bool shutdown_ = false;
 
     const std::function<void(std::uint64_t)>* body_ = nullptr;
-    std::mutex done_mutex_;
+    mutable std::mutex done_mutex_;
     std::condition_variable done_cv_;
     std::uint64_t remaining_ = 0;
+    /** Guarded by done_mutex_; merged from per-drain local tallies. */
+    Stats stats_;
 
     std::mutex error_mutex_;
     std::exception_ptr first_error_;

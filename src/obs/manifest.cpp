@@ -1,0 +1,99 @@
+#include "obs/manifest.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <thread>
+
+#include <sys/resource.h>
+#include <sys/utsname.h>
+
+#ifndef GPUECC_BUILD_TYPE
+#define GPUECC_BUILD_TYPE "unknown"
+#endif
+
+namespace gpuecc::obs {
+
+namespace {
+
+std::string
+compilerString()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+platformString()
+{
+    struct utsname u = {};
+    if (::uname(&u) != 0)
+        return "unknown";
+    return std::string(u.sysname) + " " + u.release + " " + u.machine;
+}
+
+} // namespace
+
+BuildInfo
+buildInfo()
+{
+    BuildInfo info;
+    info.build_type = GPUECC_BUILD_TYPE;
+    info.compiler = compilerString();
+    info.platform = platformString();
+    const unsigned hw = std::thread::hardware_concurrency();
+    info.hardware_threads = hw == 0 ? 1 : static_cast<int>(hw);
+    return info;
+}
+
+double
+PoolTelemetry::utilization() const
+{
+    if (threads <= 0 || wall_seconds <= 0.0)
+        return 0.0;
+    const double u = busy_seconds / (wall_seconds * threads);
+    if (u < 0.0)
+        return 0.0;
+    return u > 1.0 ? 1.0 : u;
+}
+
+double
+PoolTelemetry::idleFraction() const
+{
+    return 1.0 - utilization();
+}
+
+std::string
+toolName()
+{
+    // glibc keeps the basename of argv[0] here; no plumbing needed.
+    const char* name = program_invocation_short_name;
+    return name == nullptr || *name == '\0' ? std::string("unknown")
+                                            : std::string(name);
+}
+
+std::string
+chaosEnvText()
+{
+    const char* env = std::getenv("GPUECC_CHAOS");
+    return env == nullptr ? std::string() : std::string(env);
+}
+
+double
+processCpuSeconds()
+{
+    struct rusage usage = {};
+    if (::getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0.0;
+    const auto seconds = [](const struct timeval& tv) {
+        return static_cast<double>(tv.tv_sec) +
+               static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+}
+
+} // namespace gpuecc::obs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Run manifests: the provenance block embedded in every report.
+ *
+ * A BENCH_*.json artifact is only comparable to another when both say
+ * what produced them — build type, compiler, hardware, thread count,
+ * codec backend, chaos configuration. RunManifest gathers those facts;
+ * PoolTelemetry and SchemeTiming carry the measured side (where the
+ * time went). Serialization to JSON lives in sim/report (obs depends
+ * only on common), and tools/compare_runs consumes the result.
+ */
+
+#ifndef GPUECC_OBS_MANIFEST_HPP
+#define GPUECC_OBS_MANIFEST_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpuecc::obs {
+
+/** Compile- and host-environment facts, captured once per process. */
+struct BuildInfo
+{
+    std::string build_type; //!< CMAKE_BUILD_TYPE baked in at compile
+    std::string compiler;   //!< e.g. "g++ 13.2.0"
+    std::string platform;   //!< e.g. "Linux 6.8.0 x86_64"
+    int hardware_threads = 0;
+};
+
+/** The current process's BuildInfo. */
+BuildInfo buildInfo();
+
+/** Thread-pool utilization over one campaign (from ThreadPool). */
+struct PoolTelemetry
+{
+    int threads = 0;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t steals = 0;
+    /** Summed per-worker time inside task bodies. */
+    double busy_seconds = 0.0;
+    /** Wall time the pool spent inside parallelFor. */
+    double wall_seconds = 0.0;
+
+    /** busy / (wall * threads), clamped to [0, 1]. */
+    double utilization() const;
+
+    /** 1 - utilization(). */
+    double idleFraction() const;
+};
+
+/** Where one scheme's evaluation time went. */
+struct SchemeTiming
+{
+    std::string scheme_id;
+    /** First shard start to last shard end (overlaps other schemes). */
+    double wall_seconds = 0.0;
+    /** Summed in-shard compute time across workers. */
+    double cpu_seconds = 0.0;
+    std::uint64_t shards = 0;
+    std::uint64_t trials = 0;
+};
+
+/** Provenance block embedded in reports and checkpoints. */
+struct RunManifest
+{
+    std::string tool; //!< producing binary, e.g. "bench_tab2"
+    BuildInfo build;
+    int threads = 0;
+    std::string codec_backend;
+    std::string chaos; //!< GPUECC_CHAOS env text, "" when unset
+    std::uint64_t samples = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t chunk = 0;
+    std::vector<std::string> schemes;
+    bool traced = false;
+};
+
+/** The GPUECC_CHAOS environment text ("" when unset). */
+std::string chaosEnvText();
+
+/** Short name of the running binary (e.g. "bench_tab2"). */
+std::string toolName();
+
+/** CPU seconds this process has consumed (user + system). */
+double processCpuSeconds();
+
+} // namespace gpuecc::obs
+
+#endif // GPUECC_OBS_MANIFEST_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Chrome trace_event spans for campaign phase/shard timing.
+ *
+ * startTrace() arms a process-wide collector; TraceSpan then records
+ * RAII-scoped complete events ("ph":"X") into per-thread buffers, and
+ * stopTraceAndWrite() serializes everything as Chrome trace-event JSON
+ * that loads directly in chrome://tracing or Perfetto. When tracing is
+ * off (the default) a TraceSpan is two loads and no allocation, so the
+ * shard hot path can carry one unconditionally.
+ *
+ * Determinism: spans only read the clock and append to thread-private
+ * buffers — they never touch RNG state, tallies, or task order, so a
+ * traced campaign produces bit-identical results to an untraced one.
+ */
+
+#ifndef GPUECC_OBS_TRACE_HPP
+#define GPUECC_OBS_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace gpuecc::obs {
+
+/**
+ * Arm tracing and remember the output path for stopTraceAndWrite().
+ * Clears any events from a previous trace. Call before spawning the
+ * threads to be traced (the campaign CLI does this during flag
+ * parsing, long before the pool exists).
+ */
+void startTrace(const std::string& path);
+
+/** True between startTrace() and stopTraceAndWrite(). */
+bool traceEnabled();
+
+/** The path given to startTrace(); empty when tracing never armed. */
+const std::string& tracePath();
+
+/**
+ * Disarm tracing and write all recorded events to the startTrace()
+ * path as Chrome trace-event JSON. No-op success when tracing was
+ * never armed.
+ */
+Status stopTraceAndWrite();
+
+/** Microseconds since startTrace() (0 when tracing is off). */
+std::uint64_t traceNowUs();
+
+/**
+ * Emit a pre-timed complete event, for spans whose lifetime does not
+ * nest in a C++ scope (e.g. the per-scheme aggregate tracks the
+ * campaign runner synthesizes from atomic clocks). @p args_json is
+ * either empty or a JSON object-body fragment ("\"k\":1,\"s\":\"v\"").
+ * @p tid picks the Perfetto track; pass kCallerTid for this thread's.
+ */
+inline constexpr int kCallerTid = -1;
+void emitSpan(const std::string& name, const char* category,
+              std::uint64_t ts_us, std::uint64_t dur_us,
+              const std::string& args_json = std::string(),
+              int tid = kCallerTid);
+
+/** Name a track (tid) in the viewer, e.g. "scheme duet". */
+void setTrackName(int tid, const std::string& name);
+
+/**
+ * RAII complete-event span. Construction samples the clock; the
+ * destructor records the event into this thread's buffer. All methods
+ * are no-ops (and allocation-free) while tracing is off.
+ */
+class TraceSpan
+{
+  public:
+    /** Zero-allocation form: both strings must outlive the span. */
+    TraceSpan(const char* name, const char* category);
+
+    /** Copying form for dynamic names. */
+    TraceSpan(const std::string& name, const char* category);
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+    ~TraceSpan();
+
+    /** Attach a string argument (shown in the viewer's detail pane). */
+    TraceSpan& arg(const char* key, const std::string& value);
+
+    /** Attach an integer argument. */
+    TraceSpan& arg(const char* key, std::uint64_t value);
+
+    /** True when this span is recording. */
+    bool active() const { return active_; }
+
+  private:
+    const char* name_ = nullptr;
+    std::string owned_name_;
+    const char* category_ = nullptr;
+    std::uint64_t start_us_ = 0;
+    std::string args_;
+    bool active_ = false;
+};
+
+} // namespace gpuecc::obs
+
+#endif // GPUECC_OBS_TRACE_HPP

@@ -13,6 +13,7 @@
 #include "common/thread_pool.hpp"
 #include "ecc/registry.hpp"
 #include "faultsim/shard.hpp"
+#include "obs/trace.hpp"
 #include "sim/chaos.hpp"
 #include "sim/checkpoint.hpp"
 
@@ -120,11 +121,98 @@ struct Collector
     bool warned_checkpoint_failure = false;
 };
 
+/** Ids of the campaign.* metrics, registered once per process. */
+struct CampaignMetricIds
+{
+    obs::MetricId shards_completed;
+    obs::MetricId trials;
+    obs::MetricId shard_retries;
+    obs::MetricId checkpoint_flushes;
+    obs::MetricId checkpoint_failures;
+    obs::MetricId schemes_dropped;
+    obs::MetricId shard_micros;
+};
+
+const CampaignMetricIds&
+campaignMetricIds()
+{
+    // Registration happens here, on the first campaign's calling
+    // thread, before any pool exists — the register-before-spawn
+    // contract the lock-free metric hot path relies on.
+    static const CampaignMetricIds ids = [] {
+        obs::MetricsRegistry& m = obs::metrics();
+        CampaignMetricIds out;
+        out.shards_completed = m.counter("campaign.shards_completed");
+        out.trials = m.counter("campaign.trials");
+        out.shard_retries = m.counter("campaign.shard_retries");
+        out.checkpoint_flushes =
+            m.counter("campaign.checkpoint_flushes");
+        out.checkpoint_failures =
+            m.counter("campaign.checkpoint_failures");
+        out.schemes_dropped = m.counter("campaign.schemes_dropped");
+        out.shard_micros = m.histogram(
+            "campaign.shard_micros",
+            {100, 1000, 10000, 100000, 1000000, 10000000});
+        return out;
+    }();
+    return ids;
+}
+
+/** Per-scheme clocks the workers bump; µs since evaluation start. */
+struct SchemeClock
+{
+    std::atomic<std::uint64_t> busy_us{0};
+    std::atomic<std::uint64_t> trials{0};
+    std::atomic<std::uint64_t> shards{0};
+    std::atomic<std::uint64_t> first_us{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> last_us{0};
+    /** Unaccounted tasks; 0 means the scheme finished this run. */
+    std::atomic<std::uint64_t> pending{0};
+};
+
+void
+atomicMin(std::atomic<std::uint64_t>& slot, std::uint64_t value)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !slot.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t value)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point origin,
+            std::chrono::steady_clock::time_point at)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            at - origin)
+            .count());
+}
+
 } // namespace
 
 Result<CampaignResult>
 CampaignRunner::tryRun() const
 {
+    const CampaignMetricIds& mid = campaignMetricIds();
+    obs::MetricsRegistry& reg = obs::metrics();
+    // Flush this thread first so the baseline holds everything older
+    // runs recorded and since() isolates exactly this run's activity.
+    reg.flushThisThread();
+    const obs::MetricsSnapshot metrics_baseline = reg.snapshot();
+    obs::TraceSpan campaign_span("campaign", "campaign");
+
     CampaignResult result;
     result.spec = spec_;
     result.spec.threads = ThreadPool::resolveThreadCount(spec_.threads);
@@ -139,6 +227,8 @@ CampaignRunner::tryRun() const
     std::vector<std::shared_ptr<EntryScheme>> schemes;
     std::vector<GoldenEntry> goldens;
     for (const std::string& id : spec_.scheme_ids) {
+        // Covers codec (table) construction and golden derivation.
+        obs::TraceSpan span("codec:" + id, "codec");
         Result<std::shared_ptr<EntryScheme>> scheme = findScheme(id);
         if (!scheme.ok()) {
             warn("campaign: skipping scheme " + id + ": " +
@@ -163,12 +253,15 @@ CampaignRunner::tryRun() const
     // The same pattern plan (and thus the same RNG streams and masks)
     // is shared by every scheme, which keeps scheme columns paired.
     std::vector<Task> tasks;
-    for (std::size_t s = 0; s < schemes.size(); ++s) {
-        for (std::size_t p = 0; p < patterns.size(); ++p) {
-            const std::size_t cell = s * patterns.size() + p;
-            for (const Shard& shard :
-                 planShards(patterns[p], spec_.samples, spec_.chunk))
-                tasks.push_back({cell, shard});
+    {
+        obs::TraceSpan span("plan", "campaign");
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            for (std::size_t p = 0; p < patterns.size(); ++p) {
+                const std::size_t cell = s * patterns.size() + p;
+                for (const Shard& shard : planShards(
+                         patterns[p], spec_.samples, spec_.chunk))
+                    tasks.push_back({cell, shard});
+            }
         }
     }
     result.shards = tasks.size();
@@ -191,6 +284,7 @@ CampaignRunner::tryRun() const
     Collector collector;
 
     if (checkpointing && spec_.resume) {
+        obs::TraceSpan span("resume-load", "campaign");
         Result<CampaignCheckpoint> loaded =
             loadCheckpoint(spec_.checkpoint_path);
         if (loaded.status().code() == ErrorCode::notFound) {
@@ -248,30 +342,88 @@ CampaignRunner::tryRun() const
         cell_failed[i].store(false, std::memory_order_relaxed);
     std::vector<std::pair<std::size_t, std::string>> cell_errors;
 
+    // Per-scheme clocks and the progress denominator cover only the
+    // work this run will actually evaluate (resumed tasks excluded).
+    std::vector<SchemeClock> scheme_clocks(schemes.size());
+    obs::ProgressTotals totals;
+    totals.schemes = schemes.size();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (done[i] != 0)
+            continue;
+        const std::size_t scheme = tasks[i].cell / patterns.size();
+        scheme_clocks[scheme].pending.fetch_add(
+            1, std::memory_order_relaxed);
+        ++totals.shards;
+    }
+    obs::ProgressReporter progress(spec_.progress, totals);
+    for (const SchemeClock& clock : scheme_clocks) {
+        if (clock.pending.load(std::memory_order_relaxed) == 0)
+            progress.schemeDone(); // fully restored from checkpoint
+    }
+
+    // The provenance block persisted with every checkpoint flush.
+    std::vector<std::pair<std::string, std::string>> ckpt_manifest;
+    if (checkpointing) {
+        const obs::BuildInfo build = obs::buildInfo();
+        ckpt_manifest = {
+            {"threads", std::to_string(result.spec.threads)},
+            {"codec_backend", result.codec_backend},
+            {"build_type", build.build_type},
+            {"compiler", build.compiler},
+            {"platform", build.platform},
+            {"chaos", obs::chaosEnvText()},
+        };
+    }
+
     // Serialize completed tallies; call with collector.mutex held.
     auto flushCheckpoint = [&]() -> Status {
+        obs::TraceSpan span("checkpoint-flush", "checkpoint");
         CampaignCheckpoint ckpt;
         ckpt.fingerprint = fingerprint;
+        ckpt.manifest = ckpt_manifest;
         std::vector<std::uint64_t> indices = collector.completed;
         std::sort(indices.begin(), indices.end());
         ckpt.done.reserve(indices.size());
         for (std::uint64_t i : indices)
             ckpt.done.push_back({i, partial[i]});
-        return saveCheckpoint(spec_.checkpoint_path, ckpt);
+        span.arg("tasks", indices.size());
+        Status s = saveCheckpoint(spec_.checkpoint_path, ckpt);
+        reg.add(s.ok() ? mid.checkpoint_flushes
+                       : mid.checkpoint_failures);
+        return s;
     };
 
     const auto interval = std::chrono::duration<double>(
         std::max(0.0, spec_.checkpoint_interval_s));
+    // Rebase the flush timer at evaluation start (i.e. after any
+    // resume restore), so the first interval is a full one.
     collector.last_flush = std::chrono::steady_clock::now();
+
+    const double cpu_start = obs::processCpuSeconds();
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t trace_eval_start_us = obs::traceNowUs();
 
     auto body = [&](std::uint64_t i) {
         if (done[i] != 0 || interruptRequested())
             return;
         const Task& t = tasks[i];
-        if (cell_failed[t.cell].load(std::memory_order_relaxed))
-            return;
         const std::size_t scheme = t.cell / patterns.size();
+        SchemeClock& clock = scheme_clocks[scheme];
+        if (cell_failed[t.cell].load(std::memory_order_relaxed)) {
+            if (clock.pending.fetch_sub(
+                    1, std::memory_order_relaxed) == 1)
+                progress.schemeDone();
+            return;
+        }
 
+        obs::TraceSpan span(patternInfo(t.shard.pattern).label,
+                            "shard");
+        span.arg("scheme", ids[scheme])
+            .arg("task", i)
+            .arg("begin", t.shard.begin)
+            .arg("end", t.shard.end);
+
+        const auto shard_start = std::chrono::steady_clock::now();
         OutcomeCounts counts;
         try {
             chaosOnTaskAttempt(i);
@@ -280,6 +432,7 @@ CampaignRunner::tryRun() const
         } catch (const std::exception& first) {
             // Transient faults (chaos, OOM churn) get one retry; a
             // second failure fails the scheme, not the campaign.
+            reg.add(mid.shard_retries);
             warn("campaign: shard task " + std::to_string(i) +
                  " failed (" + first.what() + "); retrying once");
             try {
@@ -290,6 +443,9 @@ CampaignRunner::tryRun() const
             } catch (const std::exception& second) {
                 cell_failed[t.cell].store(true,
                                           std::memory_order_relaxed);
+                if (clock.pending.fetch_sub(
+                        1, std::memory_order_relaxed) == 1)
+                    progress.schemeDone();
                 std::lock_guard<std::mutex> lock(collector.mutex);
                 cell_errors.emplace_back(
                     t.cell, std::string("shard task failed twice: ") +
@@ -297,8 +453,27 @@ CampaignRunner::tryRun() const
                 return;
             }
         }
+        const auto shard_stop = std::chrono::steady_clock::now();
         partial[i] = counts;
         done[i] = 1;
+
+        // Telemetry: thread-local metric shards and relaxed atomics
+        // only — nothing here can reorder work or touch the tallies.
+        const std::uint64_t shard_us =
+            microsSince(shard_start, shard_stop);
+        reg.add(mid.shards_completed);
+        reg.add(mid.trials, counts.trials);
+        reg.observe(mid.shard_micros, shard_us);
+        clock.busy_us.fetch_add(shard_us, std::memory_order_relaxed);
+        clock.trials.fetch_add(counts.trials,
+                               std::memory_order_relaxed);
+        clock.shards.fetch_add(1, std::memory_order_relaxed);
+        atomicMin(clock.first_us, microsSince(start, shard_start));
+        atomicMax(clock.last_us, microsSince(start, shard_stop));
+        progress.shardDone(counts.trials);
+        if (clock.pending.fetch_sub(1, std::memory_order_relaxed) ==
+            1)
+            progress.schemeDone();
 
         std::lock_guard<std::mutex> lock(collector.mutex);
         collector.completed.push_back(i);
@@ -308,29 +483,75 @@ CampaignRunner::tryRun() const
             const auto now = std::chrono::steady_clock::now();
             if (now - collector.last_flush >= interval) {
                 Status s = flushCheckpoint();
-                if (s.ok()) {
-                    collector.last_flush = now;
-                } else if (!collector.warned_checkpoint_failure) {
+                // Rebase from *after* the write completed, so slow
+                // flushes can't compress the next interval and the
+                // cadence stays uniform from flush to flush.
+                collector.last_flush =
+                    std::chrono::steady_clock::now();
+                if (!s.ok() &&
+                    !collector.warned_checkpoint_failure) {
                     // Degrade gracefully: the campaign still runs,
                     // it just can't persist progress right now.
                     warn("campaign: checkpoint write failed (" +
                          s.toString() + "); continuing without");
                     collector.warned_checkpoint_failure = true;
-                    collector.last_flush = now;
                 }
             }
         }
     };
 
-    const auto start = std::chrono::steady_clock::now();
+    ThreadPool::Stats pool_stats;
     {
+        obs::TraceSpan span("evaluate", "campaign");
         ThreadPool pool(result.spec.threads);
         pool.parallelFor(tasks.size(), body);
+        pool_stats = pool.stats();
     }
     const auto stop = std::chrono::steady_clock::now();
     result.seconds =
         std::chrono::duration<double>(stop - start).count();
+    result.cpu_seconds = obs::processCpuSeconds() - cpu_start;
+    result.pool.threads = result.spec.threads;
+    result.pool.tasks_executed = pool_stats.tasks_executed;
+    result.pool.steals = pool_stats.steals;
+    result.pool.busy_seconds = pool_stats.busy_seconds;
+    result.pool.wall_seconds = pool_stats.wall_seconds;
+    progress.stop();
     result.interrupted = interruptRequested();
+
+    // Per-scheme timings, plus one synthetic aggregate span per
+    // scheme on its own trace track (the workers interleave schemes,
+    // so per-shard spans alone don't show scheme-level overlap).
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        const SchemeClock& clock = scheme_clocks[s];
+        obs::SchemeTiming timing;
+        timing.scheme_id = ids[s];
+        timing.cpu_seconds =
+            static_cast<double>(
+                clock.busy_us.load(std::memory_order_relaxed)) *
+            1e-6;
+        timing.shards = clock.shards.load(std::memory_order_relaxed);
+        timing.trials = clock.trials.load(std::memory_order_relaxed);
+        const std::uint64_t first =
+            clock.first_us.load(std::memory_order_relaxed);
+        const std::uint64_t last =
+            clock.last_us.load(std::memory_order_relaxed);
+        const bool ran = first != ~std::uint64_t{0} && last > first;
+        if (ran)
+            timing.wall_seconds =
+                static_cast<double>(last - first) * 1e-6;
+        result.scheme_timings.push_back(timing);
+        if (ran && obs::traceEnabled()) {
+            const int tid = 1000 + static_cast<int>(s);
+            obs::setTrackName(tid, "scheme " + ids[s]);
+            obs::emitSpan(
+                ids[s], "scheme", trace_eval_start_us + first,
+                last - first,
+                "\"shards\":" + std::to_string(timing.shards) +
+                    ",\"trials\":" + std::to_string(timing.trials),
+                tid);
+        }
+    }
 
     // Always flush a final checkpoint: complete on success (so a
     // later --resume is a no-op), partial on interrupt (so --resume
@@ -353,9 +574,12 @@ CampaignRunner::tryRun() const
     // and commutative, so the outcome is independent of which worker
     // ran which shard. Tasks skipped by an interrupt or a failed
     // scheme contribute nothing.
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-        if (done[i] != 0)
-            result.cells[tasks[i].cell].counts.merge(partial[i]);
+    {
+        obs::TraceSpan span("merge", "campaign");
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (done[i] != 0)
+                result.cells[tasks[i].cell].counts.merge(partial[i]);
+        }
     }
 
     // Drop failed schemes from the cells and record them — a partial
@@ -367,6 +591,7 @@ CampaignRunner::tryRun() const
             if (failed.insert(c.scheme_id).second) {
                 warn("campaign: dropping scheme " + c.scheme_id +
                      ": " + message);
+                reg.add(mid.schemes_dropped);
                 result.errors.push_back(
                     {c.scheme_id,
                      "unavailable: pattern " +
@@ -377,6 +602,12 @@ CampaignRunner::tryRun() const
             return failed.count(c.scheme_id) != 0;
         });
     }
+
+    // Workers flushed their metric shards when the pool joined; flush
+    // the calling thread's (it was worker 0) and delta the baseline
+    // so the result reports only this run's activity.
+    reg.flushThisThread();
+    result.metrics = reg.snapshot().since(metrics_baseline);
     return result;
 }
 

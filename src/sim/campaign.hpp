@@ -32,6 +32,9 @@
 #include "common/status.hpp"
 #include "faultsim/evaluator.hpp"
 #include "faultsim/patterns.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 
 namespace gpuecc::sim {
 
@@ -69,6 +72,14 @@ struct CampaignSpec
     /** Minimum seconds between periodic flushes (<= 0: every task). */
     double checkpoint_interval_s = 30.0;
 
+    /**
+     * Live progress line on stderr. Off by default so library users
+     * and tests stay silent; the campaign CLI maps --progress/--quiet
+     * onto this (auto-enabling on a TTY). Progress reporting reads
+     * atomic completion counters only — it never perturbs tallies.
+     */
+    obs::ProgressMode progress = obs::ProgressMode::off;
+
     /** The patterns to run (resolving the empty-means-all default). */
     std::vector<ErrorPattern> resolvedPatterns() const;
 };
@@ -101,6 +112,14 @@ struct CampaignResult
     std::vector<CampaignCell> cells;
     /** Wall-clock of the sharded evaluation phase. */
     double seconds = 0.0;
+    /** Process CPU seconds consumed by the evaluation phase. */
+    double cpu_seconds = 0.0;
+    /** Thread-pool utilization over the evaluation phase. */
+    obs::PoolTelemetry pool;
+    /** Per-scheme time/volume breakdown, in evaluated-spec order. */
+    std::vector<obs::SchemeTiming> scheme_timings;
+    /** Deltas of the campaign.* metrics recorded by this run. */
+    obs::MetricsSnapshot metrics;
     /** Number of shards the plan contained. */
     std::uint64_t shards = 0;
     /** Shard tasks restored from a checkpoint instead of evaluated. */

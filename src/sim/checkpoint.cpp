@@ -86,6 +86,12 @@ saveCheckpoint(const std::string& path,
     w.beginObject();
     w.kv("version", kCheckpointVersion);
     w.kv("fingerprint", checkpoint.fingerprint);
+    if (!checkpoint.manifest.empty()) {
+        w.key("manifest").beginObject();
+        for (const auto& [key, value] : checkpoint.manifest)
+            w.kv(key, value);
+        w.endObject();
+    }
     w.key("tasks").beginArray();
     for (const CheckpointEntry& e : checkpoint.done) {
         w.beginArray();
@@ -146,6 +152,16 @@ loadCheckpoint(const std::string& path)
     if (!fp.ok())
         return fp.status();
     out.fingerprint = fp.value();
+
+    // Optional, informational, lenient: absent in pre-telemetry
+    // checkpoints, and non-string values are simply skipped.
+    if (const JsonValue* manifest = root.find("manifest")) {
+        for (const auto& [key, value] : manifest->members()) {
+            if (value.isString())
+                out.manifest.emplace_back(
+                    key, value.asString().value());
+        }
+    }
 
     Result<const JsonValue*> tasks = root.get("tasks");
     if (!tasks.ok())

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -38,6 +39,13 @@ struct CampaignCheckpoint
 {
     std::string fingerprint;
     std::vector<CheckpointEntry> done;
+    /**
+     * Provenance key/value pairs (threads, codec backend, build,
+     * chaos config) written as a "manifest" object — informational
+     * only: resume ignores it for validation (the fingerprint is the
+     * authority), and checkpoints without one load fine.
+     */
+    std::vector<std::pair<std::string, std::string>> manifest;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "sim/report.hpp"
 
 namespace gpuecc::sim {
@@ -28,6 +29,16 @@ addCampaignFlags(Cli& cli, const std::string& default_samples)
     cli.addFlag("checkpoint-interval", "30",
                 "min seconds between periodic checkpoint flushes "
                 "(0 = after every shard)");
+    cli.addFlag("trace", "",
+                "write a Chrome trace-event JSON (Perfetto-loadable) "
+                "of campaign phases, shards, and checkpoint flushes "
+                "to this file");
+    cli.addFlag("progress", "false",
+                "force the live progress line on stderr (default: "
+                "auto-enabled when stderr is a TTY)");
+    cli.addFlag("quiet", "false",
+                "suppress the live progress line (wins over "
+                "--progress)");
 }
 
 CampaignSpec
@@ -49,6 +60,15 @@ campaignSpecFromCli(const Cli& cli)
         fatal("--resume needs --checkpoint to name the file");
     if (spec.checkpoint_interval_s < 0)
         fatal("--checkpoint-interval must be >= 0");
+    if (cli.getBool("quiet"))
+        spec.progress = obs::ProgressMode::off;
+    else if (cli.getBool("progress"))
+        spec.progress = obs::ProgressMode::on;
+    else
+        spec.progress = obs::ProgressMode::autoTty;
+    const std::string trace = cli.getString("trace");
+    if (!trace.empty())
+        obs::startTrace(trace);
     return spec;
 }
 
@@ -69,6 +89,25 @@ emitCampaignArtifacts(const CampaignResult& result, const Cli& cli)
     return {};
 }
 
+namespace {
+
+/** Flush the --trace buffer to disk; 0 on success or no trace. */
+int
+writeTraceIfStarted()
+{
+    if (!obs::traceEnabled())
+        return 0;
+    const std::string path = obs::tracePath();
+    if (Status s = obs::stopTraceAndWrite(); !s.ok()) {
+        warn("campaign: trace write failed: " + s.toString());
+        return 1;
+    }
+    inform("campaign: wrote trace to " + path);
+    return 0;
+}
+
+} // namespace
+
 int
 finalizeCampaign(const CampaignResult& result, const Cli& cli)
 {
@@ -77,6 +116,8 @@ finalizeCampaign(const CampaignResult& result, const Cli& cli)
              e.message);
     }
     if (result.interrupted) {
+        // A partial trace is still viewable; flush it before exiting.
+        writeTraceIfStarted();
         const std::string& path = result.spec.checkpoint_path;
         std::string hint = "rerun with --resume";
         if (!path.empty())
@@ -87,9 +128,10 @@ finalizeCampaign(const CampaignResult& result, const Cli& cli)
     }
     if (Status s = emitCampaignArtifacts(result, cli); !s.ok()) {
         warn("campaign: artifact write failed: " + s.toString());
+        writeTraceIfStarted();
         return 1;
     }
-    return 0;
+    return writeTraceIfStarted();
 }
 
 } // namespace gpuecc::sim

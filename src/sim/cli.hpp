@@ -3,10 +3,11 @@
  * The common campaign CLI surface.
  *
  * Every evaluation bench and example accepts the same knobs —
- * --samples, --seed, --threads, --chunk, --json, --csv, plus the
- * resilience flags --checkpoint, --resume, --checkpoint-interval —
- * declared and decoded here so the tools stay flag-compatible and
- * new tools get the full surface for free.
+ * --samples, --seed, --threads, --chunk, --json, --csv, the
+ * resilience flags --checkpoint, --resume, --checkpoint-interval,
+ * and the telemetry flags --trace, --progress, --quiet — declared
+ * and decoded here so the tools stay flag-compatible and new tools
+ * get the full surface for free.
  */
 
 #ifndef GPUECC_SIM_CLI_HPP
@@ -29,7 +30,10 @@ void addCampaignFlags(Cli& cli,
 
 /**
  * Build a spec from the shared flags (scheme ids and patterns are
- * tool-specific and left empty for the caller to fill in).
+ * tool-specific and left empty for the caller to fill in). Maps
+ * --progress/--quiet onto spec.progress (--quiet wins; the default
+ * auto-enables the live line on a TTY) and starts trace collection
+ * when --trace names a file.
  */
 CampaignSpec campaignSpecFromCli(const Cli& cli);
 
@@ -43,9 +47,11 @@ Status emitCampaignArtifacts(const CampaignResult& result,
 
 /**
  * Standard campaign epilogue: report recorded scheme errors, write
- * the artifacts, and map the outcome to a process exit code —
- * 130 (interrupted; artifacts are skipped, the checkpoint holds the
- * progress), 1 (artifact write failed), 0 otherwise. Intended as
+ * the artifacts, flush the trace started by --trace (on interrupted
+ * runs too — a partial trace is still viewable), and map the outcome
+ * to a process exit code — 130 (interrupted; artifacts are skipped,
+ * the checkpoint holds the progress), 1 (artifact or trace write
+ * failed), 0 otherwise. Intended as
  * `return sim::finalizeCampaign(result, cli);` from main().
  */
 int finalizeCampaign(const CampaignResult& result, const Cli& cli);

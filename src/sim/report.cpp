@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuecc::sim {
 
@@ -156,9 +157,27 @@ JsonWriter::value(bool v)
 std::string
 campaignCsv(const CampaignResult& result)
 {
-    std::string out = "scheme,pattern,trials,dce,due,sdc,exhaustive,"
-                      "dce_rate,due_rate,sdc_rate,sdc_ci_lo,"
-                      "sdc_ci_hi\n";
+    // Plan identity only: no threads, no timing, no host facts.
+    // CI diffs these bytes across thread counts and resumes.
+    std::string out = "# manifest schemes=";
+    const auto& ids = result.spec.scheme_ids;
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        out += (i ? "," : "") + ids[i];
+    out += " patterns=";
+    const auto patterns = result.spec.resolvedPatterns();
+    for (std::size_t i = 0; i < patterns.size(); ++i)
+        out += (i ? "," : "") + patternInfo(patterns[i]).label;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  " samples=%" PRIu64 " seed=%" PRIu64
+                  " chunk=%" PRIu64,
+                  result.spec.samples, result.spec.seed,
+                  result.spec.chunk);
+    out += buf;
+    out += " codec=" + result.codec_backend + "\n";
+    out += "scheme,pattern,trials,dce,due,sdc,exhaustive,"
+           "dce_rate,due_rate,sdc_rate,sdc_ci_lo,"
+           "sdc_ci_hi\n";
     for (const CampaignCell& cell : result.cells) {
         const OutcomeCounts& c = cell.counts;
         const Interval ci = c.sdcInterval();
@@ -174,6 +193,98 @@ campaignCsv(const CampaignResult& result)
         out += buf;
     }
     return out;
+}
+
+obs::RunManifest
+campaignRunManifest(const CampaignResult& result)
+{
+    obs::RunManifest m;
+    m.tool = obs::toolName();
+    m.build = obs::buildInfo();
+    m.threads = result.spec.threads;
+    m.codec_backend = result.codec_backend;
+    m.chaos = obs::chaosEnvText();
+    m.samples = result.spec.samples;
+    m.seed = result.spec.seed;
+    m.chunk = result.spec.chunk;
+    m.schemes = result.spec.scheme_ids;
+    m.traced = obs::traceEnabled();
+    return m;
+}
+
+void
+writeRunManifest(JsonWriter& w, const obs::RunManifest& manifest)
+{
+    w.beginObject();
+    w.kv("tool", manifest.tool);
+    w.kv("build_type", manifest.build.build_type);
+    w.kv("compiler", manifest.build.compiler);
+    w.kv("platform", manifest.build.platform);
+    w.kv("hardware_threads", manifest.build.hardware_threads);
+    w.kv("threads", manifest.threads);
+    w.kv("codec_backend", manifest.codec_backend);
+    w.kv("chaos", manifest.chaos);
+    w.kv("samples", manifest.samples);
+    w.kv("seed", manifest.seed);
+    w.kv("chunk", manifest.chunk);
+    w.key("schemes").beginArray();
+    for (const std::string& id : manifest.schemes)
+        w.value(id);
+    w.endArray();
+    w.kv("traced", manifest.traced);
+    w.endObject();
+}
+
+void
+writeCampaignTiming(JsonWriter& w, const CampaignResult& result)
+{
+    w.beginObject();
+    w.kv("wall_seconds", result.seconds);
+    w.kv("cpu_seconds", result.cpu_seconds);
+    w.kv("trials_per_second", result.trialsPerSecond());
+
+    w.key("pool").beginObject();
+    w.kv("threads", result.pool.threads);
+    w.kv("tasks_executed", result.pool.tasks_executed);
+    w.kv("steals", result.pool.steals);
+    w.kv("busy_seconds", result.pool.busy_seconds);
+    w.kv("wall_seconds", result.pool.wall_seconds);
+    w.kv("utilization", result.pool.utilization());
+    w.kv("idle_fraction", result.pool.idleFraction());
+    w.endObject();
+
+    w.key("schemes").beginArray();
+    for (const obs::SchemeTiming& t : result.scheme_timings) {
+        w.beginObject();
+        w.kv("scheme", t.scheme_id);
+        w.kv("wall_seconds", t.wall_seconds);
+        w.kv("cpu_seconds", t.cpu_seconds);
+        w.kv("shards", t.shards);
+        w.kv("trials", t.trials);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("counters").beginObject();
+    for (const obs::CounterValue& c : result.metrics.counters)
+        w.kv(c.name, c.value);
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const obs::HistogramValue& h : result.metrics.histograms) {
+        w.key(h.name).beginObject();
+        w.key("bounds").beginArray();
+        for (const std::uint64_t b : h.bounds)
+            w.value(b);
+        w.endArray();
+        w.key("counts").beginArray();
+        for (const std::uint64_t c : h.counts)
+            w.value(c);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
 }
 
 std::string
@@ -197,6 +308,11 @@ campaignJson(const CampaignResult& result)
     w.kv("shards", result.shards);
     w.kv("total_trials", result.totalTrials());
     w.kv("trials_per_second", result.trialsPerSecond());
+
+    w.key("manifest");
+    writeRunManifest(w, campaignRunManifest(result));
+    w.key("timing");
+    writeCampaignTiming(w, result);
 
     // Degradations the run recorded (skipped schemes); empty on a
     // clean run, so resumed and uninterrupted reports stay diffable.

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/manifest.hpp"
 #include "sim/campaign.hpp"
 
 namespace gpuecc::sim {
@@ -58,11 +59,35 @@ class JsonWriter
     std::vector<bool> need_comma_{false};
 };
 
-/** Campaign cells as CSV (header + one line per cell). */
+/**
+ * Campaign cells as CSV: a `# manifest` comment naming the plan
+ * identity (schemes, patterns, samples, seed, chunk, codec backend —
+ * deliberately nothing thread- or timing-dependent, so the bytes stay
+ * identical across thread counts and resumes), then header + one line
+ * per cell.
+ */
 std::string campaignCsv(const CampaignResult& result);
 
-/** Campaign spec, run stats, cells, and errors as a JSON document. */
+/**
+ * Campaign spec, run stats, cells, errors, plus the provenance
+ * manifest and a "timing" section (wall/CPU, pool utilization,
+ * per-scheme breakdown, campaign.* metric counters) as a JSON
+ * document. tools/compare_runs diffs two of these.
+ */
 std::string campaignJson(const CampaignResult& result);
+
+/** The provenance manifest describing how `result` was produced. */
+obs::RunManifest campaignRunManifest(const CampaignResult& result);
+
+/** Serialize a manifest as the next JSON value (after w.key(...)). */
+void writeRunManifest(JsonWriter& w, const obs::RunManifest& manifest);
+
+/**
+ * Serialize a campaign's timing section as the next JSON value:
+ * wall/CPU seconds, throughput, pool telemetry, per-scheme timings,
+ * and the campaign.* metric counters/histograms recorded by the run.
+ */
+void writeCampaignTiming(JsonWriter& w, const CampaignResult& result);
 
 /**
  * Write content to path, detecting every failure mode fopen/fwrite/

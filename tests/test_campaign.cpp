@@ -237,12 +237,19 @@ TEST(CampaignReport, CsvAndJsonContainEveryCell)
     const sim::CampaignResult r = sim::CampaignRunner(spec).run();
 
     const std::string csv = sim::campaignCsv(r);
+    EXPECT_EQ(csv.rfind("# manifest ", 0), 0u);
     EXPECT_NE(csv.find("scheme,pattern,trials"), std::string::npos);
     EXPECT_NE(csv.find("duet"), std::string::npos);
-    // header + one line per cell (trailing newline).
+    // manifest comment + header + one line per cell (trailing
+    // newline).
     const auto lines =
         std::count(csv.begin(), csv.end(), '\n');
-    EXPECT_EQ(lines, 1 + static_cast<long>(r.cells.size()));
+    EXPECT_EQ(lines, 2 + static_cast<long>(r.cells.size()));
+    // The comment names only plan identity — never the thread count,
+    // so CSVs diff clean across thread counts and resumes.
+    const std::string comment = csv.substr(0, csv.find('\n'));
+    EXPECT_EQ(comment.find("threads"), std::string::npos);
+    EXPECT_NE(comment.find("seed="), std::string::npos);
 
     const std::string json = sim::campaignJson(r);
     EXPECT_EQ(json.front(), '{');
@@ -250,6 +257,10 @@ TEST(CampaignReport, CsvAndJsonContainEveryCell)
     EXPECT_NE(json.find("\"cells\""), std::string::npos);
     EXPECT_NE(json.find("\"duet\""), std::string::npos);
     EXPECT_NE(json.find("\"trials_per_second\""), std::string::npos);
+    EXPECT_NE(json.find("\"manifest\""), std::string::npos);
+    EXPECT_NE(json.find("\"timing\""), std::string::npos);
+    EXPECT_NE(json.find("\"build_type\""), std::string::npos);
+    EXPECT_NE(json.find("\"utilization\""), std::string::npos);
 }
 
 TEST(Campaign, UnknownSchemeIsSkippedAndRecorded)

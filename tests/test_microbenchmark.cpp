@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "beam/campaign.hpp"
 #include "beam/microbenchmark.hpp"
+#include "ecc/registry.hpp"
+#include "faultsim/shard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuecc {
 namespace beam {
@@ -102,6 +109,59 @@ TEST(Campaign, FluenceAccounting)
         cfg.micro.write_phases * (1 + cfg.micro.reads_per_write);
     EXPECT_NEAR(campaign.fluence(),
                 5 * cfg.beam.flux_n_cm2_s * run_seconds, 1e-3);
+}
+
+/**
+ * The telemetry added per shard (a disabled trace span, two counter
+ * bumps, one histogram observation, one progress update) must cost
+ * under 2% of one shard kernel invocation — the campaign hot path
+ * stays measurement-grade with telemetry compiled in.
+ */
+TEST(Telemetry, ShardInstrumentationOverheadBelowTwoPercent)
+{
+    const auto scheme = makeScheme("duet");
+    const GoldenEntry golden = makeGolden(*scheme, 0x5EED);
+    const auto shards =
+        planShards(ErrorPattern::oneBeat, 1 << 16, 1 << 16);
+    ASSERT_FALSE(shards.empty());
+
+    const auto kernel_start = std::chrono::steady_clock::now();
+    const OutcomeCounts counts =
+        evaluateShard(*scheme, golden, 0x5EED, shards[0]);
+    const double kernel_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - kernel_start)
+            .count();
+    ASSERT_GT(counts.trials, 0u);
+
+    obs::MetricsRegistry& reg = obs::metrics();
+    const obs::MetricId shards_done =
+        reg.counter("overhead_test.shards");
+    const obs::MetricId trials = reg.counter("overhead_test.trials");
+    const obs::MetricId micros =
+        reg.histogram("overhead_test.micros", {100, 1000, 10000});
+    obs::ProgressReporter progress(obs::ProgressMode::off, {});
+    ASSERT_FALSE(obs::traceEnabled());
+
+    constexpr int kReps = 20000;
+    const auto bundle_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+        obs::TraceSpan span("shard", "shard"); // disabled: no-op
+        reg.add(shards_done);
+        reg.add(trials, counts.trials);
+        reg.observe(micros, 1234);
+        progress.shardDone(counts.trials);
+    }
+    const double per_shard_bundle =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - bundle_start)
+            .count() /
+        kReps;
+    reg.flushThisThread();
+
+    EXPECT_LT(per_shard_bundle, 0.02 * kernel_seconds)
+        << "telemetry bundle " << per_shard_bundle * 1e9
+        << " ns vs shard kernel " << kernel_seconds * 1e6 << " us";
 }
 
 } // namespace

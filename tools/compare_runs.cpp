@@ -1,0 +1,257 @@
+/**
+ * @file
+ * compare_runs: diff the manifests and throughput of two reports.
+ *
+ * Loads two JSON artifacts this repo emits (campaign reports,
+ * BENCH_throughput.json), prints any run-manifest differences (build
+ * type, compiler, hardware, backend — the usual reasons two numbers
+ * aren't comparable), then compares every throughput metric found in
+ * both documents. A drop beyond --threshold percent is a regression:
+ * each is flagged and the exit code is 2, so CI can annotate without
+ * hard-failing (|| true) or gate (plain invocation) as it chooses.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "sim/json.hpp"
+#include "sim/report.hpp"
+
+using namespace gpuecc;
+
+namespace {
+
+/** Keys whose numeric values mean "higher is better" throughput. */
+const char* const kThroughputKeys[] = {
+    "trials_per_second", "encode_mops",  "decode_clean_mops",
+    "decode_1bit_mops",  "speedup",      "campaign_speedup",
+    "decode_speedup_vs_reference",
+};
+
+bool
+isThroughputKey(const std::string& key)
+{
+    for (const char* k : kThroughputKeys) {
+        if (key == k)
+            return true;
+    }
+    return false;
+}
+
+struct Metric
+{
+    std::string path;
+    double value;
+};
+
+/** Stable label for one array element (scheme/threads if present). */
+std::string
+elementLabel(const sim::JsonValue& element, std::size_t index)
+{
+    if (element.isObject()) {
+        if (const sim::JsonValue* scheme = element.find("scheme")) {
+            if (scheme->isString())
+                return scheme->asString().value();
+        }
+        if (const sim::JsonValue* threads = element.find("threads")) {
+            if (threads->isNumber()) {
+                return "threads=" +
+                       std::to_string(static_cast<long long>(
+                           threads->asDouble().valueOr(0.0)));
+            }
+        }
+        if (const sim::JsonValue* pattern = element.find("pattern")) {
+            if (pattern->isString())
+                return pattern->asString().value();
+        }
+    }
+    return std::to_string(index);
+}
+
+void
+collectMetrics(const sim::JsonValue& value, const std::string& path,
+               std::vector<Metric>& out)
+{
+    if (value.isObject()) {
+        for (const auto& [key, member] : value.members()) {
+            const std::string child =
+                path.empty() ? key : path + "." + key;
+            if (member.isNumber() && isThroughputKey(key)) {
+                out.push_back(
+                    {child, member.asDouble().valueOr(0.0)});
+            } else {
+                collectMetrics(member, child, out);
+            }
+        }
+    } else if (value.isArray()) {
+        std::size_t i = 0;
+        for (const sim::JsonValue& element : value.elements()) {
+            collectMetrics(element,
+                           path + "[" + elementLabel(element, i) +
+                               "]",
+                           out);
+            ++i;
+        }
+    }
+}
+
+const Metric*
+findMetric(const std::vector<Metric>& metrics,
+           const std::string& path)
+{
+    for (const Metric& m : metrics) {
+        if (m.path == path)
+            return &m;
+    }
+    return nullptr;
+}
+
+/** Flatten a manifest subtree to "dotted.key = scalar text" pairs. */
+void
+flattenScalars(const sim::JsonValue& value, const std::string& path,
+               std::vector<std::pair<std::string, std::string>>& out)
+{
+    if (value.isObject()) {
+        for (const auto& [key, member] : value.members()) {
+            flattenScalars(member,
+                           path.empty() ? key : path + "." + key,
+                           out);
+        }
+    } else if (value.isArray()) {
+        std::size_t i = 0;
+        for (const sim::JsonValue& element : value.elements())
+            flattenScalars(element,
+                           path + "[" + std::to_string(i++) + "]",
+                           out);
+    } else if (value.isString()) {
+        out.emplace_back(path, value.asString().value());
+    } else if (value.isNumber()) {
+        out.emplace_back(path,
+                         std::to_string(
+                             value.asDouble().valueOr(0.0)));
+    } else if (value.isBool()) {
+        out.emplace_back(path,
+                         value.asBool().valueOr(false) ? "true"
+                                                       : "false");
+    }
+}
+
+std::string
+lookupFlat(
+    const std::vector<std::pair<std::string, std::string>>& flat,
+    const std::string& key)
+{
+    for (const auto& [k, v] : flat) {
+        if (k == key)
+            return v;
+    }
+    return "<absent>";
+}
+
+sim::JsonValue
+loadReport(const std::string& path)
+{
+    Result<std::string> text = sim::loadTextFile(path);
+    if (!text.ok())
+        fatal(text.status().toString());
+    Result<sim::JsonValue> doc = sim::parseJson(text.value());
+    if (!doc.ok())
+        fatal(path + ": " + doc.status().toString());
+    return std::move(doc).value();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli;
+    cli.addFlag("baseline", "", "baseline report JSON (required)");
+    cli.addFlag("candidate", "", "candidate report JSON (required)");
+    cli.addFlag("threshold", "10",
+                "regression threshold in percent throughput drop");
+    cli.parse(argc, argv,
+              "Diff two report manifests and flag throughput "
+              "regressions.");
+
+    const std::string base_path = cli.getString("baseline");
+    const std::string cand_path = cli.getString("candidate");
+    if (base_path.empty() || cand_path.empty())
+        fatal("--baseline and --candidate are both required");
+    const double threshold = cli.getDouble("threshold");
+
+    const sim::JsonValue base = loadReport(base_path);
+    const sim::JsonValue cand = loadReport(cand_path);
+
+    // Manifest diff: the provenance facts that explain (or forbid)
+    // a throughput comparison.
+    std::vector<std::pair<std::string, std::string>> base_manifest;
+    std::vector<std::pair<std::string, std::string>> cand_manifest;
+    if (const sim::JsonValue* m = base.find("manifest"))
+        flattenScalars(*m, "", base_manifest);
+    if (const sim::JsonValue* m = cand.find("manifest"))
+        flattenScalars(*m, "", cand_manifest);
+    if (base_manifest.empty() && cand_manifest.empty()) {
+        std::printf("note: neither report carries a manifest "
+                    "(pre-telemetry artifact)\n");
+    } else {
+        bool any_diff = false;
+        for (const auto& [key, base_value] : base_manifest) {
+            const std::string cand_value =
+                lookupFlat(cand_manifest, key);
+            if (cand_value != base_value) {
+                std::printf("manifest %-28s %s -> %s\n", key.c_str(),
+                            base_value.c_str(), cand_value.c_str());
+                any_diff = true;
+            }
+        }
+        for (const auto& [key, cand_value] : cand_manifest) {
+            if (lookupFlat(base_manifest, key) == "<absent>") {
+                std::printf("manifest %-28s <absent> -> %s\n",
+                            key.c_str(), cand_value.c_str());
+                any_diff = true;
+            }
+        }
+        if (!any_diff)
+            std::printf("manifests match\n");
+    }
+
+    std::vector<Metric> base_metrics;
+    std::vector<Metric> cand_metrics;
+    collectMetrics(base, "", base_metrics);
+    collectMetrics(cand, "", cand_metrics);
+    if (base_metrics.empty())
+        fatal(base_path + ": no throughput metrics found");
+
+    std::printf("\n%-52s %12s %12s %8s\n", "metric", "baseline",
+                "candidate", "delta");
+    int regressions = 0;
+    int compared = 0;
+    for (const Metric& b : base_metrics) {
+        const Metric* c = findMetric(cand_metrics, b.path);
+        if (c == nullptr) {
+            std::printf("%-52s %12.4g %12s %8s\n", b.path.c_str(),
+                        b.value, "missing", "-");
+            continue;
+        }
+        ++compared;
+        const double delta_pct =
+            b.value != 0.0 ? (c->value - b.value) / b.value * 100.0
+                           : 0.0;
+        const bool regressed = delta_pct < -threshold;
+        std::printf("%-52s %12.4g %12.4g %+7.1f%%%s\n",
+                    b.path.c_str(), b.value, c->value, delta_pct,
+                    regressed ? "  REGRESSION" : "");
+        if (regressed)
+            ++regressions;
+    }
+    std::printf("\n%d metric(s) compared, %d regression(s) beyond "
+                "%.1f%%\n",
+                compared, regressions, threshold);
+    if (compared == 0)
+        fatal("no metric present in both reports");
+    return regressions > 0 ? 2 : 0;
+}
