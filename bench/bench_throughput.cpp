@@ -102,6 +102,9 @@ main(int argc, char** argv)
     cli.addFlag("threads", "8",
                 "max worker threads for the scaling sweep "
                 "(0 = one per hardware thread)");
+    cli.addFlag("affinity", "false",
+                "pin sweep workers to hardware threads (placement "
+                "hint; tallies are identical either way)");
     cli.addFlag("seed", "0x5EED", "campaign seed");
     cli.addFlag("json", "BENCH_throughput.json",
                 "output JSON path (empty to skip)");
@@ -160,28 +163,64 @@ main(int argc, char** argv)
     std::printf("== Codec throughput (millions of 32B entries/s) ==\n");
     codecs.print();
 
-    // Campaign-engine scaling: the same spec at growing thread
-    // counts. Counts must be bit-identical at every width; speedup is
-    // relative to the single-threaded run.
+    // Campaign-engine strong scaling: the same spec at every thread
+    // count from 1 to the sweep maximum (all integers up to 8, then
+    // powers of two plus the max). Counts must be bit-identical at
+    // every width; speedup is relative to the single-threaded run and
+    // efficiency is speedup / threads — the number the CI scaling
+    // gate (compare_runs --scaling-floor) enforces.
     sim::CampaignSpec spec;
     spec.scheme_ids = {"duet", "trio"};
     spec.patterns = {ErrorPattern::oneBeat, ErrorPattern::wholeEntry};
     spec.samples = static_cast<std::uint64_t>(cli.getInt("samples"));
     spec.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+    spec.affinity = cli.getBool("affinity");
 
-    std::printf("\n== Campaign engine scaling (%llu samples x %zu "
-                "schemes x %zu patterns) ==\n",
+    const int hardware_threads = ThreadPool::hardwareThreads();
+    // A 1-hardware-thread host cannot demonstrate parallel speedup:
+    // every multi-threaded point just timeslices one core. Mark the
+    // section invalid so nobody (human or gate) mistakes the flat
+    // curve for an engine regression.
+    const bool scaling_valid = hardware_threads > 1;
+    if (!scaling_valid) {
+        std::printf(
+            "\n*** WARNING ********************************************\n"
+            "*** This host has ONE hardware thread: the scaling    ***\n"
+            "*** sweep below measures timeslicing, not parallelism.***\n"
+            "*** The scaling section is marked \"valid\": false and  ***\n"
+            "*** must not be committed as a performance baseline.  ***\n"
+            "********************************************************\n");
+    }
+
+    std::vector<int> sweep;
+    if (max_threads <= 8) {
+        for (int t = 1; t <= max_threads; ++t)
+            sweep.push_back(t);
+    } else {
+        for (int t = 1; t <= max_threads; t *= 2)
+            sweep.push_back(t);
+        if (sweep.back() != max_threads)
+            sweep.push_back(max_threads);
+    }
+
+    std::printf("\n== Campaign engine strong scaling (%llu samples x "
+                "%zu schemes x %zu patterns) ==\n",
                 static_cast<unsigned long long>(spec.samples),
                 spec.scheme_ids.size(), spec.patterns.size());
     TextTable scaling({"threads", "seconds", "trials/s", "speedup",
-                       "bit-identical"});
+                       "efficiency", "bit-identical"});
     json.kv("campaign_samples", spec.samples);
-    json.key("campaign_scaling").beginArray();
+    json.key("campaign_scaling").beginObject();
+    json.kv("hardware_threads", hardware_threads);
+    json.kv("valid", scaling_valid);
+    json.kv("max_threads", max_threads);
 
     double base_seconds = 0.0;
     std::vector<sim::CampaignCell> reference;
     bool all_identical = true;
-    for (int t = 1; t <= max_threads; t *= 2) {
+    bool affinity_applied = false;
+    json.key("points").beginArray();
+    for (int t : sweep) {
         spec.threads = t;
         obs::TraceSpan span("scaling:" + std::to_string(t) +
                                 "-threads",
@@ -192,6 +231,7 @@ main(int argc, char** argv)
             base_seconds = result.seconds;
             reference = result.cells;
         }
+        affinity_applied = result.pool.affinity;
         bool identical = result.cells.size() == reference.size();
         for (std::size_t i = 0; identical && i < reference.size();
              ++i) {
@@ -203,26 +243,32 @@ main(int argc, char** argv)
         all_identical = all_identical && identical;
         const double speedup =
             result.seconds > 0.0 ? base_seconds / result.seconds : 0.0;
+        const double efficiency = speedup / t;
         scaling.addRow({std::to_string(t),
                         formatFixed(result.seconds, 3),
                         formatScientific(result.trialsPerSecond()),
                         formatFixed(speedup, 2) + "x",
+                        formatFixed(efficiency, 2),
                         identical ? "yes" : "NO"});
         json.beginObject();
         json.kv("threads", t);
         json.kv("seconds", result.seconds);
         json.kv("trials_per_second", result.trialsPerSecond());
         json.kv("speedup", speedup);
+        json.kv("efficiency", efficiency);
         json.kv("bit_identical", identical);
         json.endObject();
     }
     json.endArray();
+    json.kv("affinity", affinity_applied);
+    json.endObject();
     json.kv("all_thread_counts_bit_identical", all_identical);
-    json.kv("hardware_threads", ThreadPool::hardwareThreads());
+    json.kv("hardware_threads", hardware_threads);
     scaling.print();
     std::printf("(host has %d hardware thread(s); speedup saturates "
-                "there)\n",
-                ThreadPool::hardwareThreads());
+                "there%s)\n",
+                hardware_threads,
+                scaling_valid ? "" : " — sweep marked invalid");
     if (!all_identical) {
         std::printf("ERROR: thread counts disagreed — determinism "
                     "violation\n");

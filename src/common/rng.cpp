@@ -172,24 +172,57 @@ Rng::split()
     return forStream(hi, lo);
 }
 
-Rng
-Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+namespace {
+
+/**
+ * Perturb a SplitMix64-expanded base state with the stream chain —
+ * the common tail of forStream and forStreams, factored so the bulk
+ * path cannot drift from the stateless one.
+ */
+void
+applyStreamPerturbation(const std::uint64_t (&base)[4],
+                        std::uint64_t stream, std::uint64_t (&s)[4])
 {
-    Rng r(seed);
     // Second SplitMix64 chain with a distinct odd gamma: two streams
     // of the same seed (or one stream of two seeds) end up with
     // unrelated xoshiro states without consuming any generator output.
     std::uint64_t y = stream;
-    for (auto& s : r.s_) {
+    for (int i = 0; i < 4; ++i) {
         y += 0xD1B54A32D192ED03ull;
         std::uint64_t z = y;
         z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
         z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-        s ^= z ^ (z >> 31);
+        s[i] = base[i] ^ z ^ (z >> 31);
     }
-    if (!(r.s_[0] | r.s_[1] | r.s_[2] | r.s_[3]))
-        r.s_[0] = 1;
+    if (!(s[0] | s[1] | s[2] | s[3]))
+        s[0] = 1;
+}
+
+} // namespace
+
+Rng
+Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+{
+    Rng r(seed);
+    std::uint64_t base[4] = {r.s_[0], r.s_[1], r.s_[2], r.s_[3]};
+    applyStreamPerturbation(base, stream, r.s_);
     return r;
+}
+
+void
+Rng::forStreams(std::uint64_t seed, std::uint64_t first_stream,
+                std::size_t count, Rng* out)
+{
+    // One SplitMix64 seed expansion shared by every derived stream.
+    const Rng root(seed);
+    std::uint64_t base[4] = {root.s_[0], root.s_[1], root.s_[2],
+                             root.s_[3]};
+    for (std::size_t i = 0; i < count; ++i) {
+        out[i] = root;
+        applyStreamPerturbation(
+            base, first_stream + static_cast<std::uint64_t>(i),
+            out[i].s_);
+    }
 }
 
 } // namespace gpuecc

@@ -12,6 +12,7 @@
 #ifndef GPUECC_COMMON_RNG_HPP
 #define GPUECC_COMMON_RNG_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 namespace gpuecc {
@@ -77,6 +78,19 @@ class Rng
      * keyed by the stream index.
      */
     static Rng forStream(std::uint64_t seed, std::uint64_t stream);
+
+    /**
+     * Bulk-derive `count` consecutive streams: out[i] is bit-identical
+     * to forStream(seed, first_stream + i).
+     *
+     * The batched shard kernel derives one generator per 1024-sample
+     * block of a shard, and a shard's block stream ids are consecutive,
+     * so the SplitMix64 expansion of `seed` — identical across all of
+     * them — is computed once here instead of once per block.
+     */
+    static void forStreams(std::uint64_t seed,
+                           std::uint64_t first_stream,
+                           std::size_t count, Rng* out);
 
   private:
     std::uint64_t s_[4];

@@ -9,6 +9,15 @@
  * its own runs dry. The calling thread participates as worker 0, and
  * a pool of one thread runs everything inline, which keeps
  * single-threaded runs free of synchronization overhead.
+ *
+ * Workers are identified by a dense id in [0, threadCount()) exposed
+ * via currentWorker(), which keys the cache-line-aligned per-worker
+ * arenas (WorkerArena) the campaign engine accumulates tallies and
+ * batch buffers in: each worker mutates only its own line-aligned
+ * slot, so the hot path never false-shares, and the slots are merged
+ * once after the pool drains. Optionally the pool pins worker i to
+ * hardware thread i % hardwareThreads() (--affinity); on platforms
+ * without affinity support the request is a recorded no-op.
  */
 
 #ifndef GPUECC_COMMON_THREAD_POOL_HPP
@@ -26,15 +35,45 @@
 
 namespace gpuecc {
 
+/**
+ * Destructive-interference granularity the per-worker arenas pad to.
+ * A fixed 64 bytes (every mainstream x86-64/AArch64 line size) rather
+ * than std::hardware_destructive_interference_size, whose value is a
+ * compile-flag artifact on gcc and not portable across TUs.
+ */
+constexpr std::size_t kCacheLineBytes = 64;
+
+/**
+ * A value padded and aligned to a whole number of cache lines, so
+ * adjacent array elements can never share a line. This is the unit
+ * WorkerArena hands each worker: writes to one worker's slot can't
+ * invalidate a neighbour's line (false sharing).
+ */
+template <typename T>
+struct alignas(kCacheLineBytes) CacheAligned
+{
+    T value{};
+};
+
+static_assert(sizeof(CacheAligned<std::uint64_t>) % kCacheLineBytes ==
+                  0,
+              "alignas must pad CacheAligned to whole cache lines");
+
 /** A fixed-size work-stealing pool executing indexed loops. */
 class ThreadPool
 {
   public:
     /**
-     * @param threads worker count; 0 means one per hardware thread.
-     *                The calling thread is one of the workers.
+     * @param threads     worker count; 0 means one per hardware
+     *                    thread. The calling thread is one of the
+     *                    workers.
+     * @param pin_workers pin worker i to hardware thread
+     *                    i % hardwareThreads(); a no-op (recorded in
+     *                    affinityApplied()) where unsupported. The
+     *                    calling thread's original affinity mask is
+     *                    restored on destruction.
      */
-    explicit ThreadPool(int threads = 0);
+    explicit ThreadPool(int threads = 0, bool pin_workers = false);
 
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
@@ -43,6 +82,22 @@ class ThreadPool
 
     /** Number of workers (including the calling thread). */
     int threadCount() const { return num_threads_; }
+
+    /**
+     * Whether worker pinning was requested AND applied. False when
+     * pinning was not requested, the platform has no affinity
+     * support, or any pin call failed (the pool still runs — affinity
+     * is a placement hint, never a correctness requirement).
+     */
+    bool affinityApplied() const { return affinity_applied_; }
+
+    /**
+     * Dense id of the pool worker executing the current thread, in
+     * [0, threadCount()). Only meaningful inside a parallelFor body;
+     * outside one it returns 0 (the calling thread's slot), which
+     * makes single-threaded helper code arena-compatible for free.
+     */
+    static int currentWorker();
 
     /** Lifetime execution counters across every parallelFor so far. */
     struct Stats
@@ -54,6 +109,8 @@ class ThreadPool
         double busy_seconds = 0.0;
         /** Wall-clock time spent inside parallelFor calls. */
         double wall_seconds = 0.0;
+        /** Per-worker time inside task bodies (sums to busy_seconds). */
+        std::vector<double> worker_busy_seconds;
     };
 
     /** Snapshot of the counters (call between loops, not during). */
@@ -86,8 +143,15 @@ class ThreadPool
     void drain(int self);
     bool popOwn(int self, std::uint64_t& idx);
     bool steal(int self, std::uint64_t& idx);
+    void pinCallingThread();
+    void pinSpawnedThread(std::thread& t, int worker);
 
     int num_threads_;
+    bool pin_workers_ = false;
+    bool affinity_applied_ = false;
+    bool restore_caller_affinity_ = false;
+    /** Opaque cpu_set_t storage (sched.h stays out of this header). */
+    alignas(8) unsigned char caller_mask_[128] = {};
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
 
@@ -107,6 +171,38 @@ class ThreadPool
 
     std::mutex error_mutex_;
     std::exception_ptr first_error_;
+};
+
+/**
+ * Per-worker scratch arena keyed by ThreadPool worker ids: one
+ * cache-line-aligned, line-padded slot per worker, so each worker
+ * mutates exclusively-owned lines during a parallelFor and the slots
+ * are merged once afterwards — the false-sharing-free accumulator
+ * pattern the campaign engine uses for its outcome tallies and batch
+ * buffers. The arena must outlive the loops that use it and belongs
+ * to exactly one pool (slot count == pool.threadCount()).
+ */
+template <typename T>
+class WorkerArena
+{
+  public:
+    explicit WorkerArena(const ThreadPool& pool)
+        : slots_(static_cast<std::size_t>(pool.threadCount()))
+    {
+    }
+
+    /** Number of worker slots. */
+    int size() const { return static_cast<int>(slots_.size()); }
+
+    /** The calling worker's slot (worker 0 outside a loop body). */
+    T& local() { return slots_[ThreadPool::currentWorker()].value; }
+
+    /** Slot of one worker (merge phase — pool must be quiescent). */
+    T& at(int worker) { return slots_[worker].value; }
+    const T& at(int worker) const { return slots_[worker].value; }
+
+  private:
+    std::vector<CacheAligned<T>> slots_;
 };
 
 } // namespace gpuecc

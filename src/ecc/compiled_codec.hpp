@@ -58,6 +58,15 @@ class CompiledBinaryCodec
     /** Decode a physical entry: 36 gather-table lookups + fixes. */
     EntryDecode decode(const Bits288& received) const;
 
+    /**
+     * Decode `n` entries with the same tables; out[i] is identical to
+     * decode(received[i]). Called (devirtualized) from the batched
+     * shard kernel so the table base pointers stay live in registers
+     * across the whole batch.
+     */
+    void decodeBatch(const Bits288* received, EntryDecode* out,
+                     std::size_t n) const;
+
     /** Total compiled-table footprint in bytes (for memory audits). */
     static constexpr std::size_t
     memoryBytes()

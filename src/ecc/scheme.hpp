@@ -13,6 +13,7 @@
 #define GPUECC_ECC_SCHEME_HPP
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -56,6 +57,24 @@ class EntryScheme
 
     /** Decode a (possibly corrupted) physical entry. */
     virtual EntryDecode decode(const Bits288& received) const = 0;
+
+    /**
+     * Decode `n` physical entries in one call.
+     *
+     * This is the batched shard kernel's decode stage: one virtual
+     * dispatch amortized over a whole structure-of-arrays batch
+     * instead of one per entry. Results must be element-wise
+     * identical to n calls of decode() — the default loop guarantees
+     * that for every scheme; organizations with a compiled fast path
+     * override it to devirtualize the inner loop as well.
+     */
+    virtual void
+    decodeBatch(const Bits288* received, EntryDecode* out,
+                std::size_t n) const
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = decode(received[i]);
+    }
 
     /** Whether the organization corrects single-pin (permanent)
      *  errors; SSC-DSD+ is the one scheme in the paper that does not. */

@@ -51,20 +51,41 @@ OutcomeCounts
 Evaluator::evaluate(ErrorPattern pattern, std::uint64_t samples)
 {
     const GoldenEntry golden = makeGolden(scheme_, seed_);
-    const std::vector<Shard> shards = planShards(pattern, samples);
-    std::vector<OutcomeCounts> partial(shards.size());
-    auto body = [&](std::uint64_t i) {
-        partial[i] = evaluateShard(scheme_, golden, seed_, shards[i]);
-    };
+    const std::vector<Shard> shards = planShards(
+        pattern, samples,
+        effectiveShardChunk(samples, kShardSamples, threads_));
     if (threads_ == 1) {
-        for (std::uint64_t i = 0; i < shards.size(); ++i)
-            body(i);
-    } else {
-        ThreadPool(threads_).parallelFor(shards.size(), body);
+        // Inline: one arena, one accumulator, batched kernel.
+        ShardBatchArena arena;
+        OutcomeCounts total;
+        for (const Shard& shard : shards) {
+            total.merge(evaluateShardBatched(scheme_, golden, seed_,
+                                             shard, arena));
+        }
+        return total;
     }
+    // Parallel: per-worker cache-line-aligned arenas and tallies,
+    // merged once after the pool drains (order-free by construction).
+    struct WorkerState
+    {
+        ShardBatchArena arena;
+        OutcomeCounts counts;
+    };
+    ThreadPool pool(threads_);
+    WorkerArena<WorkerState> states(pool);
+    pool.parallelFor(shards.size(), [&](std::uint64_t i) {
+        WorkerState& ws = states.local();
+        ws.counts.merge(evaluateShardBatched(scheme_, golden, seed_,
+                                             shards[i], ws.arena));
+    });
     OutcomeCounts total;
-    for (const OutcomeCounts& p : partial)
-        total.merge(p);
+    for (int w = 0; w < states.size(); ++w) {
+        // A worker that never ran a shard holds an empty (and thus
+        // non-exhaustive) accumulator; merging it would clear the
+        // exhaustive flag of enumerable patterns.
+        if (states.at(w).counts.trials > 0)
+            total.merge(states.at(w).counts);
+    }
     return total;
 }
 

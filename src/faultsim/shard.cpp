@@ -49,6 +49,28 @@ planShards(ErrorPattern p, std::uint64_t samples, std::uint64_t chunk)
     return shards;
 }
 
+std::uint64_t
+effectiveShardChunk(std::uint64_t samples, std::uint64_t chunk,
+                    int workers)
+{
+    require(chunk > 0, "effectiveShardChunk: chunk must be positive");
+    require(workers > 0,
+            "effectiveShardChunk: workers must be positive");
+    chunk = ((chunk + kStreamBlockSamples - 1) / kStreamBlockSamples)
+            * kStreamBlockSamples;
+    if (workers <= 1)
+        return chunk;
+    // Largest block-aligned chunk that still yields >= workers
+    // shards; zero means the budget is under one block per worker,
+    // where the requested chunk stands (nothing useful to split).
+    const std::uint64_t per_worker_blocks =
+        samples /
+        (static_cast<std::uint64_t>(workers) * kStreamBlockSamples);
+    if (per_worker_blocks == 0)
+        return chunk;
+    return std::min(chunk, per_worker_blocks * kStreamBlockSamples);
+}
+
 GoldenEntry
 makeGolden(const EntryScheme& scheme, std::uint64_t seed)
 {
@@ -98,6 +120,79 @@ evaluateShard(const EntryScheme& scheme, const GoldenEntry& golden,
                 inject(sampleErrorMask(shard.pattern, rng));
         }
     }
+    return counts;
+}
+
+OutcomeCounts
+evaluateShardBatched(const EntryScheme& scheme,
+                     const GoldenEntry& golden, std::uint64_t seed,
+                     const Shard& shard, ShardBatchArena& arena)
+{
+    OutcomeCounts counts;
+    std::size_t filled = 0;
+
+    // Drain the staged masks through the remaining pipeline stages:
+    // inject (word-wise XOR into the golden entry), one batch decode,
+    // then the tally sweep. Masks are tallied in draw order, but the
+    // counts are order-free anyway.
+    auto flush = [&] {
+        if (filled == 0)
+            return;
+        for (std::size_t i = 0; i < filled; ++i)
+            arena.received[i] = golden.entry ^ arena.masks[i];
+        scheme.decodeBatch(arena.received.data(),
+                           arena.decodes.data(), filled);
+        for (std::size_t i = 0; i < filled; ++i) {
+            const EntryDecode& result = arena.decodes[i];
+            ++counts.trials;
+            if (result.status == EntryDecode::Status::due) {
+                ++counts.due;
+            } else if (result.data == golden.data) {
+                ++counts.dce;
+            } else {
+                ++counts.sdc;
+            }
+        }
+        filled = 0;
+    };
+    auto stage = [&](const Bits288& mask) {
+        arena.masks[filled++] = mask;
+        if (filled == kShardBatchEntries)
+            flush();
+    };
+
+    if (patternIsEnumerable(shard.pattern)) {
+        counts.exhaustive = true;
+        forEachErrorMaskInRange(shard.pattern, shard.begin, shard.end,
+                                stage);
+    } else {
+        require(shard.begin % kStreamBlockSamples == 0,
+                "evaluateShardBatched: shard must start on a stream "
+                "block");
+        // A shard's blocks have consecutive stream ids (pattern tag
+        // in the high half, block index in the low), so the whole
+        // shard's generators derive in one bulk call that shares the
+        // seed expansion. Each generator is then consumed in sample
+        // order, exactly as the scalar path consumes its per-block
+        // forStream generator.
+        const std::uint64_t num_blocks =
+            (shard.end - shard.begin + kStreamBlockSamples - 1) /
+            kStreamBlockSamples;
+        if (arena.block_rngs.size() < num_blocks)
+            arena.block_rngs.resize(num_blocks);
+        Rng::forStreams(seed, shard.stream, num_blocks,
+                        arena.block_rngs.data());
+        for (std::uint64_t blk = 0; blk < num_blocks; ++blk) {
+            Rng& rng = arena.block_rngs[blk];
+            const std::uint64_t b =
+                shard.begin + blk * kStreamBlockSamples;
+            const std::uint64_t stop =
+                std::min(shard.end, b + kStreamBlockSamples);
+            for (std::uint64_t i = b; i < stop; ++i)
+                stage(sampleErrorMask(shard.pattern, rng));
+        }
+    }
+    flush();
     return counts;
 }
 

@@ -19,9 +19,12 @@
 #ifndef GPUECC_FAULTSIM_SHARD_HPP
 #define GPUECC_FAULTSIM_SHARD_HPP
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "ecc/scheme.hpp"
 #include "faultsim/evaluator.hpp"
 #include "faultsim/patterns.hpp"
@@ -67,6 +70,20 @@ struct Shard
 std::vector<Shard> planShards(ErrorPattern p, std::uint64_t samples,
                               std::uint64_t chunk = kShardSamples);
 
+/**
+ * Shrink a requested chunk so a `workers`-thread run gets at least
+ * `workers` shards per sampled pattern whenever the sample budget
+ * allows it (samples >= workers * kStreamBlockSamples) — short
+ * campaigns would otherwise leave cores idle behind one oversized
+ * shard. The result is block-aligned and never larger than the
+ * requested chunk (rounded to a block multiple). Tallies are
+ * unaffected: draws are keyed per stream block, so any block-aligned
+ * chunk yields bit-identical merged counts. Callers that persist a
+ * plan identity (checkpoints) must fingerprint the *effective* chunk.
+ */
+std::uint64_t effectiveShardChunk(std::uint64_t samples,
+                                  std::uint64_t chunk, int workers);
+
 /** The golden (error-free) entry all shards of a scheme inject into. */
 struct GoldenEntry
 {
@@ -90,6 +107,52 @@ GoldenEntry makeGolden(const EntryScheme& scheme, std::uint64_t seed);
 OutcomeCounts evaluateShard(const EntryScheme& scheme,
                             const GoldenEntry& golden,
                             std::uint64_t seed, const Shard& shard);
+
+/** Entries per structure-of-arrays batch of the batched kernel. */
+constexpr std::size_t kShardBatchEntries = 256;
+
+/**
+ * Reusable structure-of-arrays scratch for the batched shard kernel.
+ *
+ * One arena per worker, allocated once and reused across every shard
+ * that worker evaluates: the three staging arrays (~30 KiB total)
+ * stay resident in its private cache, and the cache-line alignment
+ * keeps neighbouring workers' arenas off each other's lines when they
+ * live in a WorkerArena slot. The arena carries no results — tallies
+ * come back through evaluateShardBatched's return value — so reuse
+ * needs no reset.
+ */
+struct ShardBatchArena
+{
+    /** Stage 1: materialized error masks. */
+    alignas(kCacheLineBytes)
+        std::array<Bits288, kShardBatchEntries> masks;
+    /** Stage 2: golden entry with each mask injected. */
+    alignas(kCacheLineBytes)
+        std::array<Bits288, kShardBatchEntries> received;
+    /** Stage 3: batch-decoded outcomes. */
+    alignas(kCacheLineBytes)
+        std::array<EntryDecode, kShardBatchEntries> decodes;
+    /** Bulk-derived generators, one per stream block of the shard. */
+    std::vector<Rng> block_rngs;
+};
+
+/**
+ * Batched evaluation of one shard: identical tallies to
+ * evaluateShard (which remains the differential oracle — see
+ * tests/test_shard_batch.cpp), restructured as a
+ * structure-of-arrays pipeline. Masks are materialized in draw order
+ * (so the RNG consumption matches the scalar path bit-for-bit),
+ * injected into the golden entry word-wise, and decoded through one
+ * decodeBatch call per batch — one virtual dispatch per
+ * kShardBatchEntries entries instead of one per sample, with block
+ * generators derived in bulk via Rng::forStreams.
+ */
+OutcomeCounts evaluateShardBatched(const EntryScheme& scheme,
+                                   const GoldenEntry& golden,
+                                   std::uint64_t seed,
+                                   const Shard& shard,
+                                   ShardBatchArena& arena);
 
 } // namespace gpuecc
 

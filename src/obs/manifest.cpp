@@ -67,6 +67,17 @@ PoolTelemetry::idleFraction() const
     return 1.0 - utilization();
 }
 
+double
+PoolTelemetry::workerUtilization(std::size_t worker) const
+{
+    if (worker >= worker_busy_seconds.size() || wall_seconds <= 0.0)
+        return 0.0;
+    const double u = worker_busy_seconds[worker] / wall_seconds;
+    if (u < 0.0)
+        return 0.0;
+    return u > 1.0 ? 1.0 : u;
+}
+
 std::string
 toolName()
 {

@@ -13,6 +13,7 @@
 #ifndef GPUECC_OBS_MANIFEST_HPP
 #define GPUECC_OBS_MANIFEST_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,12 +42,19 @@ struct PoolTelemetry
     double busy_seconds = 0.0;
     /** Wall time the pool spent inside parallelFor. */
     double wall_seconds = 0.0;
+    /** Whether worker CPU pinning was requested and took effect. */
+    bool affinity = false;
+    /** Per-worker busy time (index = worker id; sums to busy). */
+    std::vector<double> worker_busy_seconds;
 
     /** busy / (wall * threads), clamped to [0, 1]. */
     double utilization() const;
 
     /** 1 - utilization(). */
     double idleFraction() const;
+
+    /** One worker's busy / wall, clamped to [0, 1]. */
+    double workerUtilization(std::size_t worker) const;
 };
 
 /** Where one scheme's evaluation time went. */
@@ -72,6 +80,8 @@ struct RunManifest
     std::uint64_t samples = 0;
     std::uint64_t seed = 0;
     std::uint64_t chunk = 0;
+    /** Whether worker CPU pinning was requested and took effect. */
+    bool affinity = false;
     std::vector<std::string> schemes;
     bool traced = false;
 };

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gpuecc::obs {
 
@@ -44,8 +45,19 @@ struct GaugeState
     bool set = false;
 };
 
-/** One thread's private, lock-free accumulation buffers. */
-struct Shard
+/**
+ * One thread's private, lock-free accumulation buffers.
+ *
+ * False-sharing audit (execution-core refactor): the shard lives in
+ * thread_local storage and its vector payloads come from the owning
+ * thread's allocator, so no other thread ever writes the lines this
+ * thread's hot path reads or writes — the only cross-thread touch is
+ * the mutex-guarded merge at thread exit / flush. The alignment
+ * below additionally keeps the shard header (epoch + vector heads,
+ * mutated on every add/observe) off any line the TLS segment might
+ * pack another thread-shared object into.
+ */
+struct alignas(kCacheLineBytes) Shard
 {
     /** Registry epoch the buffers belong to; 0 = empty. */
     std::uint64_t epoch = 0;

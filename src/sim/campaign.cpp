@@ -252,6 +252,10 @@ CampaignRunner::tryRun() const
     // Flatten the plan: every shard of every cell is one pool task.
     // The same pattern plan (and thus the same RNG streams and masks)
     // is shared by every scheme, which keeps scheme columns paired.
+    // The chunk may shrink so short runs still feed every worker;
+    // tallies are chunk-invariant, so the report is unaffected.
+    const std::uint64_t effective_chunk = effectiveShardChunk(
+        spec_.samples, spec_.chunk, result.spec.threads);
     std::vector<Task> tasks;
     {
         obs::TraceSpan span("plan", "campaign");
@@ -259,7 +263,7 @@ CampaignRunner::tryRun() const
             for (std::size_t p = 0; p < patterns.size(); ++p) {
                 const std::size_t cell = s * patterns.size() + p;
                 for (const Shard& shard : planShards(
-                         patterns[p], spec_.samples, spec_.chunk))
+                         patterns[p], spec_.samples, effective_chunk))
                     tasks.push_back({cell, shard});
             }
         }
@@ -269,16 +273,25 @@ CampaignRunner::tryRun() const
     const bool checkpointing = !spec_.checkpoint_path.empty();
     std::string fingerprint;
     if (checkpointing) {
+        // Fingerprint the *effective* chunk: it determines the task
+        // indexing a checkpoint records, and unlike the requested
+        // chunk it can differ between two invocations of the same
+        // spec (different --threads), which must be detected rather
+        // than silently mis-restored.
         fingerprint = campaignFingerprint(
-            ids, patterns, spec_.samples, spec_.seed, spec_.chunk,
+            ids, patterns, spec_.samples, spec_.seed, effective_chunk,
             result.codec_backend, tasks.size());
         // From here on SIGINT/SIGTERM mean "finish in-flight shards,
         // flush, exit" rather than dying mid-write.
         installInterruptHandlers();
     }
 
-    std::vector<OutcomeCounts> partial(tasks.size());
-    // done[i]: partial[i] holds a complete tally (restored or fresh).
+    // Fresh tallies accumulate in per-worker cache-line-aligned
+    // arenas (merged once after the pool joins); the per-task log is
+    // only materialized when a checkpoint needs to serialize it.
+    std::vector<OutcomeCounts> partial(
+        checkpointing ? tasks.size() : 0);
+    // done[i]: task i needs no evaluation (restored or fresh).
     // Distinct bytes, each written by at most one task execution.
     std::vector<char> done(tasks.size(), 0);
     Collector collector;
@@ -324,6 +337,11 @@ CampaignRunner::tryRun() const
                 partial[entry.task] = entry.counts;
                 done[entry.task] = 1;
                 collector.completed.push_back(entry.task);
+                // Restored tallies merge into their cell right away;
+                // merge order against the fresh shards is irrelevant
+                // (commutative, associative, same exactness per cell).
+                result.cells[tasks[entry.task].cell].counts.merge(
+                    entry.counts);
             }
             result.resumed_shards = ckpt.done.size();
             inform("campaign: resumed " +
@@ -403,6 +421,18 @@ CampaignRunner::tryRun() const
     const auto start = std::chrono::steady_clock::now();
     const std::uint64_t trace_eval_start_us = obs::traceNowUs();
 
+    // Per-worker execution state: the batched kernel's SoA scratch
+    // plus one tally accumulator per cell, all in one cache-line-
+    // aligned WorkerArena slot so no two workers ever write the same
+    // line on the hot path. Created with the pool (below); the body
+    // reaches it through this pointer.
+    struct WorkerState
+    {
+        ShardBatchArena batch;
+        std::vector<OutcomeCounts> cells;
+    };
+    WorkerArena<WorkerState>* worker_states = nullptr;
+
     auto body = [&](std::uint64_t i) {
         if (done[i] != 0 || interruptRequested())
             return;
@@ -424,11 +454,13 @@ CampaignRunner::tryRun() const
             .arg("end", t.shard.end);
 
         const auto shard_start = std::chrono::steady_clock::now();
+        WorkerState& ws = worker_states->local();
         OutcomeCounts counts;
         try {
             chaosOnTaskAttempt(i);
-            counts = evaluateShard(*schemes[scheme], goldens[scheme],
-                                   spec_.seed, t.shard);
+            counts = evaluateShardBatched(*schemes[scheme],
+                                          goldens[scheme], spec_.seed,
+                                          t.shard, ws.batch);
         } catch (const std::exception& first) {
             // Transient faults (chaos, OOM churn) get one retry; a
             // second failure fails the scheme, not the campaign.
@@ -437,9 +469,10 @@ CampaignRunner::tryRun() const
                  " failed (" + first.what() + "); retrying once");
             try {
                 chaosOnTaskAttempt(i);
-                counts = evaluateShard(*schemes[scheme],
-                                       goldens[scheme], spec_.seed,
-                                       t.shard);
+                counts = evaluateShardBatched(*schemes[scheme],
+                                              goldens[scheme],
+                                              spec_.seed, t.shard,
+                                              ws.batch);
             } catch (const std::exception& second) {
                 cell_failed[t.cell].store(true,
                                           std::memory_order_relaxed);
@@ -454,7 +487,12 @@ CampaignRunner::tryRun() const
             }
         }
         const auto shard_stop = std::chrono::steady_clock::now();
-        partial[i] = counts;
+        // Tallies land in the worker's own aligned accumulator; the
+        // per-task log is populated only for checkpoint serialization
+        // (a cold, once-per-shard write).
+        ws.cells[t.cell].merge(counts);
+        if (checkpointing)
+            partial[i] = counts;
         done[i] = 1;
 
         // Telemetry: thread-local metric shards and relaxed atomics
@@ -503,9 +541,29 @@ CampaignRunner::tryRun() const
     ThreadPool::Stats pool_stats;
     {
         obs::TraceSpan span("evaluate", "campaign");
-        ThreadPool pool(result.spec.threads);
+        ThreadPool pool(result.spec.threads, spec_.affinity);
+        result.pool.affinity = pool.affinityApplied();
+        WorkerArena<WorkerState> states(pool);
+        for (int w = 0; w < states.size(); ++w)
+            states.at(w).cells.resize(result.cells.size());
+        worker_states = &states;
         pool.parallelFor(tasks.size(), body);
         pool_stats = pool.stats();
+        // Merge the per-worker accumulators in worker order; the
+        // outcome is order-independent (commutative merge), and
+        // workers that ran nothing hold empty accumulators whose
+        // default non-exhaustive flag must not dilute enumerable
+        // cells, hence the trials guard.
+        obs::TraceSpan merge_span("merge", "campaign");
+        for (int w = 0; w < states.size(); ++w) {
+            const std::vector<OutcomeCounts>& cells =
+                states.at(w).cells;
+            for (std::size_t c = 0; c < cells.size(); ++c) {
+                if (cells[c].trials > 0)
+                    result.cells[c].counts.merge(cells[c]);
+            }
+        }
+        worker_states = nullptr;
     }
     const auto stop = std::chrono::steady_clock::now();
     result.seconds =
@@ -516,6 +574,8 @@ CampaignRunner::tryRun() const
     result.pool.steals = pool_stats.steals;
     result.pool.busy_seconds = pool_stats.busy_seconds;
     result.pool.wall_seconds = pool_stats.wall_seconds;
+    result.pool.worker_busy_seconds =
+        std::move(pool_stats.worker_busy_seconds);
     progress.stop();
     result.interrupted = interruptRequested();
 
@@ -570,17 +630,11 @@ CampaignRunner::tryRun() const
         }
     }
 
-    // Merge completed tallies in plan order; merging is associative
-    // and commutative, so the outcome is independent of which worker
-    // ran which shard. Tasks skipped by an interrupt or a failed
-    // scheme contribute nothing.
-    {
-        obs::TraceSpan span("merge", "campaign");
-        for (std::size_t i = 0; i < tasks.size(); ++i) {
-            if (done[i] != 0)
-                result.cells[tasks[i].cell].counts.merge(partial[i]);
-        }
-    }
+    // Cell tallies are already merged: restored shards at resume
+    // time, fresh shards from the per-worker accumulators after the
+    // pool joined. Merging is associative and commutative, so the
+    // outcome is independent of which worker ran which shard; tasks
+    // skipped by an interrupt or a failed scheme contributed nothing.
 
     // Drop failed schemes from the cells and record them — a partial
     // scheme row would read as a measured (wrong) rate.

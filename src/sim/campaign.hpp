@@ -51,8 +51,20 @@ struct CampaignSpec
     std::uint64_t seed = 0x5EED;
     /** Worker threads; 0 selects one per hardware thread. */
     int threads = 1;
-    /** Samples per shard of a sampled pattern. */
+    /**
+     * Samples per shard of a sampled pattern. The runner may shrink
+     * this (block-aligned) so every worker gets at least one shard —
+     * see effectiveShardChunk; tallies are chunk-invariant either
+     * way, so reports are unaffected.
+     */
     std::uint64_t chunk = 1 << 16;
+    /**
+     * Pin worker i to hardware thread i (mod core count). A placement
+     * hint only: tallies and CSV reports are byte-identical with and
+     * without it, and it degrades to a recorded no-op on platforms
+     * without affinity support.
+     */
+    bool affinity = false;
 
     /**
      * Checkpoint sidecar path; empty disables checkpointing. When

@@ -53,8 +53,13 @@ struct CampaignCheckpoint
  * with equal fingerprints have identical task lists and identical
  * per-task tallies; anything that changes the plan or the draws
  * (schemes, patterns, samples, seed, chunk, codec backend) changes
- * the fingerprint. The thread count is deliberately absent — tallies
- * are thread-invariant, so a campaign may resume on different cores.
+ * the fingerprint. The thread count itself is deliberately absent —
+ * tallies are thread-invariant, so a campaign may resume on
+ * different cores as long as the *effective* chunk (which the runner
+ * passes here, and which a small sample budget can tie to the worker
+ * count via effectiveShardChunk) comes out the same; when it
+ * doesn't, the task indexing differs and the mismatch is surfaced as
+ * a fingerprint error instead of a silent mis-restore.
  */
 std::string campaignFingerprint(
     const std::vector<std::string>& scheme_ids,

@@ -18,6 +18,10 @@ addCampaignFlags(Cli& cli, const std::string& default_samples)
     cli.addFlag("threads", "1",
                 "worker threads (0 = one per hardware thread)");
     cli.addFlag("chunk", "65536", "samples per shard");
+    cli.addFlag("affinity", "false",
+                "pin worker i to hardware thread i (placement hint; "
+                "results are byte-identical either way, no-op where "
+                "unsupported)");
     cli.addFlag("json", "", "write campaign results to this JSON file");
     cli.addFlag("csv", "", "write campaign results to this CSV file");
     cli.addFlag("checkpoint", "",
@@ -49,6 +53,7 @@ campaignSpecFromCli(const Cli& cli)
     spec.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
     spec.threads = static_cast<int>(cli.getInt("threads"));
     spec.chunk = static_cast<std::uint64_t>(cli.getInt("chunk"));
+    spec.affinity = cli.getBool("affinity");
     spec.checkpoint_path = cli.getString("checkpoint");
     spec.resume = cli.getBool("resume");
     spec.checkpoint_interval_s = cli.getDouble("checkpoint-interval");

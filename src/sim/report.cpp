@@ -207,6 +207,7 @@ campaignRunManifest(const CampaignResult& result)
     m.samples = result.spec.samples;
     m.seed = result.spec.seed;
     m.chunk = result.spec.chunk;
+    m.affinity = result.pool.affinity;
     m.schemes = result.spec.scheme_ids;
     m.traced = obs::traceEnabled();
     return m;
@@ -227,6 +228,7 @@ writeRunManifest(JsonWriter& w, const obs::RunManifest& manifest)
     w.kv("samples", manifest.samples);
     w.kv("seed", manifest.seed);
     w.kv("chunk", manifest.chunk);
+    w.kv("affinity", manifest.affinity);
     w.key("schemes").beginArray();
     for (const std::string& id : manifest.schemes)
         w.value(id);
@@ -251,6 +253,20 @@ writeCampaignTiming(JsonWriter& w, const CampaignResult& result)
     w.kv("wall_seconds", result.pool.wall_seconds);
     w.kv("utilization", result.pool.utilization());
     w.kv("idle_fraction", result.pool.idleFraction());
+    w.kv("affinity", result.pool.affinity);
+    // Per-worker load split: worker i's busy seconds and its share
+    // of the pool wall clock — the imbalance view the aggregate
+    // utilization hides.
+    w.key("workers").beginArray();
+    for (std::size_t i = 0;
+         i < result.pool.worker_busy_seconds.size(); ++i) {
+        w.beginObject();
+        w.kv("worker", static_cast<std::uint64_t>(i));
+        w.kv("busy_seconds", result.pool.worker_busy_seconds[i]);
+        w.kv("utilization", result.pool.workerUtilization(i));
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 
     w.key("schemes").beginArray();

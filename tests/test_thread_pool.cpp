@@ -71,5 +71,100 @@ TEST(ThreadPool, PropagatesFirstException)
     }
 }
 
+TEST(ThreadPool, OversubscriptionIsDeterministic)
+{
+    // More workers than hardware threads: coverage and mergeable
+    // results must be unaffected — short campaigns on small hosts
+    // and the CI runners both land here.
+    const int threads = 4 * ThreadPool::hardwareThreads();
+    for (int round = 0; round < 5; ++round) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(1000);
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(hits.size(), [&](std::uint64_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "i=" << i;
+        EXPECT_EQ(sum.load(), 499500u);
+    }
+}
+
+TEST(ThreadPool, CurrentWorkerIdsAreDenseAndStable)
+{
+    // Outside any loop the calling thread is worker 0.
+    EXPECT_EQ(ThreadPool::currentWorker(), 0);
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> seen(pool.threadCount());
+    pool.parallelFor(256, [&](std::uint64_t) {
+        const int w = ThreadPool::currentWorker();
+        ASSERT_GE(w, 0);
+        ASSERT_LT(w, pool.threadCount());
+        seen[w].fetch_add(1, std::memory_order_relaxed);
+    });
+    int total = 0;
+    for (auto& s : seen)
+        total += s.load();
+    EXPECT_EQ(total, 256);
+    // The calling thread participated as worker 0.
+    EXPECT_GT(seen[0].load(), 0);
+}
+
+TEST(ThreadPool, WorkerArenaSlotsAreIsolatedAndMergeable)
+{
+    ThreadPool pool(4);
+    WorkerArena<std::uint64_t> sums(pool);
+    EXPECT_EQ(sums.size(), pool.threadCount());
+    pool.parallelFor(1000, [&](std::uint64_t i) {
+        sums.local() += i; // unsynchronized by design
+    });
+    std::uint64_t total = 0;
+    for (int w = 0; w < sums.size(); ++w)
+        total += sums.at(w);
+    EXPECT_EQ(total, 499500u);
+}
+
+TEST(ThreadPool, PerWorkerBusySecondsSumToBusy)
+{
+    ThreadPool pool(3);
+    pool.parallelFor(300, [&](std::uint64_t) {
+        volatile int spin = 0;
+        for (int i = 0; i < 1000; ++i)
+            spin = spin + i;
+    });
+    const ThreadPool::Stats stats = pool.stats();
+    ASSERT_EQ(stats.worker_busy_seconds.size(), 3u);
+    double sum = 0.0;
+    for (double s : stats.worker_busy_seconds) {
+        EXPECT_GE(s, 0.0);
+        sum += s;
+    }
+    EXPECT_NEAR(sum, stats.busy_seconds, 1e-9);
+}
+
+TEST(ThreadPool, AffinityRequestNeverChangesResults)
+{
+    // Pinning is a placement hint: whether or not the platform
+    // honours it, the pool must report a coherent flag and produce
+    // identical results.
+    ThreadPool unpinned(2, false);
+    EXPECT_FALSE(unpinned.affinityApplied());
+    ThreadPool pinned(2, true);
+    std::atomic<std::uint64_t> sum{0};
+    pinned.parallelFor(100, [&](std::uint64_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+    // On Linux the pin either took or was recorded as not applied;
+    // either way later pools are unaffected.
+    std::atomic<std::uint64_t> sum2{0};
+    ThreadPool after(2, false);
+    after.parallelFor(100, [&](std::uint64_t i) {
+        sum2.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum2.load(), 4950u);
+}
+
 } // namespace
 } // namespace gpuecc

@@ -9,6 +9,13 @@
  * both documents. A drop beyond --threshold percent is a regression:
  * each is flagged and the exit code is 2, so CI can annotate without
  * hard-failing (|| true) or gate (plain invocation) as it chooses.
+ *
+ * --scaling-floor additionally gates the candidate's strong-scaling
+ * sweep (bench_throughput's campaign_scaling section): parallel
+ * efficiency below the floor at any point with 2..hardware_threads
+ * workers exits 2. With a floor set the baseline becomes optional —
+ * the gate judges the candidate alone — and sweeps marked
+ * "valid": false (1-hardware-thread hosts) are skipped, not failed.
  */
 
 #include <cstdio>
@@ -163,6 +170,78 @@ loadReport(const std::string& path)
     return std::move(doc).value();
 }
 
+/**
+ * Gate the candidate's strong-scaling section: every sweep point with
+ * 2 <= threads <= hardware_threads must reach the efficiency floor.
+ * Points beyond the core count only measure oversubscription and are
+ * exempt. Returns the number of violations; a section that is
+ * missing, marked "valid": false, or captured on a 1-hardware-thread
+ * host is reported and skipped (0 violations) — a host that cannot
+ * show parallelism must not fail for lacking it.
+ */
+int
+gateScalingFloor(const sim::JsonValue& cand, double floor)
+{
+    const sim::JsonValue* scaling = cand.find("campaign_scaling");
+    if (scaling == nullptr || !scaling->isObject()) {
+        std::printf("scaling gate: no campaign_scaling object in "
+                    "candidate; skipping\n");
+        return 0;
+    }
+    const sim::JsonValue* hw = scaling->find("hardware_threads");
+    const long long hardware_threads =
+        hw != nullptr
+            ? static_cast<long long>(hw->asDouble().valueOr(0.0))
+            : 0;
+    const sim::JsonValue* valid = scaling->find("valid");
+    if (valid != nullptr && !valid->asBool().valueOr(true)) {
+        std::printf("scaling gate: section marked invalid "
+                    "(%lld hardware thread(s)); skipping\n",
+                    hardware_threads);
+        return 0;
+    }
+    if (hardware_threads <= 1) {
+        std::printf("scaling gate: host has %lld hardware thread(s); "
+                    "skipping\n",
+                    hardware_threads);
+        return 0;
+    }
+    const sim::JsonValue* points = scaling->find("points");
+    if (points == nullptr || !points->isArray()) {
+        std::printf("scaling gate: campaign_scaling has no points "
+                    "array; skipping\n");
+        return 0;
+    }
+
+    std::printf("scaling gate: efficiency floor %.2f up to %lld "
+                "hardware thread(s)\n",
+                floor, hardware_threads);
+    int violations = 0;
+    int gated = 0;
+    for (const sim::JsonValue& point : points->elements()) {
+        const sim::JsonValue* threads = point.find("threads");
+        const sim::JsonValue* efficiency = point.find("efficiency");
+        if (threads == nullptr || efficiency == nullptr)
+            continue;
+        const long long t = static_cast<long long>(
+            threads->asDouble().valueOr(0.0));
+        const double e = efficiency->asDouble().valueOr(0.0);
+        if (t < 2 || t > hardware_threads)
+            continue;
+        ++gated;
+        const bool below = e < floor;
+        std::printf("scaling threads=%-3lld efficiency %.3f%s\n", t,
+                    e, below ? "  BELOW FLOOR" : "");
+        if (below)
+            ++violations;
+    }
+    if (gated == 0)
+        std::printf("scaling gate: no sweep point inside [2, %lld]; "
+                    "nothing gated\n",
+                    hardware_threads);
+    return violations;
+}
+
 } // namespace
 
 int
@@ -173,18 +252,34 @@ main(int argc, char** argv)
     cli.addFlag("candidate", "", "candidate report JSON (required)");
     cli.addFlag("threshold", "10",
                 "regression threshold in percent throughput drop");
+    cli.addFlag("scaling-floor", "",
+                "minimum parallel efficiency the candidate's "
+                "strong-scaling sweep must reach at 2..hardware "
+                "threads (empty = off; skipped when the sweep is "
+                "marked invalid or the host has one hardware thread)");
     cli.parse(argc, argv,
               "Diff two report manifests and flag throughput "
               "regressions.");
 
     const std::string base_path = cli.getString("baseline");
     const std::string cand_path = cli.getString("candidate");
-    if (base_path.empty() || cand_path.empty())
+    const std::string floor_text = cli.getString("scaling-floor");
+    if (cand_path.empty())
+        fatal("--candidate is required");
+    // With a scaling floor the baseline becomes optional: the gate
+    // judges the candidate's own sweep, no comparison needed.
+    if (base_path.empty() && floor_text.empty())
         fatal("--baseline and --candidate are both required");
     const double threshold = cli.getDouble("threshold");
 
-    const sim::JsonValue base = loadReport(base_path);
     const sim::JsonValue cand = loadReport(cand_path);
+    if (base_path.empty()) {
+        const int violations =
+            gateScalingFloor(cand, cli.getDouble("scaling-floor"));
+        std::printf("\n%d scaling violation(s)\n", violations);
+        return violations > 0 ? 2 : 0;
+    }
+    const sim::JsonValue base = loadReport(base_path);
 
     // Manifest diff: the provenance facts that explain (or forbid)
     // a throughput comparison.
@@ -248,10 +343,18 @@ main(int argc, char** argv)
         if (regressed)
             ++regressions;
     }
+    int scaling_violations = 0;
+    if (!floor_text.empty()) {
+        std::printf("\n");
+        scaling_violations =
+            gateScalingFloor(cand, cli.getDouble("scaling-floor"));
+    }
+
     std::printf("\n%d metric(s) compared, %d regression(s) beyond "
-                "%.1f%%\n",
-                compared, regressions, threshold);
+                "%.1f%%, %d scaling violation(s)\n",
+                compared, regressions, threshold,
+                scaling_violations);
     if (compared == 0)
         fatal("no metric present in both reports");
-    return regressions > 0 ? 2 : 0;
+    return regressions > 0 || scaling_violations > 0 ? 2 : 0;
 }
