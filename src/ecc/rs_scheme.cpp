@@ -1,8 +1,12 @@
 #include "ecc/rs_scheme.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/codec_mode.hpp"
 #include "common/log.hpp"
 #include "ecc/csc.hpp"
+#include "gf256/gf256_vec.hpp"
 #include "interleave/swizzle.hpp"
 
 namespace gpuecc {
@@ -80,6 +84,10 @@ bytesToData(const std::array<std::uint8_t, 32>& bytes)
     return data;
 }
 
+/** Per-decodeBatch tile: matches the shard kernel's batch size so
+ *  one shard batch is one SoA transpose + one bulk syndrome pass. */
+constexpr std::size_t kRsTile = 256;
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -87,7 +95,7 @@ bytesToData(const std::array<std::uint8_t, 32>& bytes)
 // ---------------------------------------------------------------------
 
 InterleavedSscScheme::InterleavedSscScheme(bool csc)
-    : code_(18, 16), csc_(csc)
+    : code_(18, 16), csc_(csc), plan_(code_), isa_(gf256::bestIsa())
 {
 }
 
@@ -164,6 +172,72 @@ InterleavedSscScheme::encode(const EntryData& data) const
 EntryDecode
 InterleavedSscScheme::decode(const Bits288& received) const
 {
+    return useReferenceCodec() ? decodeReference(received)
+                               : decodeFast(received);
+}
+
+/**
+ * Allocation-free fast decode: nibble-gathered symbols on the stack,
+ * syndromes via the plan's precomputed tables, correction decisions
+ * from fixSscOneShot. Decision-for-decision identical to the
+ * reference path below (the differential tests enforce it).
+ */
+EntryDecode
+InterleavedSscScheme::decodeFast(const Bits288& received) const
+{
+    std::uint8_t cws[2][18];
+    for (int cw = 0; cw < 2; ++cw) {
+        for (int pos = 0; pos < 18; ++pos) {
+            const int lo = physicalBit(cw, pos, 0);
+            const int hi = physicalBit(cw, pos, 4);
+            cws[cw][pos] = static_cast<std::uint8_t>(
+                physNibble(received, lo)
+                | (physNibble(received, hi) << 4));
+        }
+    }
+
+    RsFix fixes[2];
+    int num_correcting = 0;
+    for (int cw = 0; cw < 2; ++cw) {
+        std::uint8_t s[2];
+        plan_.syndromesScalar(cws[cw], s);
+        fixes[cw] = fixSscOneShot(18, s);
+        if (fixes[cw].status == RsDecode::Status::due)
+            return {EntryDecode::Status::due, EntryData{}};
+        if (fixes[cw].status == RsDecode::Status::corrected)
+            ++num_correcting;
+    }
+
+    if (csc_ && num_correcting >= 2) {
+        EntryWords corrected;
+        for (int cw = 0; cw < 2; ++cw) {
+            for (int e = 0; e < fixes[cw].num_errors; ++e) {
+                const int pos = fixes[cw].pos[e];
+                const std::uint64_t mag = fixes[cw].mag[e];
+                corrected.orField(physicalBit(cw, pos, 0), mag & 0xf);
+                corrected.orField(physicalBit(cw, pos, 4),
+                                  (mag >> 4) & 0xf);
+            }
+        }
+        if (!correctionSanityCheckPasses(corrected.toBits()))
+            return {EntryDecode::Status::due, EntryData{}};
+    }
+
+    std::array<std::uint8_t, 32> bytes{};
+    for (int cw = 0; cw < 2; ++cw) {
+        for (int e = 0; e < fixes[cw].num_errors; ++e)
+            cws[cw][fixes[cw].pos[e]] ^= fixes[cw].mag[e];
+        for (int pos = 2; pos < 18; ++pos)
+            bytes[16 * cw + (pos - 2)] = cws[cw][pos];
+    }
+    return {num_correcting ? EntryDecode::Status::corrected
+                           : EntryDecode::Status::clean,
+            bytesToData(bytes)};
+}
+
+EntryDecode
+InterleavedSscScheme::decodeReference(const Bits288& received) const
+{
     const auto cws = gatherCodewords(received);
     std::array<RsDecode, 2> results;
     int num_correcting = 0;
@@ -201,6 +275,128 @@ InterleavedSscScheme::decode(const Bits288& received) const
             bytesToData(bytes)};
 }
 
+void
+InterleavedSscScheme::decodeBatch(const Bits288* received,
+                                  EntryDecode* out, std::size_t n) const
+{
+    if (useReferenceCodec()) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = decodeReference(received[i]);
+        return;
+    }
+    decodeBatchFast(received, out, n);
+}
+
+void
+InterleavedSscScheme::decodeBatchFast(const Bits288* received,
+                                      EntryDecode* out,
+                                      std::size_t n) const
+{
+    // Column-major symbol staging: cols[cw][pos * kRsTile + e] is
+    // symbol `pos` of codeword `cw` of entry `e` in the tile.
+    std::uint8_t cols[2][18 * kRsTile];
+    std::uint8_t synd[2][2 * kRsTile];
+    std::uint8_t suspect[kRsTile];
+
+    for (std::size_t base = 0; base < n; base += kRsTile) {
+        const std::size_t count = std::min(kRsTile, n - base);
+
+        for (int cw = 0; cw < 2; ++cw) {
+            for (int pos = 0; pos < 18; ++pos) {
+                const int lo = physicalBit(cw, pos, 0);
+                const int hi = physicalBit(cw, pos, 4);
+                std::uint8_t* col = cols[cw] + pos * kRsTile;
+                for (std::size_t e = 0; e < count; ++e) {
+                    const Bits288& entry = received[base + e];
+                    col[e] = static_cast<std::uint8_t>(
+                        physNibble(entry, lo)
+                        | (physNibble(entry, hi) << 4));
+                }
+            }
+        }
+
+        for (int cw = 0; cw < 2; ++cw)
+            plan_.syndromesBulk(isa_, cols[cw], kRsTile, count,
+                                synd[cw]);
+
+        // Bulk all-zero-syndrome early-out across both codewords.
+        std::memset(suspect, 0, count);
+        for (int cw = 0; cw < 2; ++cw) {
+            for (int j = 0; j < 2; ++j)
+                gf256::orAccBuf(synd[cw] + j * kRsTile, suspect,
+                                count);
+        }
+
+        for (std::size_t e = 0; e < count; ++e) {
+            std::array<std::uint8_t, 32> bytes{};
+            if (suspect[e] == 0) {
+                for (int cw = 0; cw < 2; ++cw) {
+                    for (int pos = 2; pos < 18; ++pos) {
+                        bytes[16 * cw + (pos - 2)] =
+                            cols[cw][pos * kRsTile + e];
+                    }
+                }
+                out[base + e] = {EntryDecode::Status::clean,
+                                 bytesToData(bytes)};
+                continue;
+            }
+
+            // Suspect: scalar fix from the already-computed
+            // syndromes — the same decisions decodeFast() makes.
+            RsFix fixes[2];
+            int num_correcting = 0;
+            bool due = false;
+            for (int cw = 0; cw < 2 && !due; ++cw) {
+                const std::uint8_t s[2] = {
+                    synd[cw][0 * kRsTile + e],
+                    synd[cw][1 * kRsTile + e]};
+                fixes[cw] = fixSscOneShot(18, s);
+                if (fixes[cw].status == RsDecode::Status::due)
+                    due = true;
+                else if (fixes[cw].status == RsDecode::Status::corrected)
+                    ++num_correcting;
+            }
+            if (due) {
+                out[base + e] = {EntryDecode::Status::due, EntryData{}};
+                continue;
+            }
+
+            if (csc_ && num_correcting >= 2) {
+                EntryWords corrected;
+                for (int cw = 0; cw < 2; ++cw) {
+                    for (int k = 0; k < fixes[cw].num_errors; ++k) {
+                        const int pos = fixes[cw].pos[k];
+                        const std::uint64_t mag = fixes[cw].mag[k];
+                        corrected.orField(physicalBit(cw, pos, 0),
+                                          mag & 0xf);
+                        corrected.orField(physicalBit(cw, pos, 4),
+                                          (mag >> 4) & 0xf);
+                    }
+                }
+                if (!correctionSanityCheckPasses(corrected.toBits())) {
+                    out[base + e] = {EntryDecode::Status::due,
+                                     EntryData{}};
+                    continue;
+                }
+            }
+
+            for (int cw = 0; cw < 2; ++cw) {
+                std::uint8_t word[18];
+                for (int pos = 0; pos < 18; ++pos)
+                    word[pos] = cols[cw][pos * kRsTile + e];
+                for (int k = 0; k < fixes[cw].num_errors; ++k)
+                    word[fixes[cw].pos[k]] ^= fixes[cw].mag[k];
+                for (int pos = 2; pos < 18; ++pos)
+                    bytes[16 * cw + (pos - 2)] = word[pos];
+            }
+            out[base + e] = {num_correcting
+                                 ? EntryDecode::Status::corrected
+                                 : EntryDecode::Status::clean,
+                             bytesToData(bytes)};
+        }
+    }
+}
+
 EntryDecode
 InterleavedSscScheme::decodeWithPinErasure(const Bits288& received,
                                            int pin) const
@@ -236,7 +432,8 @@ InterleavedSscScheme::decodeWithPinErasure(const Bits288& received,
 // ---------------------------------------------------------------------
 
 Rs3632Scheme::Rs3632Scheme(Decoder decoder)
-    : code_(36, 32), decoder_(decoder)
+    : code_(36, 32), decoder_(decoder), plan_(code_),
+      isa_(gf256::bestIsa())
 {
 }
 
@@ -300,20 +497,59 @@ Rs3632Scheme::encode(const EntryData& data) const
 EntryDecode
 Rs3632Scheme::decode(const Bits288& received) const
 {
+    return useReferenceCodec() ? decodeReference(received)
+                               : decodeFast(received);
+}
+
+RsFix
+Rs3632Scheme::fixFromSyndromes(const std::uint8_t* s) const
+{
+    return decoder_ == Decoder::dsc ? fixDsc(36, s)
+                                    : fixSscDsdPlus(36, s);
+}
+
+/**
+ * Allocation-free fast decode: word-extracted symbols on the stack,
+ * syndromes via the plan's precomputed tables, correction decisions
+ * from the fix functions. Decision-for-decision identical to the
+ * reference path below (the differential tests enforce it).
+ */
+EntryDecode
+Rs3632Scheme::decodeFast(const Bits288& received) const
+{
+    std::uint8_t word[36];
+    for (int pos = 0; pos < 36; ++pos)
+        word[pos] = physByte(received, physicalByteOf(pos));
+
+    std::uint8_t s[4];
+    plan_.syndromesScalar(word, s);
+    const RsFix fix = fixFromSyndromes(s);
+    if (fix.status == RsDecode::Status::due)
+        return {EntryDecode::Status::due, EntryData{}};
+    for (int k = 0; k < fix.num_errors; ++k)
+        word[fix.pos[k]] ^= fix.mag[k];
+
+    std::array<std::uint8_t, 32> bytes{};
+    for (int pos = 4; pos < 36; ++pos)
+        bytes[pos - 4] = word[pos];
+    return {fix.status == RsDecode::Status::corrected
+                ? EntryDecode::Status::corrected
+                : EntryDecode::Status::clean,
+            bytesToData(bytes)};
+}
+
+EntryDecode
+Rs3632Scheme::decodeReference(const Bits288& received) const
+{
     std::vector<std::uint8_t> word(36, 0);
-    if (useReferenceCodec()) {
-        for (int pos = 0; pos < 36; ++pos) {
-            const int base = 8 * physicalByteOf(pos);
-            std::uint8_t sym = 0;
-            for (int t = 0; t < 8; ++t) {
-                sym |= static_cast<std::uint8_t>(received.get(base + t))
-                       << t;
-            }
-            word[pos] = sym;
+    for (int pos = 0; pos < 36; ++pos) {
+        const int base = 8 * physicalByteOf(pos);
+        std::uint8_t sym = 0;
+        for (int t = 0; t < 8; ++t) {
+            sym |= static_cast<std::uint8_t>(received.get(base + t))
+                   << t;
         }
-    } else {
-        for (int pos = 0; pos < 36; ++pos)
-            word[pos] = physByte(received, physicalByteOf(pos));
+        word[pos] = sym;
     }
 
     RsDecode result = decoder_ == Decoder::dsc
@@ -329,6 +565,80 @@ Rs3632Scheme::decode(const Bits288& received) const
                 ? EntryDecode::Status::corrected
                 : EntryDecode::Status::clean,
             bytesToData(bytes)};
+}
+
+void
+Rs3632Scheme::decodeBatch(const Bits288* received, EntryDecode* out,
+                          std::size_t n) const
+{
+    if (useReferenceCodec()) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = decodeReference(received[i]);
+        return;
+    }
+    decodeBatchFast(received, out, n);
+}
+
+void
+Rs3632Scheme::decodeBatchFast(const Bits288* received,
+                              EntryDecode* out, std::size_t n) const
+{
+    // Column-major symbol staging: cols[pos * kRsTile + e] is code
+    // position `pos` of entry `e` in the tile.
+    std::uint8_t cols[36 * kRsTile];
+    std::uint8_t synd[4 * kRsTile];
+    std::uint8_t suspect[kRsTile];
+
+    for (std::size_t base = 0; base < n; base += kRsTile) {
+        const std::size_t count = std::min(kRsTile, n - base);
+
+        for (int pos = 0; pos < 36; ++pos) {
+            const int b = physicalByteOf(pos);
+            std::uint8_t* col = cols + pos * kRsTile;
+            for (std::size_t e = 0; e < count; ++e)
+                col[e] = physByte(received[base + e], b);
+        }
+
+        plan_.syndromesBulk(isa_, cols, kRsTile, count, synd);
+
+        // Bulk all-zero-syndrome early-out.
+        std::memset(suspect, 0, count);
+        for (int j = 0; j < 4; ++j)
+            gf256::orAccBuf(synd + j * kRsTile, suspect, count);
+
+        for (std::size_t e = 0; e < count; ++e) {
+            std::array<std::uint8_t, 32> bytes{};
+            if (suspect[e] == 0) {
+                for (int pos = 4; pos < 36; ++pos)
+                    bytes[pos - 4] = cols[pos * kRsTile + e];
+                out[base + e] = {EntryDecode::Status::clean,
+                                 bytesToData(bytes)};
+                continue;
+            }
+
+            // Suspect: scalar fix from the already-computed
+            // syndromes — the same decisions decodeFast() makes.
+            const std::uint8_t s[4] = {
+                synd[0 * kRsTile + e], synd[1 * kRsTile + e],
+                synd[2 * kRsTile + e], synd[3 * kRsTile + e]};
+            const RsFix fix = fixFromSyndromes(s);
+            if (fix.status == RsDecode::Status::due) {
+                out[base + e] = {EntryDecode::Status::due, EntryData{}};
+                continue;
+            }
+            std::uint8_t word[36];
+            for (int pos = 0; pos < 36; ++pos)
+                word[pos] = cols[pos * kRsTile + e];
+            for (int k = 0; k < fix.num_errors; ++k)
+                word[fix.pos[k]] ^= fix.mag[k];
+            for (int pos = 4; pos < 36; ++pos)
+                bytes[pos - 4] = word[pos];
+            out[base + e] = {fix.status == RsDecode::Status::corrected
+                                 ? EntryDecode::Status::corrected
+                                 : EntryDecode::Status::clean,
+                             bytesToData(bytes)};
+        }
+    }
 }
 
 EntryDecode

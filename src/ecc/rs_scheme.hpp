@@ -26,6 +26,8 @@
 #include <string>
 
 #include "ecc/scheme.hpp"
+#include "gf256/gf256_vec.hpp"
+#include "rs/batch.hpp"
 #include "rs/decoders.hpp"
 #include "rs/rs_code.hpp"
 
@@ -66,12 +68,30 @@ class InterleavedSscScheme : public EntryScheme
     EntryDecode decodeWithPinErasure(const Bits288& received,
                                      int pin) const override;
 
+    /**
+     * Batched decode on the SoA/SIMD path: symbols of all entries
+     * are gathered column-major, both codewords' syndromes are
+     * accumulated with the gf256 bulk kernels, clean entries retire
+     * on the bulk all-zero-syndrome test, and only suspects run the
+     * scalar one-shot fix. Element-wise identical to decode(); falls
+     * back to the per-entry loop under GPUECC_REFERENCE_CODEC.
+     */
+    void decodeBatch(const Bits288* received, EntryDecode* out,
+                     std::size_t n) const override;
+
   private:
     std::array<std::vector<std::uint8_t>, 2>
     gatherCodewords(const Bits288& physical) const;
 
+    EntryDecode decodeFast(const Bits288& received) const;
+    EntryDecode decodeReference(const Bits288& received) const;
+    void decodeBatchFast(const Bits288* received, EntryDecode* out,
+                         std::size_t n) const;
+
     RsCode code_;
     bool csc_;
+    RsSyndromePlan plan_;       //!< per-(syndrome, position) tables
+    gf256::VecIsa isa_;         //!< vector ISA fixed at construction
 };
 
 /** The (36, 32) single-codeword organizations. */
@@ -109,9 +129,29 @@ class Rs3632Scheme : public EntryScheme
     EntryDecode decodeWithPinErasure(const Bits288& received,
                                      int pin) const override;
 
+    /**
+     * Batched decode on the SoA/SIMD path: the 36 physical symbol
+     * columns of all entries are gathered column-major, the four
+     * syndromes are accumulated with the gf256 bulk kernels, clean
+     * entries retire on the bulk all-zero-syndrome test, and only
+     * suspects run the scalar locator/magnitude fix. Element-wise
+     * identical to decode(); falls back to the per-entry loop under
+     * GPUECC_REFERENCE_CODEC.
+     */
+    void decodeBatch(const Bits288* received, EntryDecode* out,
+                     std::size_t n) const override;
+
   private:
+    EntryDecode decodeFast(const Bits288& received) const;
+    EntryDecode decodeReference(const Bits288& received) const;
+    void decodeBatchFast(const Bits288* received, EntryDecode* out,
+                         std::size_t n) const;
+    RsFix fixFromSyndromes(const std::uint8_t* s) const;
+
     RsCode code_;
     Decoder decoder_;
+    RsSyndromePlan plan_;       //!< per-(syndrome, position) tables
+    gf256::VecIsa isa_;         //!< vector ISA fixed at construction
 };
 
 } // namespace gpuecc

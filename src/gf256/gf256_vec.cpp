@@ -1,0 +1,268 @@
+#include "gf256/gf256_vec.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "gf256/gf256.hpp"
+#include "gf256/gf256_vec_impl.hpp"
+
+namespace gpuecc {
+namespace gf256 {
+
+namespace detail {
+
+void
+mulConstBufScalar(const MulTables& t, const std::uint8_t* src,
+                  std::uint8_t* dst, std::size_t i, std::size_t n)
+{
+    for (; i < n; ++i)
+        dst[i] = mulTab(t, src[i]);
+}
+
+void
+mulConstXorAccBufScalar(const MulTables& t, const std::uint8_t* src,
+                        std::uint8_t* acc, std::size_t i,
+                        std::size_t n)
+{
+    for (; i < n; ++i)
+        acc[i] ^= mulTab(t, src[i]);
+}
+
+void
+lut256BufScalar(const std::uint8_t* table, const std::uint8_t* src,
+                std::uint8_t* dst, std::size_t i, std::size_t n)
+{
+    for (; i < n; ++i)
+        dst[i] = table[src[i]];
+}
+
+} // namespace detail
+
+const char*
+isaName(VecIsa isa)
+{
+    switch (isa) {
+      case VecIsa::scalar: return "scalar";
+      case VecIsa::ssse3: return "ssse3";
+      case VecIsa::avx2: return "avx2";
+      case VecIsa::neon: return "neon";
+    }
+    panic("unreachable gf256::isaName");
+}
+
+bool
+isaSupported(VecIsa isa)
+{
+    switch (isa) {
+      case VecIsa::scalar:
+        return true;
+      case VecIsa::ssse3:
+#if GPUECC_VEC_X86
+        return detail::cpuHasSsse3();
+#else
+        return false;
+#endif
+      case VecIsa::avx2:
+#if GPUECC_VEC_X86
+        return detail::cpuHasAvx2();
+#else
+        return false;
+#endif
+      case VecIsa::neon:
+#if GPUECC_VEC_NEON
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+namespace {
+
+int
+initialBestIsa()
+{
+    // GPUECC_NO_SIMD forces the portable kernels, mirroring the
+    // GPUECC_REFERENCE_CODEC convention for the codec backend.
+    const char* env = std::getenv("GPUECC_NO_SIMD");
+    const bool no_simd =
+        env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+    if (no_simd)
+        return static_cast<int>(VecIsa::scalar);
+    if (isaSupported(VecIsa::avx2))
+        return static_cast<int>(VecIsa::avx2);
+    if (isaSupported(VecIsa::ssse3))
+        return static_cast<int>(VecIsa::ssse3);
+    if (isaSupported(VecIsa::neon))
+        return static_cast<int>(VecIsa::neon);
+    return static_cast<int>(VecIsa::scalar);
+}
+
+} // namespace
+
+VecIsa
+bestIsa()
+{
+    static std::atomic<int> cached{initialBestIsa()};
+    return static_cast<VecIsa>(cached.load(std::memory_order_relaxed));
+}
+
+std::vector<VecIsa>
+supportedIsas()
+{
+    std::vector<VecIsa> out{VecIsa::scalar};
+    for (VecIsa isa : {VecIsa::ssse3, VecIsa::avx2, VecIsa::neon}) {
+        if (isaSupported(isa))
+            out.push_back(isa);
+    }
+    return out;
+}
+
+MulTables
+mulTables(std::uint8_t c)
+{
+    MulTables t;
+    for (int v = 0; v < 16; ++v) {
+        t.lo[v] = mul(c, static_cast<std::uint8_t>(v));
+        t.hi[v] = mul(c, static_cast<std::uint8_t>(v << 4));
+    }
+    return t;
+}
+
+void
+mulConstBuf(VecIsa isa, const MulTables& t, const std::uint8_t* src,
+            std::uint8_t* dst, std::size_t n)
+{
+    switch (isa) {
+#if GPUECC_VEC_X86
+      case VecIsa::ssse3:
+        detail::mulConstBufSsse3(t, src, dst, n);
+        return;
+      case VecIsa::avx2:
+        detail::mulConstBufAvx2(t, src, dst, n);
+        return;
+#endif
+#if GPUECC_VEC_NEON
+      case VecIsa::neon:
+        detail::mulConstBufNeon(t, src, dst, n);
+        return;
+#endif
+      default:
+        detail::mulConstBufScalar(t, src, dst, 0, n);
+        return;
+    }
+}
+
+void
+mulConstXorAccBuf(VecIsa isa, const MulTables& t,
+                  const std::uint8_t* src, std::uint8_t* acc,
+                  std::size_t n)
+{
+    switch (isa) {
+#if GPUECC_VEC_X86
+      case VecIsa::ssse3:
+        detail::mulConstXorAccBufSsse3(t, src, acc, n);
+        return;
+      case VecIsa::avx2:
+        detail::mulConstXorAccBufAvx2(t, src, acc, n);
+        return;
+#endif
+#if GPUECC_VEC_NEON
+      case VecIsa::neon:
+        detail::mulConstXorAccBufNeon(t, src, acc, n);
+        return;
+#endif
+      default:
+        detail::mulConstXorAccBufScalar(t, src, acc, 0, n);
+        return;
+    }
+}
+
+void
+divConstBuf(VecIsa isa, std::uint8_t c, const std::uint8_t* src,
+            std::uint8_t* dst, std::size_t n)
+{
+    require(c != 0, "gf256::divConstBuf by zero");
+    mulConstBuf(isa, mulTables(inv(c)), src, dst, n);
+}
+
+void
+lut256Buf(VecIsa isa, const std::uint8_t* table,
+          const std::uint8_t* src, std::uint8_t* dst, std::size_t n)
+{
+    switch (isa) {
+#if GPUECC_VEC_X86
+      case VecIsa::ssse3:
+        detail::lut256BufSsse3(table, src, dst, n);
+        return;
+      case VecIsa::avx2:
+        detail::lut256BufAvx2(table, src, dst, n);
+        return;
+#endif
+#if GPUECC_VEC_NEON
+      case VecIsa::neon:
+        detail::lut256BufNeon(table, src, dst, n);
+        return;
+#endif
+      default:
+        detail::lut256BufScalar(table, src, dst, 0, n);
+        return;
+    }
+}
+
+const std::uint8_t*
+invTable()
+{
+    static const std::array<std::uint8_t, 256> table = [] {
+        std::array<std::uint8_t, 256> t{};
+        t[0] = 0; // bulk convention; scalar inv(0) is a fatal error
+        for (int a = 1; a < 256; ++a)
+            t[a] = inv(static_cast<std::uint8_t>(a));
+        return t;
+    }();
+    return table.data();
+}
+
+void
+invBuf(VecIsa isa, const std::uint8_t* src, std::uint8_t* dst,
+       std::size_t n)
+{
+    lut256Buf(isa, invTable(), src, dst, n);
+}
+
+void
+xorAccBuf(const std::uint8_t* src, std::uint8_t* acc, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t a, s;
+        std::memcpy(&a, acc + i, 8);
+        std::memcpy(&s, src + i, 8);
+        a ^= s;
+        std::memcpy(acc + i, &a, 8);
+    }
+    for (; i < n; ++i)
+        acc[i] ^= src[i];
+}
+
+void
+orAccBuf(const std::uint8_t* src, std::uint8_t* acc, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t a, s;
+        std::memcpy(&a, acc + i, 8);
+        std::memcpy(&s, src + i, 8);
+        a |= s;
+        std::memcpy(acc + i, &a, 8);
+    }
+    for (; i < n; ++i)
+        acc[i] |= src[i];
+}
+
+} // namespace gf256
+} // namespace gpuecc

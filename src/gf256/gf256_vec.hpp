@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Vectorized bulk arithmetic over GF(2^8).
+ *
+ * Multiplication by a fixed field element c is GF(2)-linear in the
+ * eight input bits, so it factors through the operand's nibbles:
+ *
+ *     c * x  =  T_lo[x & 0xF]  ^  T_hi[x >> 4]
+ *
+ * where T_lo[v] = c * v and T_hi[v] = c * (v << 4). Both tables have
+ * sixteen byte entries — exactly the operand shape of the byte
+ * shuffle instructions (SSSE3 `pshufb`, AVX2 `vpshufb`, NEON `tbl`) —
+ * so one constant multiply over a whole vector register costs two
+ * shuffles and one XOR. This is the standard erasure-coding trick
+ * (Plank et al., "Screaming Fast Galois Field Arithmetic Using Intel
+ * SIMD Instructions") applied to the paper's 0x163 field.
+ *
+ * Every kernel takes an explicit VecIsa so tests can drive each
+ * variant the host supports against the scalar tables; production
+ * callers pick bestIsa() once at codec construction. The scalar
+ * variant applies the very same nibble tables byte by byte, so all
+ * variants are exact replicas of one another by construction — and
+ * tests/test_gf256_simd.cpp proves it exhaustively anyway.
+ *
+ * The environment variable GPUECC_NO_SIMD (any value but "0" or
+ * empty) forces bestIsa() to the scalar variant, mirroring how
+ * GPUECC_REFERENCE_CODEC forces the reference codec backend.
+ */
+
+#ifndef GPUECC_GF256_GF256_VEC_HPP
+#define GPUECC_GF256_GF256_VEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gpuecc {
+namespace gf256 {
+
+/** Instruction-set variants the bulk kernels are lowered to. */
+enum class VecIsa
+{
+    scalar, //!< portable nibble-table loop (always available)
+    ssse3,  //!< 16-byte pshufb kernels (x86)
+    avx2,   //!< 32-byte vpshufb kernels (x86)
+    neon    //!< 16-byte tbl kernels (aarch64)
+};
+
+/** Short name for reports and logs ("scalar", "ssse3", ...). */
+const char* isaName(VecIsa isa);
+
+/** True when `isa` is both compiled in and runnable on this host. */
+bool isaSupported(VecIsa isa);
+
+/**
+ * The widest supported variant, honoring GPUECC_NO_SIMD. Computed on
+ * first use and cached; later reads are a relaxed atomic load.
+ */
+VecIsa bestIsa();
+
+/** Every host-runnable variant, scalar first (never empty). */
+std::vector<VecIsa> supportedIsas();
+
+/** Nibble-split shuffle tables for multiplication by one constant. */
+struct MulTables
+{
+    alignas(16) std::uint8_t lo[16]; //!< c * v for v in [0, 16)
+    alignas(16) std::uint8_t hi[16]; //!< c * (v << 4) for v in [0, 16)
+};
+
+/** Build the nibble tables of multiplication by c. */
+MulTables mulTables(std::uint8_t c);
+
+/** Scalar application of nibble tables: c * x in two loads. */
+inline std::uint8_t
+mulTab(const MulTables& t, std::uint8_t x)
+{
+    return static_cast<std::uint8_t>(t.lo[x & 0xF] ^ t.hi[x >> 4]);
+}
+
+/** dst[i] = c * src[i] for i in [0, n). dst may alias src. */
+void mulConstBuf(VecIsa isa, const MulTables& t,
+                 const std::uint8_t* src, std::uint8_t* dst,
+                 std::size_t n);
+
+/**
+ * acc[i] ^= c * src[i] for i in [0, n) — the bulk syndrome
+ * accumulation primitive: one call per (syndrome, symbol column).
+ */
+void mulConstXorAccBuf(VecIsa isa, const MulTables& t,
+                       const std::uint8_t* src, std::uint8_t* acc,
+                       std::size_t n);
+
+/** dst[i] = src[i] / c (c nonzero). Lowered to a constant multiply
+ *  by c's inverse. dst may alias src. */
+void divConstBuf(VecIsa isa, std::uint8_t c, const std::uint8_t* src,
+                 std::uint8_t* dst, std::size_t n);
+
+/**
+ * dst[i] = table[src[i]] for an arbitrary 256-entry byte table —
+ * vectorized as sixteen 16-entry shuffles selected by the high
+ * nibble (one `tbl4` pair on NEON). The workhorse behind batched
+ * inversion; dst may alias src.
+ */
+void lut256Buf(VecIsa isa, const std::uint8_t* table,
+               const std::uint8_t* src, std::uint8_t* dst,
+               std::size_t n);
+
+/**
+ * Batched multiplicative inverse: dst[i] = src[i]^-1, with the
+ * convention inv(0) = 0 (scalar gf256::inv rejects zero; a bulk
+ * kernel cannot, so zero maps to zero and callers must mask).
+ */
+void invBuf(VecIsa isa, const std::uint8_t* src, std::uint8_t* dst,
+            std::size_t n);
+
+/** The 256-entry inverse table behind invBuf ([0] = 0). */
+const std::uint8_t* invTable();
+
+/** acc[i] ^= src[i]; word-at-a-time (the c == 1 multiply). */
+void xorAccBuf(const std::uint8_t* src, std::uint8_t* acc,
+               std::size_t n);
+
+/** acc[i] |= src[i]; word-at-a-time (bulk nonzero-syndrome test). */
+void orAccBuf(const std::uint8_t* src, std::uint8_t* acc,
+              std::size_t n);
+
+} // namespace gf256
+} // namespace gpuecc
+
+#endif // GPUECC_GF256_GF256_VEC_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Internal declarations shared between the GF(2^8) vector-kernel
+ * translation units. Not part of the public gf256 interface.
+ *
+ * Each ISA's kernels live in their own TU (gf256_vec_x86.cpp,
+ * gf256_vec_neon.cpp) compiled with per-function target attributes,
+ * so the library builds with baseline flags and selects at runtime.
+ * The GPUECC_VEC_* macros say which TUs contribute kernels on this
+ * architecture; gf256_vec.cpp dispatches only to those.
+ */
+
+#ifndef GPUECC_GF256_GF256_VEC_IMPL_HPP
+#define GPUECC_GF256_GF256_VEC_IMPL_HPP
+
+#include "gf256/gf256_vec.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define GPUECC_VEC_X86 1
+#else
+#define GPUECC_VEC_X86 0
+#endif
+
+#if defined(__aarch64__)
+#define GPUECC_VEC_NEON 1
+#else
+#define GPUECC_VEC_NEON 0
+#endif
+
+namespace gpuecc {
+namespace gf256 {
+namespace detail {
+
+/** Scalar tails shared by every vector kernel (range [i, n)). */
+void mulConstBufScalar(const MulTables& t, const std::uint8_t* src,
+                       std::uint8_t* dst, std::size_t i,
+                       std::size_t n);
+void mulConstXorAccBufScalar(const MulTables& t,
+                             const std::uint8_t* src,
+                             std::uint8_t* acc, std::size_t i,
+                             std::size_t n);
+void lut256BufScalar(const std::uint8_t* table,
+                     const std::uint8_t* src, std::uint8_t* dst,
+                     std::size_t i, std::size_t n);
+
+#if GPUECC_VEC_X86
+bool cpuHasSsse3();
+bool cpuHasAvx2();
+void mulConstBufSsse3(const MulTables& t, const std::uint8_t* src,
+                      std::uint8_t* dst, std::size_t n);
+void mulConstBufAvx2(const MulTables& t, const std::uint8_t* src,
+                     std::uint8_t* dst, std::size_t n);
+void mulConstXorAccBufSsse3(const MulTables& t,
+                            const std::uint8_t* src,
+                            std::uint8_t* acc, std::size_t n);
+void mulConstXorAccBufAvx2(const MulTables& t,
+                           const std::uint8_t* src, std::uint8_t* acc,
+                           std::size_t n);
+void lut256BufSsse3(const std::uint8_t* table, const std::uint8_t* src,
+                    std::uint8_t* dst, std::size_t n);
+void lut256BufAvx2(const std::uint8_t* table, const std::uint8_t* src,
+                   std::uint8_t* dst, std::size_t n);
+#endif
+
+#if GPUECC_VEC_NEON
+void mulConstBufNeon(const MulTables& t, const std::uint8_t* src,
+                     std::uint8_t* dst, std::size_t n);
+void mulConstXorAccBufNeon(const MulTables& t,
+                           const std::uint8_t* src, std::uint8_t* acc,
+                           std::size_t n);
+void lut256BufNeon(const std::uint8_t* table, const std::uint8_t* src,
+                   std::uint8_t* dst, std::size_t n);
+#endif
+
+} // namespace detail
+} // namespace gf256
+} // namespace gpuecc
+
+#endif // GPUECC_GF256_GF256_VEC_IMPL_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * NEON lowerings of the GF(2^8) bulk kernels (aarch64 baseline —
+ * AdvSIMD is architectural there, so no runtime probe is needed).
+ *
+ * The nibble-split multiply is the same two-shuffle/one-XOR shape as
+ * the x86 kernels, lowered to vqtbl1q_u8. The arbitrary 256-entry
+ * LUT uses the four-register table form: two vqtbl4q_u8 lookups
+ * cover the low and high 128 table entries, with the high lookup
+ * keyed by index-128 so out-of-range lanes yield zero and the two
+ * halves OR together.
+ */
+
+#include "gf256/gf256_vec_impl.hpp"
+
+#if GPUECC_VEC_NEON
+
+#include <arm_neon.h>
+
+namespace gpuecc {
+namespace gf256 {
+namespace detail {
+
+namespace {
+
+inline uint8x16_t
+mulVec(uint8x16_t x, uint8x16_t tlo, uint8x16_t thi,
+       uint8x16_t low_mask)
+{
+    const uint8x16_t lo = vandq_u8(x, low_mask);
+    const uint8x16_t hi = vshrq_n_u8(x, 4);
+    return veorq_u8(vqtbl1q_u8(tlo, lo), vqtbl1q_u8(thi, hi));
+}
+
+} // namespace
+
+void
+mulConstBufNeon(const MulTables& t, const std::uint8_t* src,
+                std::uint8_t* dst, std::size_t n)
+{
+    const uint8x16_t tlo = vld1q_u8(t.lo);
+    const uint8x16_t thi = vld1q_u8(t.hi);
+    const uint8x16_t low_mask = vdupq_n_u8(0x0F);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16)
+        vst1q_u8(dst + i, mulVec(vld1q_u8(src + i), tlo, thi, low_mask));
+    mulConstBufScalar(t, src, dst, i, n);
+}
+
+void
+mulConstXorAccBufNeon(const MulTables& t, const std::uint8_t* src,
+                      std::uint8_t* acc, std::size_t n)
+{
+    const uint8x16_t tlo = vld1q_u8(t.lo);
+    const uint8x16_t thi = vld1q_u8(t.hi);
+    const uint8x16_t low_mask = vdupq_n_u8(0x0F);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x16_t a = vld1q_u8(acc + i);
+        vst1q_u8(acc + i,
+                 veorq_u8(a, mulVec(vld1q_u8(src + i), tlo, thi,
+                                    low_mask)));
+    }
+    mulConstXorAccBufScalar(t, src, acc, i, n);
+}
+
+void
+lut256BufNeon(const std::uint8_t* table, const std::uint8_t* src,
+              std::uint8_t* dst, std::size_t n)
+{
+    uint8x16x4_t lo_rows;
+    uint8x16x4_t hi_rows;
+    for (int r = 0; r < 4; ++r) {
+        lo_rows.val[r] = vld1q_u8(table + 16 * r);
+        hi_rows.val[r] = vld1q_u8(table + 64 + 16 * r);
+    }
+    uint8x16x4_t lo2_rows;
+    uint8x16x4_t hi2_rows;
+    for (int r = 0; r < 4; ++r) {
+        lo2_rows.val[r] = vld1q_u8(table + 128 + 16 * r);
+        hi2_rows.val[r] = vld1q_u8(table + 192 + 16 * r);
+    }
+    const uint8x16_t k64 = vdupq_n_u8(64);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x16_t x = vld1q_u8(src + i);
+        // Quadrant q covers table[64q, 64q+64); tbl4 zeroes lanes
+        // whose rebased index exceeds 63, so the ORs are disjoint.
+        uint8x16_t idx = x;
+        uint8x16_t out = vqtbl4q_u8(lo_rows, idx);
+        idx = vsubq_u8(idx, k64);
+        out = vorrq_u8(out, vqtbl4q_u8(hi_rows, idx));
+        idx = vsubq_u8(idx, k64);
+        out = vorrq_u8(out, vqtbl4q_u8(lo2_rows, idx));
+        idx = vsubq_u8(idx, k64);
+        out = vorrq_u8(out, vqtbl4q_u8(hi2_rows, idx));
+        vst1q_u8(dst + i, out);
+    }
+    lut256BufScalar(table, src, dst, i, n);
+}
+
+} // namespace detail
+} // namespace gf256
+} // namespace gpuecc
+
+#endif // GPUECC_VEC_NEON

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Batched Reed-Solomon decode support: a precomputed syndrome plan
+ * lowering S_j = sum_i received[i] * alpha^(j*i) onto the gf256
+ * vector kernels, and allocation-free "fix" variants of the scalar
+ * decoders that work from already-computed syndromes.
+ *
+ * The split mirrors the shape of the hot path: for a shard batch the
+ * syndromes of every entry are accumulated symbol-column-wise (one
+ * mulConstXorAccBuf per (syndrome, position) over the whole batch),
+ * the overwhelmingly common all-zero case is retired in bulk, and
+ * only suspect entries run a scalar locator/magnitude fix. The fix
+ * functions are transliterations of decodeSscOneShot /
+ * decodeSscDsdPlus / decodeDsc with the syndrome computation factored
+ * out — the differential tests diff them against those oracles
+ * decision-for-decision.
+ */
+
+#ifndef GPUECC_RS_BATCH_HPP
+#define GPUECC_RS_BATCH_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gf256/gf256_vec.hpp"
+#include "rs/decoders.hpp"
+#include "rs/rs_code.hpp"
+
+namespace gpuecc {
+
+/** A correction decision derived from syndromes alone. */
+struct RsFix
+{
+    RsDecode::Status status;
+    int num_errors;                    //!< positions modified (0..2)
+    std::array<int, 2> pos;            //!< code positions to patch
+    std::array<std::uint8_t, 2> mag;   //!< XOR magnitudes
+};
+
+/** decodeSscOneShot's decision from the r=2 syndromes of an n-symbol
+ *  word (returns clean when both are zero). */
+RsFix fixSscOneShot(int n, const std::uint8_t* s);
+
+/** decodeSscDsdPlus's decision from the r=4 syndromes. */
+RsFix fixSscDsdPlus(int n, const std::uint8_t* s);
+
+/** decodeDsc's decision from the r=4 syndromes. The oracle's final
+ *  isCodeword() guard is applied algebraically: the two-error fix is
+ *  accepted only if it reproduces S_2 and S_3 (S_0 and S_1 hold by
+ *  construction of the magnitudes). */
+RsFix fixDsc(int n, const std::uint8_t* s);
+
+/**
+ * Precomputed nibble-split multiply tables for every alpha^(j*i)
+ * term of an RsCode's syndrome map, plus the bulk and scalar
+ * evaluators built on them.
+ */
+class RsSyndromePlan
+{
+  public:
+    explicit RsSyndromePlan(const RsCode& code);
+
+    int n() const { return n_; }
+    int r() const { return r_; }
+
+    /** Syndromes of one word (n symbols) via the nibble tables. */
+    void syndromesScalar(const std::uint8_t* word,
+                         std::uint8_t* s) const;
+
+    /**
+     * Column-wise syndromes of `count` words stored column-major:
+     * cols[i * stride + e] is symbol i of word e. On return
+     * synd[j * stride + e] is S_j of word e. Requires count <= stride.
+     */
+    void syndromesBulk(gf256::VecIsa isa, const std::uint8_t* cols,
+                       std::size_t stride, std::size_t count,
+                       std::uint8_t* synd) const;
+
+  private:
+    int n_;
+    int r_;
+    std::vector<gf256::MulTables> tables_; //!< [j * n + i]
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_RS_BATCH_HPP

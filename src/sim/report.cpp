@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "gf256/gf256_vec.hpp"
 #include "obs/trace.hpp"
 
 namespace gpuecc::sim {
@@ -203,6 +204,7 @@ campaignRunManifest(const CampaignResult& result)
     m.build = obs::buildInfo();
     m.threads = result.spec.threads;
     m.codec_backend = result.codec_backend;
+    m.simd_isa = gf256::isaName(gf256::bestIsa());
     m.chaos = obs::chaosEnvText();
     m.samples = result.spec.samples;
     m.seed = result.spec.seed;
@@ -224,6 +226,7 @@ writeRunManifest(JsonWriter& w, const obs::RunManifest& manifest)
     w.kv("hardware_threads", manifest.build.hardware_threads);
     w.kv("threads", manifest.threads);
     w.kv("codec_backend", manifest.codec_backend);
+    w.kv("simd_isa", manifest.simd_isa);
     w.kv("chaos", manifest.chaos);
     w.kv("samples", manifest.samples);
     w.kv("seed", manifest.seed);

@@ -18,6 +18,9 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "codes/hsiao.hpp"
 #include "codes/linear_code.hpp"
 #include "codes/sec2bec.hpp"
@@ -25,6 +28,7 @@
 #include "common/rng.hpp"
 #include "ecc/reconfigurable.hpp"
 #include "ecc/registry.hpp"
+#include "ecc/rs_scheme.hpp"
 #include "sim/campaign.hpp"
 
 namespace gpuecc {
@@ -180,6 +184,301 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("ni-secded", "i-secded", "duet", "ni-sec2bec",
                       "i-sec2bec", "trio", "i-ssc", "i-ssc-csc",
                       "ssc-dsd+", "dsc", "ssc-tsd"),
+    [](const auto& info) {
+        std::string name = info.param;
+        for (char& c : name) {
+            if (c == '-' || c == '+')
+                c = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------------
+// RS fuzz tier: the SIMD/SoA Reed-Solomon fast path vs the scalar
+// oracle, at symbol granularity.
+//
+// The binary-level sweeps above treat every scheme uniformly; this
+// tier speaks the RS schemes' native error domain. Errors are
+// injected per *symbol* (a physical byte for the (36,32) schemes, a
+// 4-pin x 2-beat nibble-column pair for the interleaved (18,16)
+// schemes) and every decode is triple-checked: fast single-entry,
+// fast batched (through decodeBatch, which runs the SoA/SIMD
+// kernels), and the reference oracle. Agreement covers the outcome
+// class, the corrected data, and — critically — *miscorrection
+// identity*: when a 2/3-symbol pattern aliases into some decoder's
+// correctable footprint, both paths must fabricate the exact same
+// wrong answer, or campaign SDC tallies would diverge between
+// backends.
+//
+// The 2-symbol value sweep is exhaustive in positions and uses a
+// fixed 8-value magnitude subset per position pair (630 x 64), plus
+// a full 255 x 255 magnitude sweep at three representative pairs.
+// Set GPUECC_RS_EXHAUSTIVE=1 to run the full 630 x 255 x 255 sweep
+// (~41M decodes per scheme; minutes-to-hours, not tier-1).
+// ---------------------------------------------------------------------
+
+/** Magnitude subset for the exhaustive-position 2-symbol sweep. */
+const std::uint8_t kPairMagnitudes[] = {0x01, 0x02, 0x10, 0x53,
+                                        0x80, 0xAA, 0xC3, 0xFF};
+
+class RsDifferential : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    RsDifferential() : scheme_(makeScheme(GetParam()))
+    {
+        interleaved_ = GetParam().rfind("i-ssc", 0) == 0;
+        Rng rng(0x55C0DEull);
+        data_ = {rng.next64(), rng.next64(), rng.next64(), rng.next64()};
+        setCodecBackend(CodecBackend::compiled);
+        golden_ = scheme_->encode(data_);
+    }
+
+    /** Both organizations carry 36 code symbols per entry. */
+    static constexpr int kNumSymbols = 36;
+
+    /** XOR `mag` into code symbol `sym` through the physical layout. */
+    void
+    xorSymbol(Bits288& r, int sym, std::uint8_t mag) const
+    {
+        if (interleaved_) {
+            const int cw = sym / 18;
+            const int pos = sym % 18;
+            for (int t = 0; t < 8; ++t) {
+                if ((mag >> t) & 1) {
+                    const int p =
+                        InterleavedSscScheme::physicalBit(cw, pos, t);
+                    r.set(p, !r.get(p));
+                }
+            }
+        } else {
+            const int base = 8 * Rs3632Scheme::physicalByteOf(sym);
+            for (int t = 0; t < 8; ++t) {
+                if ((mag >> t) & 1)
+                    r.set(base + t, !r.get(base + t));
+            }
+        }
+    }
+
+    /** Fast single, fast batched, and reference must fully agree. */
+    void
+    check(const Bits288& r) const
+    {
+        setCodecBackend(CodecBackend::compiled);
+        const EntryDecode fast = scheme_->decode(r);
+        EntryDecode batched{};
+        scheme_->decodeBatch(&r, &batched, 1);
+        setCodecBackend(CodecBackend::reference);
+        const EntryDecode ref = scheme_->decode(r);
+        setCodecBackend(CodecBackend::compiled);
+
+        ASSERT_EQ(fast.status, ref.status);
+        ASSERT_EQ(batched.status, ref.status);
+        if (ref.status != EntryDecode::Status::due) {
+            ASSERT_EQ(fast.data, ref.data);
+            ASSERT_EQ(batched.data, ref.data);
+        }
+    }
+
+    BackendGuard guard_;
+    std::shared_ptr<EntryScheme> scheme_;
+    EntryData data_;
+    Bits288 golden_;
+    bool interleaved_;
+};
+
+TEST_P(RsDifferential, AllSingleSymbolErrorsExhaustive)
+{
+    for (int sym = 0; sym < kNumSymbols; ++sym) {
+        for (int mag = 1; mag < 256; ++mag) {
+            Bits288 r = golden_;
+            xorSymbol(r, sym, static_cast<std::uint8_t>(mag));
+            check(r);
+            if (HasFatalFailure())
+                FAIL() << "sym=" << sym << " mag=" << mag;
+        }
+    }
+}
+
+TEST_P(RsDifferential, AllDoubleSymbolErrorPositions)
+{
+    const bool exhaustive = [] {
+        const char* env = std::getenv("GPUECC_RS_EXHAUSTIVE");
+        return env != nullptr && *env != '\0'
+               && std::strcmp(env, "0") != 0;
+    }();
+    for (int a = 0; a < kNumSymbols; ++a) {
+        for (int b = a + 1; b < kNumSymbols; ++b) {
+            if (exhaustive) {
+                for (int m1 = 1; m1 < 256; ++m1) {
+                    for (int m2 = 1; m2 < 256; ++m2) {
+                        Bits288 r = golden_;
+                        xorSymbol(r, a, static_cast<std::uint8_t>(m1));
+                        xorSymbol(r, b, static_cast<std::uint8_t>(m2));
+                        check(r);
+                        if (HasFatalFailure())
+                            FAIL() << "a=" << a << " b=" << b
+                                   << " m1=" << m1 << " m2=" << m2;
+                    }
+                }
+                continue;
+            }
+            for (std::uint8_t m1 : kPairMagnitudes) {
+                for (std::uint8_t m2 : kPairMagnitudes) {
+                    Bits288 r = golden_;
+                    xorSymbol(r, a, m1);
+                    xorSymbol(r, b, m2);
+                    check(r);
+                    if (HasFatalFailure())
+                        FAIL() << "a=" << a << " b=" << b
+                               << " m1=" << int(m1) << " m2=" << int(m2);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(RsDifferential, FullMagnitudeSweepAtRepresentativePairs)
+{
+    // Check+check, check+data, and data+data symbol pairs, every
+    // (m1, m2) in [1, 255]^2 — the full alias surface at fixed
+    // geometry.
+    const int pairs[3][2] = {{0, 1}, {1, 7}, {10, 29}};
+    for (const auto& pair : pairs) {
+        for (int m1 = 1; m1 < 256; ++m1) {
+            for (int m2 = 1; m2 < 256; ++m2) {
+                Bits288 r = golden_;
+                xorSymbol(r, pair[0], static_cast<std::uint8_t>(m1));
+                xorSymbol(r, pair[1], static_cast<std::uint8_t>(m2));
+                check(r);
+                if (HasFatalFailure())
+                    FAIL() << "pair=(" << pair[0] << "," << pair[1]
+                           << ") m1=" << m1 << " m2=" << m2;
+            }
+        }
+    }
+}
+
+TEST_P(RsDifferential, RandomSparseSymbolFloods)
+{
+    // >= 3-symbol patterns: beyond every decoder's correction radius,
+    // where only detection vs miscorrection identity is at stake.
+    Rng rng(0xF100Dull);
+    for (int trial = 0; trial < 4000; ++trial) {
+        Bits288 r = golden_;
+        const int weight = 3 + static_cast<int>(rng.nextBounded(4));
+        for (int f = 0; f < weight; ++f) {
+            const int sym = static_cast<int>(rng.nextBounded(kNumSymbols));
+            const auto mag = static_cast<std::uint8_t>(
+                1 + rng.nextBounded(255));
+            xorSymbol(r, sym, mag);
+        }
+        check(r);
+        if (HasFatalFailure())
+            FAIL() << "trial=" << trial;
+    }
+}
+
+TEST_P(RsDifferential, RandomDataPatternsDecodeIdentically)
+{
+    // The fast encode + clean decode loop over random payloads: the
+    // SoA gather must reproduce every byte of every payload.
+    Rng rng(0xDA7A5ull);
+    for (int trial = 0; trial < 256; ++trial) {
+        const EntryData d = {rng.next64(), rng.next64(), rng.next64(),
+                             rng.next64()};
+        setCodecBackend(CodecBackend::compiled);
+        const Bits288 w = scheme_->encode(d);
+        check(w);
+        if (HasFatalFailure())
+            FAIL() << "trial=" << trial;
+        setCodecBackend(CodecBackend::compiled);
+        const EntryDecode round = scheme_->decode(w);
+        ASSERT_EQ(round.status, EntryDecode::Status::clean);
+        ASSERT_EQ(round.data, d);
+    }
+}
+
+TEST_P(RsDifferential, PinErasureDecodeFuzz)
+{
+    // Heavier erasure fuzz than the generic tier: every pin, random
+    // per-beat damage on the pin plus up to two extra symbol errors.
+    Rng rng(0xE7A5E2ull);
+    for (int pin = 0; pin < 72; ++pin) {
+        for (int trial = 0; trial < 8; ++trial) {
+            Bits288 r = golden_;
+            for (int beat = 0; beat < 4; ++beat) {
+                if (rng.nextBool(0.6)) {
+                    const int pos = 72 * beat + pin;
+                    r.set(pos, !r.get(pos));
+                }
+            }
+            const int extras = static_cast<int>(rng.nextBounded(3));
+            for (int f = 0; f < extras; ++f) {
+                xorSymbol(r,
+                          static_cast<int>(rng.nextBounded(kNumSymbols)),
+                          static_cast<std::uint8_t>(
+                              1 + rng.nextBounded(255)));
+            }
+
+            setCodecBackend(CodecBackend::compiled);
+            const EntryDecode fast = scheme_->decodeWithPinErasure(r, pin);
+            setCodecBackend(CodecBackend::reference);
+            const EntryDecode ref = scheme_->decodeWithPinErasure(r, pin);
+            setCodecBackend(CodecBackend::compiled);
+
+            ASSERT_EQ(fast.status, ref.status)
+                << "pin=" << pin << " trial=" << trial;
+            if (fast.status != EntryDecode::Status::due)
+                ASSERT_EQ(fast.data, ref.data) << "pin=" << pin;
+        }
+    }
+}
+
+TEST_P(RsDifferential, BatchedDecodeMatchesReferenceElementwise)
+{
+    // One big heterogeneous batch — clean entries, single-symbol
+    // errors, and random floods interleaved — pushed through
+    // decodeBatch in one call, so the SoA transpose, the bulk
+    // early-out, and the suspect path are exercised against each
+    // other across tile boundaries (the batch exceeds one 256-entry
+    // tile).
+    Rng rng(0xBA7C4ull);
+    std::vector<Bits288> batch;
+    for (int sym = 0; sym < kNumSymbols; ++sym) {
+        for (std::uint8_t mag : kPairMagnitudes) {
+            Bits288 r = golden_;
+            xorSymbol(r, sym, mag);
+            batch.push_back(r);
+            batch.push_back(golden_); // interleave clean entries
+        }
+    }
+    for (int trial = 0; trial < 128; ++trial) {
+        Bits288 r = golden_;
+        const int weight = 2 + static_cast<int>(rng.nextBounded(4));
+        for (int f = 0; f < weight; ++f) {
+            xorSymbol(r, static_cast<int>(rng.nextBounded(kNumSymbols)),
+                      static_cast<std::uint8_t>(1 + rng.nextBounded(255)));
+        }
+        batch.push_back(r);
+    }
+
+    std::vector<EntryDecode> out(batch.size());
+    setCodecBackend(CodecBackend::compiled);
+    scheme_->decodeBatch(batch.data(), out.data(), batch.size());
+    setCodecBackend(CodecBackend::reference);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const EntryDecode ref = scheme_->decode(batch[i]);
+        ASSERT_EQ(out[i].status, ref.status) << "entry " << i;
+        if (ref.status != EntryDecode::Status::due)
+            ASSERT_EQ(out[i].data, ref.data) << "entry " << i;
+    }
+    setCodecBackend(CodecBackend::compiled);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RsSchemes, RsDifferential,
+    ::testing::Values("i-ssc", "i-ssc-csc", "ssc-dsd+", "dsc",
+                      "ssc-tsd"),
     [](const auto& info) {
         std::string name = info.param;
         for (char& c : name) {

@@ -19,10 +19,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/codec_mode.hpp"
 #include "ecc/registry.hpp"
+#include "ecc/rs_scheme.hpp"
 
 namespace gpuecc {
 namespace {
@@ -252,6 +254,137 @@ goldenVectors()
     return vectors;
 }
 
+/**
+ * Symbol-level golden vectors for the Reed-Solomon schemes: one
+ * (symbol, magnitude) injection list per row, applied through each
+ * organization's physical layout, with the decode outcome frozen at
+ * the time the batched SIMD RS path was introduced. The rows pin the
+ * outcomes across *both* codec backends and every runtime-dispatched
+ * gf256 ISA (AVX2 vs SSSE3 vs NEON vs scalar must all reproduce them
+ * bit-identically — the dispatch layer may never change results).
+ * The final row of each scheme block is a deliberate miscorrection
+ * (a low-weight codeword difference plus one extra symbol error):
+ * the frozen *wrong* data is part of the contract.
+ */
+struct RsSymbolVector
+{
+    const char* scheme_id;
+    std::vector<std::pair<int, std::uint8_t>> symbol_errors;
+    Status status;
+    EntryData data; //!< expected decode; ignored when status == due
+};
+
+const std::vector<RsSymbolVector>&
+rsSymbolVectors()
+{
+    static const std::vector<RsSymbolVector> vectors = {
+    {"i-ssc", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {{0, 0x01}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {{7, 0x53}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {{35, 0xFF}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {{3, 0xAA}, {20, 0x11}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {{1, 0x07}, {18, 0x80}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc", {{5, 0x01}, {6, 0x02}, {30, 0x80}}, Status::due, {}},
+    {"i-ssc", {{2, 0xFF}, {19, 0xFF}, {27, 0x0F}, {33, 0xF0}}, Status::due, {}},
+    {"i-ssc", {{0, 0x6E}, {1, 0x52}, {5, 0x3C}, {12, 0x5A}}, Status::corrected,
+     {0x01234567B5ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {{0, 0x01}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {{7, 0x53}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {{35, 0xFF}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"i-ssc-csc", {{3, 0xAA}, {20, 0x11}}, Status::due, {}},
+    {"i-ssc-csc", {{1, 0x07}, {18, 0x80}}, Status::due, {}},
+    {"i-ssc-csc", {{5, 0x01}, {6, 0x02}, {30, 0x80}}, Status::due, {}},
+    {"i-ssc-csc", {{2, 0xFF}, {19, 0xFF}, {27, 0x0F}, {33, 0xF0}}, Status::due, {}},
+    {"i-ssc-csc", {{0, 0x6E}, {1, 0x52}, {5, 0x3C}, {12, 0x5A}}, Status::corrected,
+     {0x01234567B5ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {{0, 0x01}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {{7, 0x53}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {{35, 0xFF}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-dsd+", {{3, 0xAA}, {20, 0x11}}, Status::due, {}},
+    {"ssc-dsd+", {{1, 0x07}, {18, 0x80}}, Status::due, {}},
+    {"ssc-dsd+", {{5, 0x01}, {6, 0x02}, {30, 0x80}}, Status::due, {}},
+    {"ssc-dsd+", {{2, 0xFF}, {19, 0xFF}, {27, 0x0F}, {33, 0xF0}}, Status::due, {}},
+    {"ssc-dsd+", {{0, 0xC7}, {1, 0x91}, {2, 0x47}, {3, 0x2D}, {9, 0x3C}, {25, 0x5A}}, Status::corrected,
+     {0x0123796789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {{0, 0x01}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {{7, 0x53}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {{35, 0xFF}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {{3, 0xAA}, {20, 0x11}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {{1, 0x07}, {18, 0x80}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"dsc", {{5, 0x01}, {6, 0x02}, {30, 0x80}}, Status::due, {}},
+    {"dsc", {{2, 0xFF}, {19, 0xFF}, {27, 0x0F}, {33, 0xF0}}, Status::due, {}},
+    {"dsc", {{0, 0xC7}, {1, 0x91}, {2, 0x47}, {3, 0x2D}, {9, 0x3C}, {25, 0x5A}}, Status::corrected,
+     {0x0123796789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {}, Status::clean,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {{0, 0x01}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {{7, 0x53}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {{35, 0xFF}}, Status::corrected,
+     {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    {"ssc-tsd", {{3, 0xAA}, {20, 0x11}}, Status::due, {}},
+    {"ssc-tsd", {{1, 0x07}, {18, 0x80}}, Status::due, {}},
+    {"ssc-tsd", {{5, 0x01}, {6, 0x02}, {30, 0x80}}, Status::due, {}},
+    {"ssc-tsd", {{2, 0xFF}, {19, 0xFF}, {27, 0x0F}, {33, 0xF0}}, Status::due, {}},
+    {"ssc-tsd", {{0, 0xC7}, {1, 0x91}, {2, 0x47}, {3, 0x2D}, {9, 0x3C}, {25, 0x5A}}, Status::corrected,
+     {0x0123796789ABCDEFull, 0xFEDCBA9876543210ull, 0xA5A5A5A5A5A5A5A5ull, 0x0F0F0F0F00FF00FFull}},
+    };
+    return vectors;
+}
+
+/** Apply one symbol-level injection through the physical layout. */
+Bits288
+applySymbolErrors(const std::string& id, const Bits288& golden,
+                  const std::vector<std::pair<int, std::uint8_t>>& inj)
+{
+    const bool interleaved = id.rfind("i-ssc", 0) == 0;
+    Bits288 r = golden;
+    for (const auto& [sym, mag] : inj) {
+        if (interleaved) {
+            const int cw = sym / 18;
+            const int pos = sym % 18;
+            for (int t = 0; t < 8; ++t) {
+                if ((mag >> t) & 1) {
+                    const int p =
+                        InterleavedSscScheme::physicalBit(cw, pos, t);
+                    r.set(p, !r.get(p));
+                }
+            }
+        } else {
+            const int base = 8 * Rs3632Scheme::physicalByteOf(sym);
+            for (int t = 0; t < 8; ++t) {
+                if ((mag >> t) & 1)
+                    r.set(base + t, !r.get(base + t));
+            }
+        }
+    }
+    return r;
+}
+
 class GoldenVectors
     : public ::testing::TestWithParam<CodecBackend>
 {
@@ -292,6 +425,79 @@ TEST_P(GoldenVectors, AllVectorsDecodeAsCommitted)
     }
     // One block per registered scheme; catches fixture truncation.
     EXPECT_EQ(covered, schemeIds().size());
+}
+
+TEST_P(GoldenVectors, RsSymbolVectorsDecodeAsCommitted)
+{
+    std::string current_id;
+    std::shared_ptr<EntryScheme> scheme;
+    Bits288 golden;
+    std::size_t covered = 0;
+    for (const RsSymbolVector& v : rsSymbolVectors()) {
+        if (v.scheme_id != current_id) {
+            current_id = v.scheme_id;
+            scheme = makeScheme(current_id);
+            golden = scheme->encode(kData);
+            ++covered;
+        }
+        const Bits288 received =
+            applySymbolErrors(current_id, golden, v.symbol_errors);
+        const EntryDecode d = scheme->decode(received);
+        SCOPED_TRACE(std::string(v.scheme_id) + " symbols=" +
+                     std::to_string(v.symbol_errors.size()));
+        EXPECT_EQ(d.status, v.status);
+        if (v.status != Status::due) {
+            EXPECT_EQ(d.data, v.data);
+        }
+    }
+    // One block per RS organization; catches fixture truncation.
+    EXPECT_EQ(covered, 5u);
+}
+
+TEST_P(GoldenVectors, RsSymbolVectorsBatchDecodeAsCommitted)
+{
+    // Every row of one scheme block through a single decodeBatch
+    // call: the SoA tile path — under whichever gf256 ISA the host
+    // dispatched — must land on the same frozen outcomes as the
+    // element-wise decode above. Rows are replicated to overflow one
+    // 256-entry tile so the partial-tile path is pinned too.
+    std::string current_id;
+    std::shared_ptr<EntryScheme> scheme;
+    Bits288 golden;
+    std::vector<const RsSymbolVector*> block;
+    const auto checkBlock = [&]() {
+        if (block.empty())
+            return;
+        constexpr std::size_t kReplicas = 40; // 9 rows -> 360 entries
+        std::vector<Bits288> received;
+        for (std::size_t rep = 0; rep < kReplicas; ++rep)
+            for (const RsSymbolVector* v : block)
+                received.push_back(applySymbolErrors(
+                    current_id, golden, v->symbol_errors));
+        std::vector<EntryDecode> out(received.size());
+        scheme->decodeBatch(received.data(), out.data(),
+                            received.size());
+        for (std::size_t i = 0; i < received.size(); ++i) {
+            const RsSymbolVector& v = *block[i % block.size()];
+            SCOPED_TRACE(std::string(current_id) + " entry=" +
+                         std::to_string(i));
+            EXPECT_EQ(out[i].status, v.status);
+            if (v.status != Status::due) {
+                EXPECT_EQ(out[i].data, v.data);
+            }
+        }
+    };
+    for (const RsSymbolVector& v : rsSymbolVectors()) {
+        if (v.scheme_id != current_id) {
+            checkBlock();
+            block.clear();
+            current_id = v.scheme_id;
+            scheme = makeScheme(current_id);
+            golden = scheme->encode(kData);
+        }
+        block.push_back(&v);
+    }
+    checkBlock();
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, GoldenVectors,

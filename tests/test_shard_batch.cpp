@@ -80,19 +80,25 @@ TEST(ShardBatch, InvariantToChunkSize)
     // multiples of the batch size and a chunk that leaves a partial
     // final block (samples not a block multiple).
     const std::uint64_t samples = 10000;
-    const auto scheme = makeScheme("duet");
-    const GoldenEntry golden = makeGolden(*scheme, kSeed);
-    for (ErrorPattern p :
-         {ErrorPattern::oneBeat, ErrorPattern::wholeEntry}) {
-        const OutcomeCounts oracle = runShards(
-            *scheme, golden, p, samples, kShardSamples, false);
-        for (std::uint64_t chunk : {1024ull, 3000ull, 4096ull,
-                                    65536ull}) {
-            const OutcomeCounts batched =
-                runShards(*scheme, golden, p, samples, chunk, true);
-            EXPECT_TRUE(sameCounts(oracle, batched))
-                << "pattern=" << patternInfo(p).label
-                << " chunk=" << chunk;
+    // One binary scheme and both RS organizations: the RS decodeBatch
+    // tiles internally at 256 entries, so the non-multiple chunks
+    // also exercise partial SoA tiles.
+    for (const char* id : {"duet", "i-ssc", "ssc-dsd+"}) {
+        const auto scheme = makeScheme(id);
+        const GoldenEntry golden = makeGolden(*scheme, kSeed);
+        for (ErrorPattern p :
+             {ErrorPattern::oneBeat, ErrorPattern::wholeEntry}) {
+            const OutcomeCounts oracle = runShards(
+                *scheme, golden, p, samples, kShardSamples, false);
+            for (std::uint64_t chunk : {1024ull, 3000ull, 4096ull,
+                                        65536ull}) {
+                const OutcomeCounts batched =
+                    runShards(*scheme, golden, p, samples, chunk, true);
+                EXPECT_TRUE(sameCounts(oracle, batched))
+                    << "scheme=" << id
+                    << " pattern=" << patternInfo(p).label
+                    << " chunk=" << chunk;
+            }
         }
     }
 }
@@ -100,25 +106,30 @@ TEST(ShardBatch, InvariantToChunkSize)
 TEST(ShardBatch, MatchesScalarUnderBothBackends)
 {
     const std::uint64_t samples = 4096;
-    const auto scheme = makeScheme("trio");
-    const GoldenEntry golden = makeGolden(*scheme, kSeed);
-    for (CodecBackend backend :
-         {CodecBackend::compiled, CodecBackend::reference}) {
-        setCodecBackend(backend);
-        for (ErrorPattern p :
-             {ErrorPattern::oneBit, ErrorPattern::wholeEntry}) {
-            const OutcomeCounts scalar = runShards(
-                *scheme, golden, p, samples, kShardSamples, false);
-            const OutcomeCounts batched = runShards(
-                *scheme, golden, p, samples, kShardSamples, true);
-            EXPECT_TRUE(sameCounts(scalar, batched))
-                << "backend="
-                << (backend == CodecBackend::compiled ? "compiled"
-                                                      : "reference")
-                << " pattern=" << patternInfo(p).label;
+    // The compiled binary codec plus every RS organization: the
+    // campaign-equivalence matrix the SIMD RS path must hold.
+    for (const char* id :
+         {"trio", "i-ssc", "i-ssc-csc", "ssc-dsd+", "dsc", "ssc-tsd"}) {
+        const auto scheme = makeScheme(id);
+        const GoldenEntry golden = makeGolden(*scheme, kSeed);
+        for (CodecBackend backend :
+             {CodecBackend::compiled, CodecBackend::reference}) {
+            setCodecBackend(backend);
+            for (ErrorPattern p :
+                 {ErrorPattern::oneBit, ErrorPattern::wholeEntry}) {
+                const OutcomeCounts scalar = runShards(
+                    *scheme, golden, p, samples, kShardSamples, false);
+                const OutcomeCounts batched = runShards(
+                    *scheme, golden, p, samples, kShardSamples, true);
+                EXPECT_TRUE(sameCounts(scalar, batched))
+                    << "scheme=" << id << " backend="
+                    << (backend == CodecBackend::compiled ? "compiled"
+                                                          : "reference")
+                    << " pattern=" << patternInfo(p).label;
+            }
         }
+        setCodecBackend(CodecBackend::compiled);
     }
-    setCodecBackend(CodecBackend::compiled);
 }
 
 TEST(ShardBatch, DecodeBatchMatchesElementwiseDecode)
@@ -159,17 +170,21 @@ TEST(ShardBatch, EvaluatorThreadCountInvariance)
     // The full engine path (Evaluator -> batched kernel -> per-worker
     // arenas -> merge) at several thread counts, including
     // oversubscription beyond the host's core count.
+    for (const char* id : {"duet", "ssc-dsd+", "i-ssc"}) {
+        const auto rs_scheme = makeScheme(id);
+        Evaluator rs_one(*rs_scheme, kSeed, 1);
+        const OutcomeCounts rs_oracle =
+            rs_one.evaluate(ErrorPattern::wholeEntry, 20000);
+        for (int threads : {2, 3, 8}) {
+            Evaluator many(*rs_scheme, kSeed, threads);
+            const OutcomeCounts counts =
+                many.evaluate(ErrorPattern::wholeEntry, 20000);
+            EXPECT_TRUE(sameCounts(rs_oracle, counts))
+                << "scheme=" << id << " threads=" << threads;
+        }
+    }
     const auto scheme = makeScheme("duet");
     Evaluator one(*scheme, kSeed, 1);
-    const OutcomeCounts oracle =
-        one.evaluate(ErrorPattern::wholeEntry, 20000);
-    for (int threads : {2, 3, 8}) {
-        Evaluator many(*scheme, kSeed, threads);
-        const OutcomeCounts counts =
-            many.evaluate(ErrorPattern::wholeEntry, 20000);
-        EXPECT_TRUE(sameCounts(oracle, counts))
-            << "threads=" << threads;
-    }
     // Enumerable pattern: the exhaustive flag must survive the
     // per-worker accumulator merge even when a worker stays idle.
     const OutcomeCounts exhaustive_one =

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -97,10 +98,20 @@ TEST(ThreadPool, CurrentWorkerIdsAreDenseAndStable)
     EXPECT_EQ(ThreadPool::currentWorker(), 0);
     ThreadPool pool(4);
     std::vector<std::atomic<int>> seen(pool.threadCount());
+    // Spawned workers park in their first task until the caller has
+    // run one; without this, a loaded host can let them steal the
+    // caller's whole queue shard before it pops once, and the
+    // worker-0-participated assertion below would race.
+    std::atomic<bool> caller_ran{false};
     pool.parallelFor(256, [&](std::uint64_t) {
         const int w = ThreadPool::currentWorker();
         ASSERT_GE(w, 0);
         ASSERT_LT(w, pool.threadCount());
+        if (w == 0)
+            caller_ran.store(true, std::memory_order_release);
+        else
+            while (!caller_ran.load(std::memory_order_acquire))
+                std::this_thread::yield();
         seen[w].fetch_add(1, std::memory_order_relaxed);
     });
     int total = 0;

@@ -36,6 +36,10 @@ const char* const kThroughputKeys[] = {
     "trials_per_second", "encode_mops",  "decode_clean_mops",
     "decode_1bit_mops",  "speedup",      "campaign_speedup",
     "decode_speedup_vs_reference",
+    // Per-(scheme, backend) keys from bench_throughput's "backends"
+    // blocks — how an RS SIMD decode regression on one backend is
+    // caught even when the other backend's numbers hold.
+    "decode_mops", "decode_batch_mops",
 };
 
 bool
@@ -62,6 +66,10 @@ elementLabel(const sim::JsonValue& element, std::size_t index)
         if (const sim::JsonValue* scheme = element.find("scheme")) {
             if (scheme->isString())
                 return scheme->asString().value();
+        }
+        if (const sim::JsonValue* backend = element.find("backend")) {
+            if (backend->isString())
+                return backend->asString().value();
         }
         if (const sim::JsonValue* threads = element.find("threads")) {
             if (threads->isNumber()) {
