@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer/multi-consumer queue.
+ *
+ * The fleet dispatcher's work-unit submission queue: campaign work
+ * units are pushed by the planner (and re-pushed by a liaison whose
+ * worker process died) and popped concurrently by the per-worker
+ * liaison threads. The design follows the sequence-stamped ring
+ * described in Engel's atomic_queue writeup (after Vyukov): every
+ * cell carries an atomic sequence number that encodes, for each lap
+ * of the ring, whether the cell is empty (seq == pos) or full
+ * (seq == pos + 1), so producers and consumers claim cells with one
+ * fetch_add each and never block one another — a stalled producer
+ * delays only its own cell, and tryPush/tryPop fail fast instead of
+ * spinning when the queue is full/empty.
+ *
+ * Progress guarantee: lock-free, not wait-free — a claimed-but-
+ * unwritten cell makes later pops of that cell fail until the writer
+ * finishes, but some thread always completes in a bounded number of
+ * steps. Element values move through the cells, so T needs only to
+ * be movable.
+ */
+
+#ifndef GPUECC_COMMON_MPMC_QUEUE_HPP
+#define GPUECC_COMMON_MPMC_QUEUE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gpuecc {
+
+/** Bounded lock-free MPMC ring; capacity is fixed at construction. */
+template <typename T>
+class MpmcQueue
+{
+  public:
+    /**
+     * @param min_capacity minimum number of elements the queue must
+     *                     hold; rounded up to the next power of two
+     *                     (the ring mask trick needs one). Must be
+     *                     positive.
+     */
+    explicit MpmcQueue(std::size_t min_capacity)
+    {
+        require(min_capacity > 0,
+                "MpmcQueue: capacity must be positive");
+        std::size_t cap = 1;
+        while (cap < min_capacity)
+            cap <<= 1;
+        capacity_ = cap;
+        mask_ = cap - 1;
+        cells_ = std::make_unique<Cell[]>(cap);
+        // Lap 0: cell i is empty when its sequence equals i.
+        for (std::size_t i = 0; i < cap; ++i)
+            cells_[i].sequence.store(i, std::memory_order_relaxed);
+        head_.value.store(0, std::memory_order_relaxed);
+        tail_.value.store(0, std::memory_order_relaxed);
+    }
+
+    MpmcQueue(const MpmcQueue&) = delete;
+    MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+    /** Fixed element capacity (the rounded-up power of two). */
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Enqueue one element; false when the queue is full. Safe from
+     * any number of threads concurrently with pops and other pushes.
+     */
+    bool tryPush(T value)
+    {
+        Cell* cell;
+        std::uint64_t pos =
+            tail_.value.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::uint64_t seq =
+                cell->sequence.load(std::memory_order_acquire);
+            const std::int64_t diff = static_cast<std::int64_t>(seq) -
+                static_cast<std::int64_t>(pos);
+            if (diff == 0) {
+                // Cell is empty for this lap: claim it by advancing
+                // the tail. Failure means another producer won the
+                // race; retry from its published position.
+                if (tail_.value.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                // The cell still holds last lap's element: full.
+                return false;
+            } else {
+                // Another producer claimed this position; catch up.
+                pos = tail_.value.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = std::move(value);
+        // Publish: consumers read the value only after seeing pos+1.
+        cell->sequence.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Dequeue one element into @p out; false when the queue is
+     * empty. Safe from any number of threads concurrently with
+     * pushes and other pops.
+     */
+    bool tryPop(T& out)
+    {
+        Cell* cell;
+        std::uint64_t pos =
+            head_.value.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::uint64_t seq =
+                cell->sequence.load(std::memory_order_acquire);
+            const std::int64_t diff = static_cast<std::int64_t>(seq) -
+                static_cast<std::int64_t>(pos + 1);
+            if (diff == 0) {
+                // Cell is full for this lap: claim it via the head.
+                if (head_.value.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                // The producer for this position hasn't published:
+                // empty (or mid-push, which reads as empty).
+                return false;
+            } else {
+                pos = head_.value.load(std::memory_order_relaxed);
+            }
+        }
+        out = std::move(cell->value);
+        // Mark the cell empty for the *next* lap of producers.
+        cell->sequence.store(pos + mask_ + 1,
+                             std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Elements currently enqueued, as a racy snapshot — exact only
+     * when no push/pop is in flight. Telemetry (queue-depth gauge)
+     * only; never a synchronization primitive.
+     */
+    std::size_t sizeApprox() const
+    {
+        const std::uint64_t tail =
+            tail_.value.load(std::memory_order_relaxed);
+        const std::uint64_t head =
+            head_.value.load(std::memory_order_relaxed);
+        return tail >= head ? static_cast<std::size_t>(tail - head)
+                            : 0;
+    }
+
+  private:
+    /** One ring slot: the element plus its lap-encoding sequence. */
+    struct alignas(kCacheLineBytes) Cell
+    {
+        std::atomic<std::uint64_t> sequence{0};
+        T value{};
+    };
+
+    std::size_t capacity_ = 0;
+    std::uint64_t mask_ = 0;
+    std::unique_ptr<Cell[]> cells_;
+    /** Producers' and consumers' cursors on their own cache lines. */
+    CacheAligned<std::atomic<std::uint64_t>> tail_;
+    CacheAligned<std::atomic<std::uint64_t>> head_;
+};
+
+} // namespace gpuecc
+
+#endif // GPUECC_COMMON_MPMC_QUEUE_HPP

@@ -1,0 +1,232 @@
+#include "common/subprocess.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GPUECC_HAS_SUBPROCESS 1
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define GPUECC_HAS_SUBPROCESS 0
+#endif
+
+namespace gpuecc {
+
+bool
+subprocessSupported()
+{
+    return GPUECC_HAS_SUBPROCESS != 0;
+}
+
+#if GPUECC_HAS_SUBPROCESS
+
+void
+ignoreSigpipe()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+Result<ChildProcess>
+spawnChild(
+    const std::function<int(int read_fd, int write_fd)>& child_main,
+    const std::vector<int>& inherited_fds)
+{
+    int to_child[2];   // parent writes [1], child reads [0]
+    int from_child[2]; // child writes [1], parent reads [0]
+    if (pipe(to_child) != 0) {
+        return Status::ioError(std::string("pipe: ") +
+                               std::strerror(errno));
+    }
+    if (pipe(from_child) != 0) {
+        const int err = errno;
+        close(to_child[0]);
+        close(to_child[1]);
+        return Status::ioError(std::string("pipe: ") +
+                               std::strerror(err));
+    }
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+        const int err = errno;
+        close(to_child[0]);
+        close(to_child[1]);
+        close(from_child[0]);
+        close(from_child[1]);
+        return Status::ioError(std::string("fork: ") +
+                               std::strerror(err));
+    }
+    if (pid == 0) {
+        // Child: drop the parent ends of our own pipes and every
+        // inherited sibling fd — holding a sibling's write end open
+        // would hide that sibling's death from the parent (no EOF).
+        close(to_child[1]);
+        close(from_child[0]);
+        for (const int fd : inherited_fds)
+            close(fd);
+        const int code = child_main(to_child[0], from_child[1]);
+        // _exit, not exit: no atexit handlers, no stdio flush of
+        // buffers duplicated from the parent.
+        _exit(code);
+    }
+
+    close(to_child[0]);
+    close(from_child[1]);
+    ChildProcess child;
+    child.pid = pid;
+    child.to_child = to_child[1];
+    child.from_child = from_child[0];
+    return child;
+}
+
+Status
+writeAllFd(int fd, const std::string& data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError(std::string("pipe write: ") +
+                                   std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+Result<std::string>
+LineReader::readLine()
+{
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return line;
+        }
+        if (eof_) {
+            if (!buffer_.empty()) {
+                buffer_.clear();
+                return Status::dataLoss(
+                    "pipe closed mid-line (peer died writing)");
+            }
+            return Status::notFound("end of stream");
+        }
+        char chunk[4096];
+        const ssize_t n = read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError(std::string("pipe read: ") +
+                                   std::strerror(errno));
+        }
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void
+closeFd(int& fd)
+{
+    if (fd >= 0) {
+        close(fd);
+        fd = -1;
+    }
+}
+
+Result<int>
+waitForExit(std::int64_t pid)
+{
+    int status = 0;
+    for (;;) {
+        const pid_t r = waitpid(static_cast<pid_t>(pid), &status, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError(std::string("waitpid: ") +
+                                   std::strerror(errno));
+        }
+        break;
+    }
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return Status::internalError("waitpid: unexpected status " +
+                                 std::to_string(status));
+}
+
+Status
+killChild(std::int64_t pid)
+{
+    if (kill(static_cast<pid_t>(pid), SIGKILL) != 0 &&
+        errno != ESRCH) {
+        return Status::ioError(std::string("kill: ") +
+                               std::strerror(errno));
+    }
+    return {};
+}
+
+#else // !GPUECC_HAS_SUBPROCESS
+
+namespace {
+Status
+unsupported()
+{
+    return Status::unavailable(
+        "child processes are not supported on this platform");
+}
+} // namespace
+
+void
+ignoreSigpipe()
+{
+}
+
+Result<ChildProcess>
+spawnChild(const std::function<int(int, int)>&,
+           const std::vector<int>&)
+{
+    return unsupported();
+}
+
+Status
+writeAllFd(int, const std::string&)
+{
+    return unsupported();
+}
+
+Result<std::string>
+LineReader::readLine()
+{
+    return unsupported();
+}
+
+void
+closeFd(int& fd)
+{
+    fd = -1;
+}
+
+Result<int>
+waitForExit(std::int64_t)
+{
+    return unsupported();
+}
+
+Status
+killChild(std::int64_t)
+{
+    return unsupported();
+}
+
+#endif // GPUECC_HAS_SUBPROCESS
+
+} // namespace gpuecc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fleet-scale campaign execution: multi-process dispatch with a
+ * bit-identical merge.
+ *
+ * runFleetCampaign is the process-level sibling of the in-process
+ * campaign runner: it decomposes the same deterministic task plan
+ * into self-describing work units (contiguous shard ranges of one
+ * (scheme, pattern) cell), pushes them through a bounded lock-free
+ * MPMC queue, and feeds them to N forked single-threaded worker
+ * processes over pipes. One liaison thread per worker pops units,
+ * round-trips them over the worker's pipe pair, validates the
+ * returned checkpoint-format tallies with the resume validator, and
+ * merges them with the same overflow-checked OutcomeCounts merge the
+ * thread pool uses — so per-cell tallies (and the CSV report) are
+ * bit-identical to a single-process run of the same spec.
+ *
+ * Fault model: a worker that dies or breaks protocol mid-unit is
+ * retired and its in-flight unit is re-queued for a surviving worker
+ * — the same "completed units are facts, in-flight work is re-done"
+ * contract as checkpoint resume. If every worker is lost, the parent
+ * finishes the remaining units in-process rather than failing the
+ * campaign. Checkpointing, resume, SIGINT draining, and the chaos
+ * harness all compose with fleet mode.
+ */
+
+#ifndef GPUECC_FLEET_FLEET_HPP
+#define GPUECC_FLEET_FLEET_HPP
+
+#include "common/status.hpp"
+#include "sim/campaign.hpp"
+
+namespace gpuecc::sim::fleet {
+
+/**
+ * Execute @p spec across spec.fleet_workers forked worker processes.
+ * Called by CampaignRunner::tryRun when fleet_workers > 0 — call
+ * sites should go through the runner, which validates the spec.
+ * Must be invoked while the process is single-threaded (fork safety);
+ * reports unavailable on platforms without fork/pipe.
+ */
+Result<CampaignResult> runFleetCampaign(const CampaignSpec& spec);
+
+} // namespace gpuecc::sim::fleet
+
+#endif // GPUECC_FLEET_FLEET_HPP

@@ -1,0 +1,285 @@
+#include "fleet/protocol.hpp"
+
+#include "sim/json.hpp"
+#include "sim/report.hpp"
+
+namespace gpuecc::sim::fleet {
+
+namespace {
+
+/** Fetch a required uint64 member. */
+Result<std::uint64_t>
+getUint(const JsonValue& root, const std::string& key)
+{
+    Result<const JsonValue*> member = root.get(key);
+    if (!member.ok())
+        return member.status();
+    return member.value()->asUint64();
+}
+
+/** Fetch a required string member. */
+Result<std::string>
+getString(const JsonValue& root, const std::string& key)
+{
+    Result<const JsonValue*> member = root.get(key);
+    if (!member.ok())
+        return member.status();
+    return member.value()->asString();
+}
+
+/** Parse one line and check its "type" tag. */
+Result<JsonValue>
+parseLine(const std::string& line, const std::string& expect_type)
+{
+    Result<JsonValue> doc = parseJson(line);
+    if (!doc.ok()) {
+        return Status::dataLoss("fleet protocol line: " +
+                                doc.status().message());
+    }
+    if (!doc.value().isObject())
+        return Status::dataLoss("fleet protocol line is not an object");
+    Result<std::string> type = getString(doc.value(), "type");
+    if (!type.ok())
+        return type.status();
+    if (!expect_type.empty() && type.value() != expect_type) {
+        return Status::dataLoss("fleet protocol: expected a " +
+                                expect_type + " line, got " +
+                                type.value());
+    }
+    return doc;
+}
+
+} // namespace
+
+std::string
+encodeConfigLine(const FleetConfig& config)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "config");
+    w.kv("worker", config.worker);
+    w.key("schemes").beginArray();
+    for (const std::string& id : config.scheme_ids)
+        w.value(id);
+    w.endArray();
+    w.key("patterns").beginArray();
+    for (ErrorPattern p : config.patterns)
+        w.value(static_cast<std::uint64_t>(p));
+    w.endArray();
+    w.kv("samples", config.samples);
+    w.kv("seed", config.seed);
+    w.kv("chunk", config.chunk);
+    w.kv("fingerprint", config.fingerprint);
+    w.kv("codec_backend", config.codec_backend);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+Result<FleetConfig>
+decodeConfigLine(const std::string& line)
+{
+    Result<JsonValue> doc = parseLine(line, "config");
+    if (!doc.ok())
+        return doc.status();
+    const JsonValue& root = doc.value();
+
+    FleetConfig out;
+    Result<std::uint64_t> worker = getUint(root, "worker");
+    if (!worker.ok())
+        return worker.status();
+    out.worker = static_cast<int>(worker.value());
+
+    Result<const JsonValue*> schemes = root.get("schemes");
+    if (!schemes.ok())
+        return schemes.status();
+    if (!schemes.value()->isArray())
+        return Status::dataLoss("fleet config: schemes not an array");
+    for (const JsonValue& id : schemes.value()->elements()) {
+        Result<std::string> s = id.asString();
+        if (!s.ok())
+            return s.status();
+        out.scheme_ids.push_back(s.value());
+    }
+
+    Result<const JsonValue*> patterns = root.get("patterns");
+    if (!patterns.ok())
+        return patterns.status();
+    if (!patterns.value()->isArray())
+        return Status::dataLoss("fleet config: patterns not an array");
+    const std::size_t pattern_count = allErrorPatterns().size();
+    for (const JsonValue& p : patterns.value()->elements()) {
+        Result<std::uint64_t> v = p.asUint64();
+        if (!v.ok())
+            return v.status();
+        if (v.value() >= pattern_count) {
+            return Status::dataLoss(
+                "fleet config: pattern id " +
+                std::to_string(v.value()) + " out of range");
+        }
+        out.patterns.push_back(static_cast<ErrorPattern>(v.value()));
+    }
+
+    Result<std::uint64_t> samples = getUint(root, "samples");
+    Result<std::uint64_t> seed = getUint(root, "seed");
+    Result<std::uint64_t> chunk = getUint(root, "chunk");
+    if (!samples.ok())
+        return samples.status();
+    if (!seed.ok())
+        return seed.status();
+    if (!chunk.ok())
+        return chunk.status();
+    out.samples = samples.value();
+    out.seed = seed.value();
+    out.chunk = chunk.value();
+
+    Result<std::string> fingerprint = getString(root, "fingerprint");
+    Result<std::string> backend = getString(root, "codec_backend");
+    if (!fingerprint.ok())
+        return fingerprint.status();
+    if (!backend.ok())
+        return backend.status();
+    out.fingerprint = fingerprint.value();
+    out.codec_backend = backend.value();
+    return out;
+}
+
+std::string
+encodeUnitLine(const WorkUnit& unit)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "unit");
+    w.kv("unit", unit.unit);
+    w.kv("first", unit.first_task);
+    w.kv("count", unit.task_count);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+Result<WorkUnit>
+decodeUnitLine(const std::string& line)
+{
+    Result<JsonValue> doc = parseLine(line, "unit");
+    if (!doc.ok())
+        return doc.status();
+    WorkUnit out;
+    Result<std::uint64_t> unit = getUint(doc.value(), "unit");
+    Result<std::uint64_t> first = getUint(doc.value(), "first");
+    Result<std::uint64_t> count = getUint(doc.value(), "count");
+    if (!unit.ok())
+        return unit.status();
+    if (!first.ok())
+        return first.status();
+    if (!count.ok())
+        return count.status();
+    out.unit = unit.value();
+    out.first_task = first.value();
+    out.task_count = count.value();
+    if (out.task_count == 0)
+        return Status::dataLoss("fleet unit: empty task range");
+    return out;
+}
+
+std::string
+encodeResultLine(const WorkerMessage& result)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "result");
+    w.kv("unit", result.unit);
+    w.kv("worker", result.worker);
+    w.kv("busy_us", result.busy_us);
+    w.key("checkpoint");
+    writeCheckpointJson(w, result.checkpoint);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string
+encodeUnitErrorLine(std::uint64_t unit, int worker,
+                    const std::string& message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "unit_error");
+    w.kv("unit", unit);
+    w.kv("worker", worker);
+    w.kv("message", message);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string
+encodeWorkerErrorLine(int worker, const std::string& message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "worker_error");
+    w.kv("worker", worker);
+    w.kv("message", message);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+Result<WorkerMessage>
+decodeWorkerLine(const std::string& line)
+{
+    Result<JsonValue> doc = parseLine(line, "");
+    if (!doc.ok())
+        return doc.status();
+    const JsonValue& root = doc.value();
+    const std::string type =
+        getString(root, "type").value(); // parseLine validated it
+
+    WorkerMessage out;
+    Result<std::uint64_t> worker = getUint(root, "worker");
+    if (!worker.ok())
+        return worker.status();
+    out.worker = static_cast<int>(worker.value());
+
+    if (type == "result") {
+        out.kind = WorkerMessage::Kind::result;
+        Result<std::uint64_t> unit = getUint(root, "unit");
+        Result<std::uint64_t> busy = getUint(root, "busy_us");
+        if (!unit.ok())
+            return unit.status();
+        if (!busy.ok())
+            return busy.status();
+        out.unit = unit.value();
+        out.busy_us = busy.value();
+        Result<const JsonValue*> ckpt = root.get("checkpoint");
+        if (!ckpt.ok())
+            return ckpt.status();
+        Result<CampaignCheckpoint> parsed = checkpointFromJson(
+            *ckpt.value(),
+            "worker " + std::to_string(out.worker) + " result");
+        if (!parsed.ok())
+            return parsed.status();
+        out.checkpoint = std::move(parsed).value();
+        return out;
+    }
+    if (type == "unit_error") {
+        out.kind = WorkerMessage::Kind::unit_error;
+        Result<std::uint64_t> unit = getUint(root, "unit");
+        if (!unit.ok())
+            return unit.status();
+        out.unit = unit.value();
+        Result<std::string> message = getString(root, "message");
+        if (!message.ok())
+            return message.status();
+        out.message = message.value();
+        return out;
+    }
+    if (type == "worker_error") {
+        out.kind = WorkerMessage::Kind::worker_error;
+        Result<std::string> message = getString(root, "message");
+        if (!message.ok())
+            return message.status();
+        out.message = message.value();
+        return out;
+    }
+    return Status::dataLoss("fleet protocol: unknown line type '" +
+                            type + "'");
+}
+
+} // namespace gpuecc::sim::fleet

@@ -1,0 +1,171 @@
+#include "fleet/worker.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/codec_mode.hpp"
+#include "common/status.hpp"
+#include "common/subprocess.hpp"
+#include "ecc/registry.hpp"
+#include "faultsim/shard.hpp"
+#include "fleet/protocol.hpp"
+#include "sim/chaos.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace gpuecc::sim::fleet {
+
+namespace {
+
+/** One plan entry: a shard of one (scheme, pattern) cell. */
+struct WorkerTask
+{
+    std::size_t scheme;
+    Shard shard;
+};
+
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point origin)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - origin)
+            .count());
+}
+
+} // namespace
+
+int
+fleetWorkerMain(int read_fd, int write_fd)
+{
+    LineReader in(read_fd);
+
+    // Setup failures travel back as a worker_error line so the parent
+    // can log *why* instead of just seeing EOF; the nonzero exit code
+    // is the backstop for when even the write fails.
+    const auto bail = [&](const std::string& message, int worker,
+                          int code) {
+        writeAllFd(write_fd, encodeWorkerErrorLine(worker, message));
+        return code;
+    };
+
+    Result<std::string> config_line = in.readLine();
+    if (!config_line.ok())
+        return kWorkerProtocolExit;
+    Result<FleetConfig> config = decodeConfigLine(config_line.value());
+    if (!config.ok())
+        return bail(config.status().toString(), -1, kWorkerSetupExit);
+    const FleetConfig& cfg = config.value();
+
+    setCodecBackend(cfg.codec_backend == "reference"
+                        ? CodecBackend::reference
+                        : CodecBackend::compiled);
+
+    // The parent resolved these same ids before forking, so a failure
+    // here is a genuine environment fault, not a planning error.
+    std::vector<std::shared_ptr<EntryScheme>> schemes;
+    std::vector<GoldenEntry> goldens;
+    for (const std::string& id : cfg.scheme_ids) {
+        Result<std::shared_ptr<EntryScheme>> scheme = findScheme(id);
+        if (!scheme.ok()) {
+            return bail("scheme " + id + ": " +
+                            scheme.status().toString(),
+                        cfg.worker, kWorkerSetupExit);
+        }
+        schemes.push_back(scheme.value());
+        goldens.push_back(makeGolden(*schemes.back(), cfg.seed));
+    }
+
+    // Rebuild the plan exactly as the dispatcher did (same loops, same
+    // order) and prove it with the fingerprint: a unit's task indices
+    // are only meaningful against an identical plan.
+    std::vector<WorkerTask> tasks;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        for (ErrorPattern p : cfg.patterns) {
+            for (const Shard& shard :
+                 planShards(p, cfg.samples, cfg.chunk))
+                tasks.push_back({s, shard});
+        }
+    }
+    const std::string fingerprint = campaignFingerprint(
+        cfg.scheme_ids, cfg.patterns, cfg.samples, cfg.seed, cfg.chunk,
+        codecBackendName(), tasks.size());
+    if (fingerprint != cfg.fingerprint) {
+        return bail("plan fingerprint mismatch\n  parent: " +
+                        cfg.fingerprint + "\n  worker: " + fingerprint,
+                    cfg.worker, kWorkerSetupExit);
+    }
+
+    ShardBatchArena arena;
+    std::uint64_t units_done = 0;
+    for (;;) {
+        Result<std::string> line = in.readLine();
+        if (line.status().code() == ErrorCode::notFound)
+            return 0; // EOF: the dispatcher is done with us
+        if (!line.ok())
+            return kWorkerProtocolExit;
+        Result<WorkUnit> decoded = decodeUnitLine(line.value());
+        if (!decoded.ok()) {
+            return bail(decoded.status().toString(), cfg.worker,
+                        kWorkerProtocolExit);
+        }
+        const WorkUnit& unit = decoded.value();
+        if (unit.first_task + unit.task_count > tasks.size()) {
+            return bail("unit " + std::to_string(unit.unit) +
+                            " is outside the plan",
+                        cfg.worker, kWorkerProtocolExit);
+        }
+
+        // Chaos kill-point: simulates this worker crashing as the
+        // unit arrives — before any result bytes are written.
+        chaosOnFleetUnitStart(cfg.worker, units_done);
+
+        WorkerMessage result;
+        result.unit = unit.unit;
+        result.worker = cfg.worker;
+        result.checkpoint.fingerprint = fingerprint;
+        result.checkpoint.done.reserve(unit.task_count);
+        const auto unit_start = std::chrono::steady_clock::now();
+        std::string failure;
+        for (std::uint64_t i = unit.first_task;
+             i < unit.first_task + unit.task_count; ++i) {
+            const WorkerTask& t = tasks[i];
+            OutcomeCounts counts;
+            try {
+                chaosOnTaskAttempt(i);
+                counts = evaluateShardBatched(*schemes[t.scheme],
+                                              goldens[t.scheme],
+                                              cfg.seed, t.shard, arena);
+            } catch (const std::exception& first) {
+                // Same contract as the in-process runner: one retry,
+                // then the *cell* fails, not the worker.
+                try {
+                    chaosOnTaskAttempt(i);
+                    counts = evaluateShardBatched(*schemes[t.scheme],
+                                                  goldens[t.scheme],
+                                                  cfg.seed, t.shard,
+                                                  arena);
+                } catch (const std::exception& second) {
+                    failure = "shard task " + std::to_string(i) +
+                              " failed twice: " + second.what();
+                    break;
+                }
+            }
+            result.checkpoint.done.push_back({i, counts});
+        }
+        result.busy_us = microsSince(unit_start);
+        ++units_done;
+
+        const std::string reply =
+            failure.empty()
+                ? encodeResultLine(result)
+                : encodeUnitErrorLine(unit.unit, cfg.worker, failure);
+        if (!writeAllFd(write_fd, reply).ok())
+            return kWorkerProtocolExit;
+    }
+}
+
+} // namespace gpuecc::sim::fleet

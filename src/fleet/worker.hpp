@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fleet worker process entry point.
+ *
+ * A worker is the child half of the fleet dispatcher: it reads one
+ * config line, independently rebuilds the campaign task plan from it,
+ * refuses to serve (worker_error) if its re-derived fingerprint
+ * differs from the parent's, then evaluates work units until the
+ * parent closes the pipe (EOF is the normal shutdown). Each unit's
+ * tallies travel back as a checkpoint document, so the parent
+ * validates them with the same code that validates a resume. Workers
+ * are single-threaded on purpose — fleet parallelism is process-level
+ * — which keeps fork() safe and each worker's memory footprint flat.
+ */
+
+#ifndef GPUECC_FLEET_WORKER_HPP
+#define GPUECC_FLEET_WORKER_HPP
+
+namespace gpuecc::sim::fleet {
+
+/** Exit code: the pipe protocol broke (unreadable/unwritable). */
+constexpr int kWorkerProtocolExit = 3;
+
+/** Exit code: setup failed (bad config, plan fingerprint mismatch). */
+constexpr int kWorkerSetupExit = 4;
+
+/**
+ * Child-process main loop: serve work units over the pipe pair until
+ * EOF on @p read_fd. Returns the process exit code (0 on a normal
+ * EOF shutdown). Runs in a forked child — it must not assume any
+ * parent thread state and reports every failure as a protocol line
+ * before exiting, never via fatal().
+ */
+int fleetWorkerMain(int read_fd, int write_fd);
+
+} // namespace gpuecc::sim::fleet
+
+#endif // GPUECC_FLEET_WORKER_HPP

@@ -107,4 +107,17 @@ processCpuSeconds()
     return seconds(usage.ru_utime) + seconds(usage.ru_stime);
 }
 
+double
+processChildrenCpuSeconds()
+{
+    struct rusage usage = {};
+    if (::getrusage(RUSAGE_CHILDREN, &usage) != 0)
+        return 0.0;
+    const auto seconds = [](const struct timeval& tv) {
+        return static_cast<double>(tv.tv_sec) +
+               static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+}
+
 } // namespace gpuecc::obs

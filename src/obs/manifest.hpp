@@ -69,6 +69,37 @@ struct SchemeTiming
     std::uint64_t trials = 0;
 };
 
+/** One fleet worker process's execution record (audit trail). */
+struct FleetWorkerRecord
+{
+    int worker = 0;         //!< dense worker index
+    std::int64_t pid = 0;   //!< OS process id (provenance only)
+    std::uint64_t units = 0;  //!< work units completed
+    std::uint64_t shards = 0; //!< shard tasks inside those units
+    std::uint64_t trials = 0;
+    /** In-worker evaluation time (its own clock, summed per unit). */
+    double busy_seconds = 0.0;
+    /** Exit code (128 + signal for a signalled death). */
+    int exit_code = 0;
+    /** Died (or broke protocol) before the queue drained. */
+    bool lost = false;
+};
+
+/** Fleet-level execution telemetry (workers == 0: in-process run). */
+struct FleetTelemetry
+{
+    int workers = 0;
+    std::uint64_t units = 0;        //!< work units in the plan
+    std::uint64_t unit_shards = 0;  //!< shard tasks per unit (max)
+    std::uint64_t queue_capacity = 0;
+    /** Units re-queued after a worker died mid-unit. */
+    std::uint64_t requeues = 0;
+    std::uint64_t workers_lost = 0;
+    /** Shard tasks the parent evaluated itself (all workers lost). */
+    std::uint64_t parent_fallback_shards = 0;
+    std::vector<FleetWorkerRecord> worker_records;
+};
+
 /** Provenance block embedded in reports and checkpoints. */
 struct RunManifest
 {
@@ -83,6 +114,8 @@ struct RunManifest
     std::uint64_t samples = 0;
     std::uint64_t seed = 0;
     std::uint64_t chunk = 0;
+    /** Fleet worker processes (0 = in-process execution). */
+    int fleet_workers = 0;
     /** Whether worker CPU pinning was requested and took effect. */
     bool affinity = false;
     std::vector<std::string> schemes;
@@ -97,6 +130,13 @@ std::string toolName();
 
 /** CPU seconds this process has consumed (user + system). */
 double processCpuSeconds();
+
+/**
+ * CPU seconds consumed by reaped child processes (user + system) —
+ * how a fleet campaign's worker compute shows up in the parent's
+ * timing section. 0 where the platform can't report it.
+ */
+double processChildrenCpuSeconds();
 
 } // namespace gpuecc::obs
 

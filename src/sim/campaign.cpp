@@ -9,6 +9,7 @@
 
 #include "common/codec_mode.hpp"
 #include "common/interrupt.hpp"
+#include "fleet/fleet.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "ecc/registry.hpp"
@@ -83,6 +84,10 @@ CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec))
     require(!spec_.scheme_ids.empty(),
             "CampaignRunner: spec names no schemes");
     require(spec_.chunk > 0, "CampaignRunner: chunk must be positive");
+    require(spec_.fleet_workers >= 0 && spec_.fleet_workers <= 4096,
+            "CampaignRunner: fleet workers must be in [0, 4096]");
+    require(spec_.fleet_unit_shards > 0,
+            "CampaignRunner: fleet unit must hold at least one shard");
 }
 
 CampaignResult
@@ -205,6 +210,13 @@ microsSince(std::chrono::steady_clock::time_point origin,
 Result<CampaignResult>
 CampaignRunner::tryRun() const
 {
+    // Fleet mode forks worker processes and must do so before this
+    // process spawns any threads — the fleet dispatcher owns that
+    // ordering, so hand over before the pool (or progress reporter)
+    // exists.
+    if (spec_.fleet_workers > 0)
+        return fleet::runFleetCampaign(spec_);
+
     const CampaignMetricIds& mid = campaignMetricIds();
     obs::MetricsRegistry& reg = obs::metrics();
     // Flush this thread first so the baseline holds everything older

@@ -67,6 +67,23 @@ struct CampaignSpec
     bool affinity = false;
 
     /**
+     * Fleet mode: number of worker *processes* to fork and dispatch
+     * work units to over pipes (src/fleet). 0 (the default) runs the
+     * campaign in-process on the thread pool. Tallies and the CSV
+     * report are bit-identical either way — fleet mode only changes
+     * who evaluates each shard, never what is drawn. Requires a
+     * platform with fork/pipe; elsewhere tryRun reports unavailable.
+     */
+    int fleet_workers = 0;
+    /**
+     * Shard tasks per fleet work unit — the dispatch granularity.
+     * Larger units amortize pipe round-trips; smaller units balance
+     * better and lose less to a killed worker (a lost worker's
+     * in-flight unit is re-queued whole).
+     */
+    std::uint64_t fleet_unit_shards = 4;
+
+    /**
      * Checkpoint sidecar path; empty disables checkpointing. When
      * set, completed shard tallies are flushed atomically to this
      * file on an interval and on SIGINT/SIGTERM, and the final
@@ -130,6 +147,8 @@ struct CampaignResult
     obs::PoolTelemetry pool;
     /** Per-scheme time/volume breakdown, in evaluated-spec order. */
     std::vector<obs::SchemeTiming> scheme_timings;
+    /** Fleet execution telemetry (workers == 0 for in-process). */
+    obs::FleetTelemetry fleet;
     /** Deltas of the campaign.* metrics recorded by this run. */
     obs::MetricsSnapshot metrics;
     /** Number of shards the plan contained. */

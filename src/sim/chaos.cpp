@@ -1,5 +1,6 @@
 #include "sim/chaos.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdlib>
@@ -94,6 +95,10 @@ parseChaosSpec(const std::string& text)
             spec.kill_after = value.value();
         } else if (key == "ckpt_fail") {
             spec.ckpt_fail = static_cast<int>(value.value());
+        } else if (key == "fleet_exit_worker") {
+            spec.fleet_exit_worker = value.value();
+        } else if (key == "fleet_exit_after") {
+            spec.fleet_exit_after = value.value();
         } else {
             return Status::invalidArgument("unknown chaos key '" + key +
                                            "'");
@@ -168,6 +173,27 @@ chaosOnTaskDone(std::uint64_t completed_total)
              " tasks; requesting interrupt");
         requestInterrupt();
     }
+}
+
+void
+chaosOnFleetUnitStart(int worker, std::uint64_t units_completed)
+{
+    if (!chaosActive())
+        return;
+    ChaosState& s = state();
+    if (s.spec.fleet_exit_worker < 0 ||
+        worker != static_cast<int>(s.spec.fleet_exit_worker))
+        return;
+    if (units_completed <
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, s.spec.fleet_exit_after)))
+        return;
+    // A real crash, not a clean shutdown: no result line, no exit
+    // handlers — the parent sees EOF mid-protocol and must requeue.
+    warn("chaos: fleet worker " + std::to_string(worker) +
+         " self-killing after " + std::to_string(units_completed) +
+         " units");
+    std::_Exit(kChaosFleetExitCode);
 }
 
 Status

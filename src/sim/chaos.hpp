@@ -17,6 +17,9 @@
  *   kill_after=N        request a clean interrupt once N tasks have
  *                       completed (a simulated SIGTERM)
  *   ckpt_fail=N         fail the next N checkpoint writes
+ *   fleet_exit_worker=W fleet worker index W self-kills (_exit) ...
+ *   fleet_exit_after=N  ... when it starts its (N+1)-th work unit
+ *                       (default 0: dies on its first unit)
  *
  * All triggers count events, never wall-clock or randomness, so a
  * chaos scenario reproduces exactly.
@@ -44,6 +47,10 @@ struct ChaosSpec
     std::int64_t kill_after = -1;
     /** Number of upcoming checkpoint writes to fail. */
     int ckpt_fail = 0;
+    /** Fleet worker index that self-kills mid-run; -1 = never. */
+    std::int64_t fleet_exit_worker = -1;
+    /** Units that worker completes before dying on the next one. */
+    std::int64_t fleet_exit_after = 0;
 };
 
 /** The exception an armed task_fault raises inside a shard task. */
@@ -92,6 +99,19 @@ void chaosOnTaskDone(std::uint64_t completed_total);
  * ckpt_fail budget lasts.
  */
 Status chaosOnCheckpointWrite();
+
+/** Exit code of a chaos-killed fleet worker (looks like a crash). */
+constexpr int kChaosFleetExitCode = 77;
+
+/**
+ * Fleet worker hook: called when worker @p worker starts a work unit,
+ * with the number of units it completed before this one. _exit()s the
+ * process (simulating a mid-campaign worker crash — no result, no
+ * cleanup) when the armed (fleet_exit_worker, fleet_exit_after)
+ * trigger matches. Forked workers inherit the parent's armed spec,
+ * so tests arm it in-process before the campaign forks.
+ */
+void chaosOnFleetUnitStart(int worker, std::uint64_t units_completed);
 
 } // namespace gpuecc::sim
 

@@ -75,14 +75,10 @@ campaignFingerprint(const std::vector<std::string>& scheme_ids,
     return fp;
 }
 
-Status
-saveCheckpoint(const std::string& path,
-               const CampaignCheckpoint& checkpoint)
+void
+writeCheckpointJson(JsonWriter& w,
+                    const CampaignCheckpoint& checkpoint)
 {
-    if (Status chaos = chaosOnCheckpointWrite(); !chaos.ok())
-        return chaos;
-
-    JsonWriter w;
     w.beginObject();
     w.kv("version", kCheckpointVersion);
     w.kv("fingerprint", checkpoint.fingerprint);
@@ -102,34 +98,13 @@ saveCheckpoint(const std::string& path,
     }
     w.endArray();
     w.endObject();
-
-    // Write-to-temp + rename: readers (and a resume after a crash
-    // right here) only ever see the old file or the complete new one.
-    const std::string tmp = path + ".tmp";
-    if (Status s = saveTextFile(tmp, w.str()); !s.ok())
-        return s;
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return Status::ioError("cannot rename " + tmp + " to " + path);
-    }
-    return {};
 }
 
 Result<CampaignCheckpoint>
-loadCheckpoint(const std::string& path)
+checkpointFromJson(const JsonValue& root, const std::string& label)
 {
-    Result<std::string> text = loadTextFile(path);
-    if (!text.ok())
-        return text.status();
-
-    Result<JsonValue> doc = parseJson(text.value());
-    if (!doc.ok()) {
-        return Status::dataLoss("checkpoint " + path + ": " +
-                                doc.status().message());
-    }
-    const JsonValue& root = doc.value();
     if (!root.isObject())
-        return Status::dataLoss("checkpoint " + path +
+        return Status::dataLoss(label +
                                 ": document is not an object");
 
     Result<const JsonValue*> version = root.get("version");
@@ -139,9 +114,8 @@ loadCheckpoint(const std::string& path)
     if (!v.ok())
         return v.status();
     if (v.value() != kCheckpointVersion) {
-        return Status::dataLoss(
-            "checkpoint " + path + ": unsupported version " +
-            std::to_string(v.value()));
+        return Status::dataLoss(label + ": unsupported version " +
+                                std::to_string(v.value()));
     }
 
     CampaignCheckpoint out;
@@ -167,25 +141,62 @@ loadCheckpoint(const std::string& path)
     if (!tasks.ok())
         return tasks.status();
     if (!tasks.value()->isArray())
-        return Status::dataLoss("checkpoint " + path +
-                                ": \"tasks\" is not an array");
+        return Status::dataLoss(label + ": \"tasks\" is not an array");
 
     std::set<std::uint64_t> seen;
     out.done.reserve(tasks.value()->elements().size());
     for (const JsonValue& row : tasks.value()->elements()) {
         CheckpointEntry entry;
-        if (Status s = parseEntry(row, entry); !s.ok()) {
-            return Status::dataLoss("checkpoint " + path + ": " +
-                                    s.message());
-        }
+        if (Status s = parseEntry(row, entry); !s.ok())
+            return Status::dataLoss(label + ": " + s.message());
         if (!seen.insert(entry.task).second) {
             return Status::dataLoss(
-                "checkpoint " + path + ": task " +
-                std::to_string(entry.task) + " appears twice");
+                label + ": task " + std::to_string(entry.task) +
+                " appears twice");
         }
         out.done.push_back(entry);
     }
     return out;
+}
+
+Status
+saveCheckpoint(const std::string& path,
+               const CampaignCheckpoint& checkpoint)
+{
+    if (Status chaos = chaosOnCheckpointWrite(); !chaos.ok())
+        return chaos;
+
+    JsonWriter w;
+    writeCheckpointJson(w, checkpoint);
+
+    // Write-to-temp + rename: readers (and a resume after a crash
+    // right here) only ever see the old file or the complete new
+    // one. The temp write fsyncs the data, and the directory sync
+    // after the rename makes the *name* durable too — an fsynced
+    // file a crashed directory forgot is still a lost checkpoint.
+    const std::string tmp = path + ".tmp";
+    if (Status s = saveTextFileDurable(tmp, w.str()); !s.ok())
+        return s;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Status::ioError("cannot rename " + tmp + " to " + path);
+    }
+    return syncParentDirectory(path);
+}
+
+Result<CampaignCheckpoint>
+loadCheckpoint(const std::string& path)
+{
+    Result<std::string> text = loadTextFile(path);
+    if (!text.ok())
+        return text.status();
+
+    Result<JsonValue> doc = parseJson(text.value());
+    if (!doc.ok()) {
+        return Status::dataLoss("checkpoint " + path + ": " +
+                                doc.status().message());
+    }
+    return checkpointFromJson(doc.value(), "checkpoint " + path);
 }
 
 } // namespace gpuecc::sim

@@ -27,6 +27,9 @@
 
 namespace gpuecc::sim {
 
+class JsonWriter;
+class JsonValue;
+
 /** One completed shard task: its plan index and merged tallies. */
 struct CheckpointEntry
 {
@@ -68,8 +71,31 @@ std::string campaignFingerprint(
     const std::string& codec_backend, std::uint64_t task_count);
 
 /**
- * Write a checkpoint atomically: serialize to `path`.tmp, then
- * rename over `path`. On any failure (including an injected chaos
+ * Serialize a checkpoint as the next JSON value of @p w (the
+ * complete document saveCheckpoint persists). Exposed because the
+ * fleet protocol reuses the checkpoint document as its work-unit
+ * result wire format — one serialization, one validator, whether
+ * the tallies travel through a file or a pipe.
+ */
+void writeCheckpointJson(JsonWriter& w,
+                         const CampaignCheckpoint& checkpoint);
+
+/**
+ * Parse and structurally validate a checkpoint document (the read
+ * side of writeCheckpointJson); @p label names the source in error
+ * messages (a path, or "worker 3 result"). Same validation as
+ * loadCheckpoint: version, counter widths, per-entry consistency,
+ * duplicate task indices.
+ */
+Result<CampaignCheckpoint>
+checkpointFromJson(const JsonValue& root, const std::string& label);
+
+/**
+ * Write a checkpoint atomically AND durably: serialize to
+ * `path`.tmp, fsync the temp file, rename over `path`, then fsync
+ * the containing directory — without the directory sync a crash
+ * right after the rename could still lose the new name from the
+ * directory itself. On any failure (including an injected chaos
  * fault) the previous checkpoint at `path` is left untouched.
  */
 Status saveCheckpoint(const std::string& path,

@@ -22,6 +22,14 @@ addCampaignFlags(Cli& cli, const std::string& default_samples)
                 "pin worker i to hardware thread i (placement hint; "
                 "results are byte-identical either way, no-op where "
                 "unsupported)");
+    cli.addFlag("fleet-workers", "0",
+                "fork this many worker processes and dispatch shard "
+                "work units to them over pipes (0 = in-process; "
+                "tallies and CSV are bit-identical either way)");
+    cli.addFlag("fleet-unit", "4",
+                "shard tasks per fleet work unit (dispatch "
+                "granularity; larger amortizes pipe round-trips, "
+                "smaller rebalances and re-queues faster)");
     cli.addFlag("json", "", "write campaign results to this JSON file");
     cli.addFlag("csv", "", "write campaign results to this CSV file");
     cli.addFlag("checkpoint", "",
@@ -54,6 +62,10 @@ campaignSpecFromCli(const Cli& cli)
     spec.threads = static_cast<int>(cli.getInt("threads"));
     spec.chunk = static_cast<std::uint64_t>(cli.getInt("chunk"));
     spec.affinity = cli.getBool("affinity");
+    spec.fleet_workers =
+        static_cast<int>(cli.getInt("fleet-workers"));
+    spec.fleet_unit_shards =
+        static_cast<std::uint64_t>(cli.getInt("fleet-unit"));
     spec.checkpoint_path = cli.getString("checkpoint");
     spec.resume = cli.getBool("resume");
     spec.checkpoint_interval_s = cli.getDouble("checkpoint-interval");
@@ -61,6 +73,10 @@ campaignSpecFromCli(const Cli& cli)
         fatal("--chunk must be positive");
     if (spec.threads < 0)
         fatal("--threads must be >= 0 (0 selects all cores)");
+    if (spec.fleet_workers < 0 || spec.fleet_workers > 4096)
+        fatal("--fleet-workers must be in [0, 4096]");
+    if (spec.fleet_unit_shards == 0)
+        fatal("--fleet-unit must be positive");
     if (spec.resume && spec.checkpoint_path.empty())
         fatal("--resume needs --checkpoint to name the file");
     if (spec.checkpoint_interval_s < 0)

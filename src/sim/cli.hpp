@@ -3,8 +3,9 @@
  * The common campaign CLI surface.
  *
  * Every evaluation bench and example accepts the same knobs —
- * --samples, --seed, --threads, --chunk, --json, --csv, the
- * resilience flags --checkpoint, --resume, --checkpoint-interval,
+ * --samples, --seed, --threads, --chunk, --json, --csv, the fleet
+ * flags --fleet-workers and --fleet-unit, the resilience flags
+ * --checkpoint, --resume, --checkpoint-interval,
  * and the telemetry flags --trace, --progress, --quiet — declared
  * and decoded here so the tools stay flag-compatible and new tools
  * get the full surface for free.

@@ -5,6 +5,11 @@
 #include <cstdio>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/log.hpp"
 #include "gf256/gf256_vec.hpp"
 #include "obs/trace.hpp"
@@ -209,6 +214,7 @@ campaignRunManifest(const CampaignResult& result)
     m.samples = result.spec.samples;
     m.seed = result.spec.seed;
     m.chunk = result.spec.chunk;
+    m.fleet_workers = result.fleet.workers;
     m.affinity = result.pool.affinity;
     m.schemes = result.spec.scheme_ids;
     m.traced = obs::traceEnabled();
@@ -231,6 +237,7 @@ writeRunManifest(JsonWriter& w, const obs::RunManifest& manifest)
     w.kv("samples", manifest.samples);
     w.kv("seed", manifest.seed);
     w.kv("chunk", manifest.chunk);
+    w.kv("fleet_workers", manifest.fleet_workers);
     w.kv("affinity", manifest.affinity);
     w.key("schemes").beginArray();
     for (const std::string& id : manifest.schemes)
@@ -271,6 +278,36 @@ writeCampaignTiming(JsonWriter& w, const CampaignResult& result)
     }
     w.endArray();
     w.endObject();
+
+    // Fleet section only for fleet runs, so in-process artifacts keep
+    // their pre-fleet shape byte-for-byte.
+    if (result.fleet.workers > 0) {
+        const obs::FleetTelemetry& f = result.fleet;
+        w.key("fleet").beginObject();
+        w.kv("workers", f.workers);
+        w.kv("units", f.units);
+        w.kv("unit_shards", f.unit_shards);
+        w.kv("queue_capacity", f.queue_capacity);
+        w.kv("requeues", f.requeues);
+        w.kv("workers_lost", f.workers_lost);
+        w.kv("parent_fallback_shards", f.parent_fallback_shards);
+        w.key("worker_records").beginArray();
+        for (const obs::FleetWorkerRecord& r : f.worker_records) {
+            w.beginObject();
+            w.kv("worker", r.worker);
+            w.kv("pid", static_cast<std::uint64_t>(
+                            r.pid < 0 ? 0 : r.pid));
+            w.kv("units", r.units);
+            w.kv("shards", r.shards);
+            w.kv("trials", r.trials);
+            w.kv("busy_seconds", r.busy_seconds);
+            w.kv("exit_code", r.exit_code);
+            w.kv("lost", r.lost);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
 
     w.key("schemes").beginArray();
     for (const obs::SchemeTiming& t : result.scheme_timings) {
@@ -316,6 +353,8 @@ campaignJson(const CampaignResult& result)
     w.kv("seed", result.spec.seed);
     w.kv("threads", result.spec.threads);
     w.kv("chunk", result.spec.chunk);
+    w.kv("fleet_workers", result.spec.fleet_workers);
+    w.kv("fleet_unit", result.spec.fleet_unit_shards);
     w.key("schemes").beginArray();
     for (const std::string& id : result.spec.scheme_ids)
         w.value(id);
@@ -390,6 +429,73 @@ saveTextFile(const std::string& path, const std::string& content)
     }
     return {};
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+Status
+saveTextFileDurable(const std::string& path,
+                    const std::string& content)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return Status::ioError("cannot open " + path +
+                               " for writing: " +
+                               std::strerror(errno));
+    }
+    const std::size_t written =
+        std::fwrite(content.data(), 1, content.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    // fsync before close: a Status::ok must mean the bytes survived
+    // a crash, not just that they reached the page cache.
+    const bool synced = flushed && fsync(fileno(f)) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (written != content.size() || !flushed || !synced || !closed) {
+        std::remove(path.c_str());
+        return Status::ioError("durable write to " + path +
+                               " failed (disk full or I/O error); "
+                               "partial file removed");
+    }
+    return {};
+}
+
+Status
+syncParentDirectory(const std::string& path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        return Status::ioError("cannot open directory " + dir +
+                               " for fsync: " + std::strerror(errno));
+    }
+    const bool synced = fsync(fd) == 0;
+    const int err = errno;
+    close(fd);
+    if (!synced) {
+        return Status::ioError("fsync of directory " + dir +
+                               " failed: " + std::strerror(err));
+    }
+    return {};
+}
+
+#else // no POSIX fsync: degrade to the plain write
+
+Status
+saveTextFileDurable(const std::string& path,
+                    const std::string& content)
+{
+    return saveTextFile(path, content);
+}
+
+Status
+syncParentDirectory(const std::string&)
+{
+    return {};
+}
+
+#endif
 
 Result<std::string>
 loadTextFile(const std::string& path)

@@ -97,6 +97,24 @@ void writeCampaignTiming(JsonWriter& w, const CampaignResult& result);
 Status saveTextFile(const std::string& path,
                     const std::string& content);
 
+/**
+ * saveTextFile plus an fsync before close, so the bytes are on
+ * stable storage when the Status is ok — the write half of the
+ * durable write-to-temp + rename + directory-sync recipe the
+ * checkpoint writer follows. On platforms without fsync it degrades
+ * to saveTextFile.
+ */
+Status saveTextFileDurable(const std::string& path,
+                           const std::string& content);
+
+/**
+ * fsync the directory containing @p path. A rename is only durable
+ * once the directory holding the new name is synced; a crash after
+ * rename but before this call may roll the directory entry back to
+ * the old file. No-op ok on platforms without directory fsync.
+ */
+Status syncParentDirectory(const std::string& path);
+
 /** Read a whole file; notFound / ioError instead of exceptions. */
 Result<std::string> loadTextFile(const std::string& path);
 

@@ -1,0 +1,219 @@
+/** @file Tests for the bounded lock-free MPMC queue. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+
+namespace gpuecc {
+namespace {
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(MpmcQueue<int>(1).capacity(), 1u);
+    EXPECT_EQ(MpmcQueue<int>(2).capacity(), 2u);
+    EXPECT_EQ(MpmcQueue<int>(3).capacity(), 4u);
+    EXPECT_EQ(MpmcQueue<int>(4).capacity(), 4u);
+    EXPECT_EQ(MpmcQueue<int>(5).capacity(), 8u);
+    EXPECT_EQ(MpmcQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(MpmcQueue, FifoSingleThreaded)
+{
+    MpmcQueue<int> q(8);
+    int out = -1;
+    EXPECT_FALSE(q.tryPop(out));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(q.tryPush(i));
+    EXPECT_FALSE(q.tryPush(99)) << "queue should be full";
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(q.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(q.tryPop(out));
+}
+
+TEST(MpmcQueue, WrapsAroundManyLaps)
+{
+    MpmcQueue<int> q(4);
+    int out = -1;
+    for (int lap = 0; lap < 100; ++lap) {
+        for (int i = 0; i < 3; ++i)
+            ASSERT_TRUE(q.tryPush(lap * 3 + i));
+        for (int i = 0; i < 3; ++i) {
+            ASSERT_TRUE(q.tryPop(out));
+            EXPECT_EQ(out, lap * 3 + i);
+        }
+    }
+}
+
+TEST(MpmcQueue, SizeApproxTracksSingleThreadedDepth)
+{
+    MpmcQueue<int> q(16);
+    EXPECT_EQ(q.sizeApprox(), 0u);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(q.tryPush(i));
+    EXPECT_EQ(q.sizeApprox(), 10u);
+    int out;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(q.tryPop(out));
+    EXPECT_EQ(q.sizeApprox(), 6u);
+}
+
+TEST(MpmcQueue, MoveOnlyElements)
+{
+    MpmcQueue<std::unique_ptr<int>> q(4);
+    ASSERT_TRUE(q.tryPush(std::make_unique<int>(42)));
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(q.tryPop(out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, 42);
+}
+
+TEST(MpmcQueue, SpscPreservesOrder)
+{
+    constexpr std::uint64_t kItems = 100000;
+    MpmcQueue<std::uint64_t> q(64);
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kItems; ++i) {
+            while (!q.tryPush(i))
+                std::this_thread::yield();
+        }
+    });
+    std::uint64_t expected = 0;
+    while (expected < kItems) {
+        std::uint64_t v;
+        if (!q.tryPop(v)) {
+            std::this_thread::yield();
+            continue;
+        }
+        ASSERT_EQ(v, expected);
+        ++expected;
+    }
+    producer.join();
+    std::uint64_t v;
+    EXPECT_FALSE(q.tryPop(v));
+}
+
+/**
+ * MPMC property test: P producers push disjoint increasing ranges, C
+ * consumers drain concurrently. Every element must arrive exactly
+ * once, and because the ring is FIFO, each consumer's view of any one
+ * producer's elements must be increasing (a subsequence of an
+ * increasing sequence). Also the TSan stress target: the CI
+ * GPUECC_TSAN job runs this suite to race-check the sequence-stamp
+ * protocol.
+ */
+TEST(MpmcQueue, MpmcEveryElementExactlyOnceAndPerProducerOrdered)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr std::uint64_t kPerProducer = 20000;
+    constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+    MpmcQueue<std::uint64_t> q(128);
+
+    std::atomic<std::uint64_t> popped{0};
+    std::vector<std::uint8_t> seen(kTotal, 0);
+    std::mutex seen_mutex;
+    bool per_producer_ordered = true;
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&q, p] {
+            for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                const std::uint64_t v = p * kPerProducer + i;
+                while (!q.tryPush(v))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            // Last value this consumer saw from each producer.
+            std::vector<std::int64_t> last(kProducers, -1);
+            std::vector<std::uint64_t> got;
+            got.reserve(kTotal / kConsumers + 64);
+            while (popped.load(std::memory_order_relaxed) < kTotal) {
+                std::uint64_t v;
+                if (!q.tryPop(v)) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                popped.fetch_add(1, std::memory_order_relaxed);
+                got.push_back(v);
+                const int p = static_cast<int>(v / kPerProducer);
+                const auto idx =
+                    static_cast<std::int64_t>(v % kPerProducer);
+                if (idx <= last[p]) {
+                    std::lock_guard<std::mutex> lock(seen_mutex);
+                    per_producer_ordered = false;
+                }
+                last[p] = idx;
+            }
+            std::lock_guard<std::mutex> lock(seen_mutex);
+            for (std::uint64_t v : got)
+                ++seen[v];
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    EXPECT_EQ(popped.load(), kTotal);
+    EXPECT_TRUE(per_producer_ordered);
+    for (std::uint64_t v = 0; v < kTotal; ++v)
+        ASSERT_EQ(seen[v], 1) << "element " << v;
+    std::uint64_t leftover;
+    EXPECT_FALSE(q.tryPop(leftover));
+}
+
+/** Consumers double as producers (the liaison requeue pattern). */
+TEST(MpmcQueue, ConsumersCanRequeue)
+{
+    constexpr std::uint64_t kItems = 20000;
+    MpmcQueue<std::uint64_t> q(kItems);
+    for (std::uint64_t i = 0; i < kItems; ++i)
+        ASSERT_TRUE(q.tryPush(i));
+
+    // Each element is requeued once before it counts as done, so
+    // every consumer pushes and pops concurrently with the others.
+    std::atomic<std::uint64_t> done{0};
+    std::vector<std::uint8_t> requeued(kItems, 0);
+    std::mutex state_mutex;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 4; ++c) {
+        threads.emplace_back([&] {
+            while (done.load(std::memory_order_relaxed) < kItems) {
+                std::uint64_t v;
+                if (!q.tryPop(v)) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                bool finish;
+                {
+                    std::lock_guard<std::mutex> lock(state_mutex);
+                    finish = requeued[v] != 0;
+                    requeued[v] = 1;
+                }
+                if (finish) {
+                    done.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    // Queue capacity covers all live elements, so a
+                    // requeue can never fail.
+                    ASSERT_TRUE(q.tryPush(v));
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    EXPECT_EQ(done.load(), kItems);
+}
+
+} // namespace
+} // namespace gpuecc

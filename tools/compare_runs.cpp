@@ -10,10 +10,16 @@
  * each is flagged and the exit code is 2, so CI can annotate without
  * hard-failing (|| true) or gate (plain invocation) as it chooses.
  *
+ * Metrics and manifest keys present on only one side are vintage,
+ * not breakage: a baseline that predates decode_batch_mops /
+ * sample_mops / simd_isa is noted and those entries skipped, so any
+ * historical BENCH artifact stays diffable against today's.
+ *
  * --scaling-floor additionally gates the candidate's strong-scaling
- * sweep (bench_throughput's campaign_scaling section): parallel
- * efficiency below the floor at any point with 2..hardware_threads
- * workers exits 2. With a floor set the baseline becomes optional —
+ * sweeps (bench_throughput's campaign_scaling and fleet_scaling
+ * sections): parallel efficiency below the floor at any point with
+ * 2..hardware_threads workers exits 2. With a floor set the baseline
+ * becomes optional —
  * the gate judges the candidate alone — and sweeps marked
  * "valid": false (1-hardware-thread hosts) are skipped, not failed.
  */
@@ -40,6 +46,8 @@ const char* const kThroughputKeys[] = {
     // blocks — how an RS SIMD decode regression on one backend is
     // caught even when the other backend's numbers hold.
     "decode_mops", "decode_batch_mops",
+    // sampleErrorMask front-end throughput per pattern.
+    "sample_mops",
 };
 
 bool
@@ -179,21 +187,24 @@ loadReport(const std::string& path)
 }
 
 /**
- * Gate the candidate's strong-scaling section: every sweep point with
- * 2 <= threads <= hardware_threads must reach the efficiency floor.
- * Points beyond the core count only measure oversubscription and are
- * exempt. Returns the number of violations; a section that is
- * missing, marked "valid": false, or captured on a 1-hardware-thread
- * host is reported and skipped (0 violations) — a host that cannot
- * show parallelism must not fail for lacking it.
+ * Gate one strong-scaling section of the candidate: every sweep
+ * point with 2 <= threads/workers <= hardware_threads must reach the
+ * efficiency floor. Points beyond the core count only measure
+ * oversubscription and are exempt. Returns the number of violations;
+ * a section that is missing (older artifacts predate fleet_scaling),
+ * marked "valid": false, or captured on a 1-hardware-thread host is
+ * reported and skipped (0 violations) — a host that cannot show
+ * parallelism must not fail for lacking it.
  */
 int
-gateScalingFloor(const sim::JsonValue& cand, double floor)
+gateScalingSection(const sim::JsonValue& cand, const char* section,
+                   const char* unit_key, double floor)
 {
-    const sim::JsonValue* scaling = cand.find("campaign_scaling");
+    const sim::JsonValue* scaling = cand.find(section);
     if (scaling == nullptr || !scaling->isObject()) {
-        std::printf("scaling gate: no campaign_scaling object in "
-                    "candidate; skipping\n");
+        std::printf("scaling gate: no %s object in candidate; "
+                    "skipping\n",
+                    section);
         return 0;
     }
     const sim::JsonValue* hw = scaling->find("hardware_threads");
@@ -203,51 +214,61 @@ gateScalingFloor(const sim::JsonValue& cand, double floor)
             : 0;
     const sim::JsonValue* valid = scaling->find("valid");
     if (valid != nullptr && !valid->asBool().valueOr(true)) {
-        std::printf("scaling gate: section marked invalid "
+        std::printf("scaling gate: %s marked invalid "
                     "(%lld hardware thread(s)); skipping\n",
-                    hardware_threads);
+                    section, hardware_threads);
         return 0;
     }
     if (hardware_threads <= 1) {
         std::printf("scaling gate: host has %lld hardware thread(s); "
-                    "skipping\n",
-                    hardware_threads);
+                    "skipping %s\n",
+                    hardware_threads, section);
         return 0;
     }
     const sim::JsonValue* points = scaling->find("points");
     if (points == nullptr || !points->isArray()) {
-        std::printf("scaling gate: campaign_scaling has no points "
-                    "array; skipping\n");
+        std::printf("scaling gate: %s has no points array; "
+                    "skipping\n",
+                    section);
         return 0;
     }
 
-    std::printf("scaling gate: efficiency floor %.2f up to %lld "
+    std::printf("scaling gate: %s efficiency floor %.2f up to %lld "
                 "hardware thread(s)\n",
-                floor, hardware_threads);
+                section, floor, hardware_threads);
     int violations = 0;
     int gated = 0;
     for (const sim::JsonValue& point : points->elements()) {
-        const sim::JsonValue* threads = point.find("threads");
+        const sim::JsonValue* units = point.find(unit_key);
         const sim::JsonValue* efficiency = point.find("efficiency");
-        if (threads == nullptr || efficiency == nullptr)
+        if (units == nullptr || efficiency == nullptr)
             continue;
         const long long t = static_cast<long long>(
-            threads->asDouble().valueOr(0.0));
+            units->asDouble().valueOr(0.0));
         const double e = efficiency->asDouble().valueOr(0.0);
         if (t < 2 || t > hardware_threads)
             continue;
         ++gated;
         const bool below = e < floor;
-        std::printf("scaling threads=%-3lld efficiency %.3f%s\n", t,
-                    e, below ? "  BELOW FLOOR" : "");
+        std::printf("scaling %s=%-3lld efficiency %.3f%s\n",
+                    unit_key, t, e, below ? "  BELOW FLOOR" : "");
         if (below)
             ++violations;
     }
     if (gated == 0)
-        std::printf("scaling gate: no sweep point inside [2, %lld]; "
+        std::printf("scaling gate: no %s point inside [2, %lld]; "
                     "nothing gated\n",
-                    hardware_threads);
+                    section, hardware_threads);
     return violations;
+}
+
+/** Gate both scaling sections: in-process threads and fleet workers. */
+int
+gateScalingFloor(const sim::JsonValue& cand, double floor)
+{
+    return gateScalingSection(cand, "campaign_scaling", "threads",
+                              floor) +
+        gateScalingSection(cand, "fleet_scaling", "workers", floor);
 }
 
 } // namespace
@@ -311,11 +332,15 @@ main(int argc, char** argv)
                 any_diff = true;
             }
         }
+        // Keys only the candidate carries are age, not provenance:
+        // older artifacts simply predate them (simd_isa,
+        // fleet_workers, ...). Note them so the reader knows the
+        // baseline's vintage, but don't count them as a mismatch.
         for (const auto& [key, cand_value] : cand_manifest) {
             if (lookupFlat(base_manifest, key) == "<absent>") {
-                std::printf("manifest %-28s <absent> -> %s\n",
+                std::printf("manifest %-28s %s (baseline predates "
+                            "key; skipped)\n",
                             key.c_str(), cand_value.c_str());
-                any_diff = true;
             }
         }
         if (!any_diff)
@@ -333,11 +358,13 @@ main(int argc, char** argv)
                 "candidate", "delta");
     int regressions = 0;
     int compared = 0;
+    int baseline_only = 0;
     for (const Metric& b : base_metrics) {
         const Metric* c = findMetric(cand_metrics, b.path);
         if (c == nullptr) {
             std::printf("%-52s %12.4g %12s %8s\n", b.path.c_str(),
                         b.value, "missing", "-");
+            ++baseline_only;
             continue;
         }
         ++compared;
@@ -351,6 +378,23 @@ main(int argc, char** argv)
         if (regressed)
             ++regressions;
     }
+    // Metrics only the candidate carries (decode_batch_mops,
+    // sample_mops, ... on a baseline that predates them) have no
+    // reference value — note them so additions are visible, but they
+    // can neither regress nor fail the diff.
+    int candidate_only = 0;
+    for (const Metric& c : cand_metrics) {
+        if (findMetric(base_metrics, c.path) == nullptr) {
+            std::printf("%-52s %12s %12.4g %8s\n", c.path.c_str(),
+                        "(predates)", c.value, "-");
+            ++candidate_only;
+        }
+    }
+    if (baseline_only > 0 || candidate_only > 0) {
+        std::printf("note: %d metric(s) only in baseline, %d only in "
+                    "candidate (older artifact vintage; skipped)\n",
+                    baseline_only, candidate_only);
+    }
     int scaling_violations = 0;
     if (!floor_text.empty()) {
         std::printf("\n");
@@ -362,7 +406,12 @@ main(int argc, char** argv)
                 "%.1f%%, %d scaling violation(s)\n",
                 compared, regressions, threshold,
                 scaling_violations);
+    // Disjoint metric sets mean the baseline predates (or postdates)
+    // the current key set entirely — there is nothing to gate, which
+    // is a note, not an error: old BENCH artifacts must stay
+    // diffable.
     if (compared == 0)
-        fatal("no metric present in both reports");
+        std::printf("note: no metric present in both reports; "
+                    "nothing gated\n");
     return regressions > 0 || scaling_violations > 0 ? 2 : 0;
 }
