@@ -62,23 +62,59 @@ spawnChild(const std::function<int(int read_fd, int write_fd)>& child_main,
 Status writeAllFd(int fd, const std::string& data);
 
 /**
- * Buffered line reader over a blocking fd. readLine() returns the
- * next '\n'-terminated line without the terminator; end-of-stream
+ * writeAllFd with a poll-based deadline: every chunk must become
+ * writable within the remaining budget or the write fails with the
+ * deadline Status (isDeadlineExpired). Handles non-blocking fds
+ * (EAGAIN waits on poll). deadline_ms < 0 means no deadline.
+ */
+Status writeAllFd(int fd, const std::string& data, int deadline_ms);
+
+/**
+ * Whether a Status is a read/write deadline expiry — the liveness
+ * signal the fleet liaisons act on (kill the hung worker, requeue its
+ * unit) as opposed to EOF (notFound) or a broken pipe (ioError).
+ */
+bool isDeadlineExpired(const Status& status);
+
+/**
+ * Default cap on one wire line. Generous — a result line carries one
+ * checkpoint entry per shard task of its unit — but bounded, so a
+ * corrupt or malicious peer cannot grow the read buffer without
+ * limit.
+ */
+constexpr std::size_t kDefaultMaxLineBytes = std::size_t{64} << 20;
+
+/**
+ * Buffered line reader over a pipe or socket fd. readLine() returns
+ * the next '\n'-terminated line without the terminator; end-of-stream
  * (the peer closed the pipe) is a notFound Status, a read failure an
  * ioError. A final unterminated line is dataLoss — the peer died
- * mid-write.
+ * mid-write. A line longer than max_line_bytes is dataLoss too, and
+ * poisons the stream (framing is unrecoverable past an oversized
+ * line). The deadline overload polls instead of blocking; an expired
+ * deadline (isDeadlineExpired) leaves buffered partial data intact,
+ * so the read can be retried.
  */
 class LineReader
 {
   public:
-    explicit LineReader(int fd) : fd_(fd) {}
+    explicit LineReader(int fd,
+                        std::size_t max_line_bytes = kDefaultMaxLineBytes)
+        : fd_(fd), max_line_bytes_(max_line_bytes)
+    {
+    }
 
     Result<std::string> readLine();
 
+    /** readLine with a poll deadline; deadline_ms < 0 blocks. */
+    Result<std::string> readLine(int deadline_ms);
+
   private:
     int fd_;
+    std::size_t max_line_bytes_;
     std::string buffer_;
     bool eof_ = false;
+    bool poisoned_ = false;
 };
 
 /** close() wrapper tolerating already-closed fds (idempotent). */

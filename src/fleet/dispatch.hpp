@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Transport-independent fleet dispatch core.
+ *
+ * FleetDispatch owns everything about a fleet campaign that does not
+ * depend on *how* work units travel: the deterministic task plan and
+ * its fingerprint, the unit queue, resume restore, checkpoint
+ * flushing, per-cell tallies, per-scheme aggregates, requeue/poison
+ * accounting, and result finalization. Transports — the forked-worker
+ * pipe dispatcher (fleet/fleet.cpp) and the socket campaign service
+ * (net/service.cpp) — are thin liaison loops over this surface:
+ * claim a unit, round-trip it to a host, then settle it exactly once
+ * via completeUnit / failUnit / requeueUnit.
+ *
+ * Settlement is idempotent by construction: every unit settles at
+ * most once (a mutex-guarded per-unit flag), so a late or duplicated
+ * result from a host that was presumed dead is discarded — counted in
+ * fleet.duplicate_results — instead of double-merging. That is what
+ * makes the merged tallies bit-identical to an in-process run no
+ * matter how many hosts died, reconnected, or replayed lines along
+ * the way.
+ *
+ * Requeues are capped (spec.fleet_max_unit_attempts): a poison unit
+ * that kills every host it lands on is retired after the cap — its
+ * (scheme, pattern) cell fails with the unit's shard range in the
+ * message, counted in fleet.units_poisoned — instead of cycling
+ * through the whole fleet forever.
+ */
+
+#ifndef GPUECC_FLEET_DISPATCH_HPP
+#define GPUECC_FLEET_DISPATCH_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fleet/protocol.hpp"
+#include "sim/campaign.hpp"
+
+namespace gpuecc::sim::fleet {
+
+/** How requeueUnit disposed of an in-flight unit. */
+enum class RequeueOutcome
+{
+    requeued, //!< back in the queue for another host
+    poisoned, //!< attempt cap hit: cell failed, unit retired
+    settled,  //!< a late result settled it first; nothing to do
+};
+
+class FleetDispatch
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * Build the plan: resolve schemes (skipping broken ones into
+     * result.errors), shard every cell, cut units that never straddle
+     * a cell boundary, restore a resume checkpoint. Errors here are
+     * unrecoverable setup problems (no usable scheme, corrupt or
+     * mismatched checkpoint). Runs on the calling thread; fork any
+     * worker processes between create() and start().
+     */
+    static Result<std::unique_ptr<FleetDispatch>>
+    create(const CampaignSpec& spec);
+
+    ~FleetDispatch();
+
+    /** @name Plan facts (immutable after create) */
+    ///@{
+    const std::string& fingerprint() const { return fingerprint_; }
+    std::size_t unitCount() const { return units_.size(); }
+    const WorkUnit& unit(std::uint64_t u) const { return units_[u]; }
+    /** Units not settled by resume restore at create() time. */
+    std::uint64_t initialPendingUnits() const { return initial_pending_; }
+    /** The config line payload for one worker/agent. */
+    FleetConfig configFor(int worker) const;
+    /** Human label of a unit's cell, e.g. "rs-dueh/two_bit_row". */
+    std::string unitLabel(std::uint64_t u) const;
+    ///@}
+
+    /**
+     * Start the clocks and the progress reporter. Call exactly once,
+     * after every fork (the reporter owns a thread) and before any
+     * liaison thread touches the dispatcher.
+     */
+    void start();
+
+    /** Whether every unit has settled (the campaign is done). */
+    bool allSettled() const;
+
+    /**
+     * Pop the next dispatchable unit. Units whose cell already failed
+     * are settled-and-skipped internally; units settled by a late
+     * result are dropped. Returns false when the queue is empty —
+     * which, while !allSettled(), means other liaisons hold the last
+     * units in flight (stay subscribed: they may come back).
+     */
+    bool tryClaim(std::uint64_t& u);
+
+    /**
+     * Validate a decoded result message against the dispatched unit
+     * and the plan (fingerprint, entry range, per-entry tallies) —
+     * the same validator checkpoint resume uses.
+     */
+    Status validateResult(std::uint64_t u,
+                          const WorkerMessage& msg) const;
+
+    /**
+     * Merge a validated result and settle the unit. Returns false if
+     * the unit was already settled — a late or duplicated delivery,
+     * counted in fleet.duplicate_results, tallies untouched.
+     */
+    bool completeUnit(std::uint64_t u, const WorkerMessage& msg,
+                      Clock::time_point dispatch_at,
+                      Clock::time_point done_at);
+
+    /**
+     * Settle a unit whose cell failed persistently inside a host
+     * (unit_error line): the scheme is dropped at finalize, the
+     * campaign continues.
+     */
+    void failUnit(std::uint64_t u, const std::string& message);
+
+    /**
+     * Put an in-flight unit back after its host died, hung, or broke
+     * protocol. @p why feeds the poison message when the attempt cap
+     * (spec.fleet_max_unit_attempts) is reached.
+     */
+    RequeueOutcome requeueUnit(std::uint64_t u, const std::string& why);
+
+    /**
+     * Serve every still-pending unit on the calling thread — the
+     * last-resort degradation when no worker or agent is left.
+     * Respects interrupts; failures fail cells, never the campaign.
+     */
+    void finishInProcess();
+
+    /** @name Transport telemetry (fleet.* counters + timing.fleet) */
+    ///@{
+    void noteWorkerLost();
+    void noteWorkerTimeout();
+    void noteHeartbeatExpiry();
+    void noteAgentConnected();
+    void noteAuthFailure();
+    ///@}
+
+    /**
+     * Stop the clocks, flush the final checkpoint, drop failed
+     * schemes, fill timing.fleet, and return the campaign result.
+     * @p workers is the dispatch width for telemetry; @p records the
+     * per-host audit trail. Call once, after all liaisons joined.
+     */
+    CampaignResult
+    finalize(int workers, std::vector<obs::FleetWorkerRecord> records);
+
+  private:
+    FleetDispatch() = default;
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    std::string fingerprint_;
+    std::vector<WorkUnit> units_;
+    std::uint64_t initial_pending_ = 0;
+};
+
+} // namespace gpuecc::sim::fleet
+
+#endif // GPUECC_FLEET_DISPATCH_HPP

@@ -1,111 +1,15 @@
 #include "fleet/fleet.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
+#include <cstdint>
 #include <memory>
-#include <mutex>
-#include <set>
-#include <thread>
+#include <vector>
 
-#include "common/codec_mode.hpp"
-#include "common/interrupt.hpp"
-#include "common/log.hpp"
-#include "common/mpmc_queue.hpp"
 #include "common/subprocess.hpp"
-#include "ecc/registry.hpp"
-#include "faultsim/shard.hpp"
-#include "fleet/protocol.hpp"
-#include "fleet/worker.hpp"
-#include "obs/trace.hpp"
-#include "sim/chaos.hpp"
-#include "sim/checkpoint.hpp"
+#include "fleet/dispatch.hpp"
+#include "fleet/pipe.hpp"
 
 namespace gpuecc::sim::fleet {
-
-namespace {
-
-/** One plan entry: a shard of one (scheme, pattern) cell. */
-struct Task
-{
-    std::size_t cell;
-    Shard shard;
-};
-
-/** Ids of the fleet.* metrics, registered once per process. */
-struct FleetMetricIds
-{
-    obs::MetricId units_completed;
-    obs::MetricId units_requeued;
-    obs::MetricId workers_lost;
-    obs::MetricId shards_completed;
-    obs::MetricId trials;
-    obs::MetricId checkpoint_flushes;
-    obs::MetricId checkpoint_failures;
-    obs::MetricId schemes_dropped;
-    /** High-water queue depth (gauges merge by maximum). */
-    obs::MetricId queue_depth;
-};
-
-const FleetMetricIds&
-fleetMetricIds()
-{
-    // Register before the liaison threads exist — the same
-    // register-before-spawn contract the campaign metrics follow.
-    static const FleetMetricIds ids = [] {
-        obs::MetricsRegistry& m = obs::metrics();
-        FleetMetricIds out;
-        out.units_completed = m.counter("fleet.units_completed");
-        out.units_requeued = m.counter("fleet.units_requeued");
-        out.workers_lost = m.counter("fleet.workers_lost");
-        out.shards_completed = m.counter("fleet.shards_completed");
-        out.trials = m.counter("fleet.trials");
-        out.checkpoint_flushes = m.counter("fleet.checkpoint_flushes");
-        out.checkpoint_failures =
-            m.counter("fleet.checkpoint_failures");
-        out.schemes_dropped = m.counter("fleet.schemes_dropped");
-        out.queue_depth = m.gauge("fleet.queue_depth");
-        return out;
-    }();
-    return ids;
-}
-
-/** Per-scheme aggregates; guarded by the dispatcher's state mutex. */
-struct SchemeAgg
-{
-    std::uint64_t busy_us = 0;
-    std::uint64_t trials = 0;
-    std::uint64_t shards = 0;
-    std::uint64_t first_us = ~std::uint64_t{0};
-    std::uint64_t last_us = 0;
-    std::uint64_t pending_units = 0;
-};
-
-std::uint64_t
-microsSince(std::chrono::steady_clock::time_point origin,
-            std::chrono::steady_clock::time_point at)
-{
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            at - origin)
-            .count());
-}
-
-/** One worker process plus its parent-side liaison state. */
-struct Liaison
-{
-    ChildProcess child;
-    std::unique_ptr<LineReader> reader;
-    /** Per-liaison tally accumulators, one per campaign cell —
-        merged into the result after the liaison threads join, the
-        same two-level merge the thread pool's worker arenas use. */
-    std::vector<OutcomeCounts> cells;
-    obs::FleetWorkerRecord record;
-    bool spawned = false;
-    std::thread thread;
-};
-
-} // namespace
 
 Result<CampaignResult>
 runFleetCampaign(const CampaignSpec& spec)
@@ -116,763 +20,65 @@ runFleetCampaign(const CampaignSpec& spec)
             "run without --fleet-workers");
     }
 
-    const FleetMetricIds& mid = fleetMetricIds();
-    obs::MetricsRegistry& reg = obs::metrics();
-    reg.flushThisThread();
-    const obs::MetricsSnapshot metrics_baseline = reg.snapshot();
-    obs::TraceSpan campaign_span("fleet-campaign", "campaign");
-
-    CampaignResult result;
-    result.spec = spec;
-    // Evaluation happens in single-threaded worker processes; the
-    // parent runs no pool. Resolve threads to the truthful value so
-    // reports don't claim pool parallelism that never existed.
-    result.spec.threads = 1;
-    result.codec_backend = codecBackendName();
-
-    const std::vector<ErrorPattern> patterns = spec.resolvedPatterns();
-
-    // Resolve schemes in the parent: validates ids before any fork,
-    // and provides the evaluation path for the all-workers-lost
-    // fallback. A scheme that fails to resolve is skipped, recorded.
-    std::vector<std::string> ids;
-    std::vector<std::shared_ptr<EntryScheme>> schemes;
-    std::vector<GoldenEntry> goldens;
-    for (const std::string& id : spec.scheme_ids) {
-        obs::TraceSpan span("codec:" + id, "codec");
-        Result<std::shared_ptr<EntryScheme>> scheme = findScheme(id);
-        if (!scheme.ok()) {
-            warn("fleet: skipping scheme " + id + ": " +
-                 scheme.status().toString());
-            result.errors.push_back({id, scheme.status().toString()});
-            continue;
-        }
-        schemes.push_back(scheme.value());
-        goldens.push_back(makeGolden(*schemes.back(), spec.seed));
-        ids.push_back(id);
-    }
-    if (schemes.empty()) {
-        return Status::notFound(
-            "no scheme in the spec could be constructed");
-    }
-    for (const std::string& id : ids) {
-        for (ErrorPattern p : patterns)
-            result.cells.push_back({id, p, OutcomeCounts{}});
-    }
-
-    // Size shards so every worker can hold whole units: at least
-    // workers * unit_shards shards per sampled pattern when the
-    // sample budget allows. Tallies are chunk-invariant (draws are
-    // keyed per stream block), so this only changes dispatch
-    // granularity, never the merged counts.
-    const std::uint64_t slots = std::min<std::uint64_t>(
-        static_cast<std::uint64_t>(spec.fleet_workers) *
-            spec.fleet_unit_shards,
-        std::uint64_t{1} << 20);
-    const std::uint64_t effective_chunk = effectiveShardChunk(
-        spec.samples, spec.chunk, static_cast<int>(slots));
-
-    std::vector<Task> tasks;
-    {
-        obs::TraceSpan span("plan", "campaign");
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
-            for (std::size_t p = 0; p < patterns.size(); ++p) {
-                const std::size_t cell = s * patterns.size() + p;
-                for (const Shard& shard : planShards(
-                         patterns[p], spec.samples, effective_chunk))
-                    tasks.push_back({cell, shard});
-            }
-        }
-    }
-    result.shards = tasks.size();
-
-    // The fingerprint is always needed in fleet mode — it is the
-    // config line's plan-identity proof, checkpointing or not.
-    const std::string fingerprint = campaignFingerprint(
-        ids, patterns, spec.samples, spec.seed, effective_chunk,
-        result.codec_backend, tasks.size());
-    const bool checkpointing = !spec.checkpoint_path.empty();
-    if (checkpointing)
-        installInterruptHandlers();
-
-    // Work units: contiguous task runs that never straddle a cell
-    // boundary, so one unit failing persistently fails exactly one
-    // (scheme, pattern) cell.
-    std::vector<WorkUnit> units;
-    for (std::uint64_t i = 0; i < tasks.size();) {
-        WorkUnit u;
-        u.unit = units.size();
-        u.cell = tasks[i].cell;
-        u.first_task = i;
-        while (i < tasks.size() && tasks[i].cell == u.cell &&
-               u.task_count < spec.fleet_unit_shards) {
-            ++i;
-            ++u.task_count;
-        }
-        units.push_back(u);
-    }
-
-    // Entry validation shared by resume restore and worker results:
-    // both feed the same checkpoint format through the same widths.
-    const auto validateEntry = [&](const CheckpointEntry& entry,
-                                   const std::string& source) -> Status {
-        if (entry.task >= tasks.size()) {
-            return Status::dataLoss(
-                source + ": task index " + std::to_string(entry.task) +
-                " is outside the plan");
-        }
-        const Shard& shard = tasks[entry.task].shard;
-        const bool enumerable = patternIsEnumerable(shard.pattern);
-        if (entry.counts.exhaustive != enumerable ||
-            (!enumerable &&
-             entry.counts.trials != shard.end - shard.begin)) {
-            return Status::dataLoss(
-                source + ": task " + std::to_string(entry.task) +
-                " tallies don't match its shard");
-        }
-        return {};
-    };
-
-    std::vector<OutcomeCounts> partial(
-        checkpointing ? tasks.size() : 0);
-    std::vector<char> task_done(tasks.size(), 0);
-    std::vector<char> unit_done(units.size(), 0);
-
-    std::mutex state_mutex; // collector, cell_errors, scheme aggs
-    std::vector<std::uint64_t> completed_log; // for checkpoints
-    std::uint64_t fresh_completed = 0;
-    auto last_flush = std::chrono::steady_clock::now();
-    bool warned_checkpoint_failure = false;
-
-    // Resume at unit granularity: a unit all of whose tasks are in
-    // the checkpoint is settled (merged, never dispatched); a
-    // partially covered unit — possible when resuming a checkpoint an
-    // in-process run wrote — is re-dispatched whole, dropping the
-    // partial entries (re-evaluation is bit-identical by design).
-    if (checkpointing && spec.resume) {
-        obs::TraceSpan span("resume-load", "campaign");
-        Result<CampaignCheckpoint> loaded =
-            loadCheckpoint(spec.checkpoint_path);
-        if (loaded.status().code() == ErrorCode::notFound) {
-            inform("fleet: no checkpoint at " + spec.checkpoint_path +
-                   "; starting fresh");
-        } else if (!loaded.ok()) {
-            return loaded.status();
-        } else {
-            const CampaignCheckpoint& ckpt = loaded.value();
-            if (ckpt.fingerprint != fingerprint) {
-                return Status::failedPrecondition(
-                    "checkpoint " + spec.checkpoint_path +
-                    " was written by a different campaign\n  theirs: " +
-                    ckpt.fingerprint + "\n  ours:   " + fingerprint);
-            }
-            std::vector<OutcomeCounts> restored(tasks.size());
-            std::vector<char> has(tasks.size(), 0);
-            for (const CheckpointEntry& entry : ckpt.done) {
-                if (Status s = validateEntry(
-                        entry, "checkpoint " + spec.checkpoint_path);
-                    !s.ok())
-                    return s;
-                restored[entry.task] = entry.counts;
-                has[entry.task] = 1;
-            }
-            std::uint64_t dropped = 0;
-            for (const WorkUnit& u : units) {
-                bool whole = true;
-                for (std::uint64_t i = u.first_task;
-                     i < u.first_task + u.task_count; ++i)
-                    whole = whole && has[i] != 0;
-                if (!whole) {
-                    for (std::uint64_t i = u.first_task;
-                         i < u.first_task + u.task_count; ++i)
-                        dropped += has[i] != 0;
-                    continue;
-                }
-                unit_done[u.unit] = 1;
-                for (std::uint64_t i = u.first_task;
-                     i < u.first_task + u.task_count; ++i) {
-                    task_done[i] = 1;
-                    if (checkpointing)
-                        partial[i] = restored[i];
-                    completed_log.push_back(i);
-                    result.cells[tasks[i].cell].counts.merge(
-                        restored[i]);
-                    ++result.resumed_shards;
-                }
-            }
-            inform("fleet: resumed " +
-                   std::to_string(result.resumed_shards) + " of " +
-                   std::to_string(tasks.size()) + " shard tasks from " +
-                   spec.checkpoint_path);
-            if (dropped > 0) {
-                inform("fleet: re-evaluating " +
-                       std::to_string(dropped) +
-                       " checkpointed tasks from partially covered "
-                       "work units");
-            }
-        }
-    }
-
-    // Queue every pending unit. Capacity covers the whole plan, so a
-    // re-queue after a worker death can never fail for space.
-    MpmcQueue<std::uint64_t> queue(std::max<std::size_t>(
-        units.size(), 1));
-    std::uint64_t pending_units = 0;
-    for (const WorkUnit& u : units) {
-        if (unit_done[u.unit] != 0)
-            continue;
-        require(queue.tryPush(u.unit), "fleet: queue sized too small");
-        ++pending_units;
-    }
-    std::atomic<std::uint64_t> remaining{pending_units};
-
-    std::vector<SchemeAgg> scheme_aggs(schemes.size());
-    obs::ProgressTotals totals;
-    totals.schemes = schemes.size();
-    for (const WorkUnit& u : units) {
-        if (unit_done[u.unit] != 0)
-            continue;
-        scheme_aggs[u.cell / patterns.size()].pending_units += 1;
-        totals.shards += u.task_count;
-    }
-
-    std::unique_ptr<std::atomic<bool>[]> cell_failed(
-        new std::atomic<bool>[result.cells.size()]);
-    for (std::size_t i = 0; i < result.cells.size(); ++i)
-        cell_failed[i].store(false, std::memory_order_relaxed);
-    std::vector<std::pair<std::size_t, std::string>> cell_errors;
-
-    std::vector<std::pair<std::string, std::string>> ckpt_manifest;
-    if (checkpointing) {
-        const obs::BuildInfo build = obs::buildInfo();
-        ckpt_manifest = {
-            {"threads", std::to_string(result.spec.threads)},
-            {"fleet_workers", std::to_string(spec.fleet_workers)},
-            {"codec_backend", result.codec_backend},
-            {"build_type", build.build_type},
-            {"compiler", build.compiler},
-            {"platform", build.platform},
-            {"chaos", obs::chaosEnvText()},
-        };
-    }
-
-    // Serialize completed tallies; call with state_mutex held.
-    auto flushCheckpoint = [&]() -> Status {
-        obs::TraceSpan span("checkpoint-flush", "checkpoint");
-        CampaignCheckpoint ckpt;
-        ckpt.fingerprint = fingerprint;
-        ckpt.manifest = ckpt_manifest;
-        std::vector<std::uint64_t> indices = completed_log;
-        std::sort(indices.begin(), indices.end());
-        ckpt.done.reserve(indices.size());
-        for (std::uint64_t i : indices)
-            ckpt.done.push_back({i, partial[i]});
-        span.arg("tasks", indices.size());
-        Status s = saveCheckpoint(spec.checkpoint_path, ckpt);
-        reg.add(s.ok() ? mid.checkpoint_flushes
-                       : mid.checkpoint_failures);
-        return s;
-    };
-    const auto interval = std::chrono::duration<double>(
-        std::max(0.0, spec.checkpoint_interval_s));
+    Result<std::unique_ptr<FleetDispatch>> created =
+        FleetDispatch::create(spec);
+    if (!created.ok())
+        return created.status();
+    FleetDispatch& dispatch = *created.value();
 
     // ---- Fork phase -------------------------------------------------
-    // Everything above ran on one thread; the workers must be forked
+    // Plan building ran on one thread; the workers must be forked
     // before the progress reporter or any liaison thread exists, or a
     // child could inherit a lock some other thread holds.
     ignoreSigpipe();
+    const std::uint64_t pending = dispatch.initialPendingUnits();
     const int worker_count =
-        pending_units == 0
-            ? 0
-            : static_cast<int>(std::min<std::uint64_t>(
-                  static_cast<std::uint64_t>(spec.fleet_workers),
-                  pending_units));
-    std::vector<std::unique_ptr<Liaison>> liaisons;
+        pending == 0 ? 0
+                     : static_cast<int>(std::min<std::uint64_t>(
+                           static_cast<std::uint64_t>(
+                               spec.fleet_workers),
+                           pending));
+    std::vector<std::unique_ptr<PipeWorker>> workers;
     std::vector<int> inherited_fds;
-    for (int w = 0; w < worker_count && pending_units > 0; ++w) {
-        auto liaison = std::make_unique<Liaison>();
-        liaison->record.worker = w;
-        liaison->cells.resize(result.cells.size());
-        Result<ChildProcess> child = spawnChild(
-            [](int read_fd, int write_fd) {
-                return fleetWorkerMain(read_fd, write_fd);
-            },
-            inherited_fds);
-        if (!child.ok()) {
-            warn("fleet: cannot fork worker " + std::to_string(w) +
-                 ": " + child.status().toString());
-            liaison->record.lost = true;
-            liaisons.push_back(std::move(liaison));
-            continue;
-        }
-        liaison->child = child.value();
-        liaison->record.pid = liaison->child.pid;
-        liaison->reader = std::make_unique<LineReader>(
-            liaison->child.from_child);
-        liaison->spawned = true;
-        inherited_fds.push_back(liaison->child.to_child);
-        inherited_fds.push_back(liaison->child.from_child);
-
-        FleetConfig config;
-        config.worker = w;
-        config.scheme_ids = ids;
-        config.patterns = patterns;
-        config.samples = spec.samples;
-        config.seed = spec.seed;
-        config.chunk = effective_chunk;
-        config.fingerprint = fingerprint;
-        config.codec_backend = result.codec_backend;
-        if (Status s = writeAllFd(liaison->child.to_child,
-                                  encodeConfigLine(config));
-            !s.ok()) {
-            warn("fleet: worker " + std::to_string(w) +
-                 " rejected its config: " + s.toString());
-            closeFd(liaison->child.to_child);
-            killChild(liaison->child.pid);
-            Result<int> exit = waitForExit(liaison->child.pid);
-            liaison->record.exit_code = exit.ok() ? exit.value() : -1;
-            closeFd(liaison->child.from_child);
-            liaison->record.lost = true;
-            liaison->spawned = false;
-        }
-        liaisons.push_back(std::move(liaison));
+    for (int w = 0; w < worker_count; ++w) {
+        auto worker = std::make_unique<PipeWorker>();
+        spawnPipeWorker(dispatch, *worker, w, inherited_fds);
+        workers.push_back(std::move(worker));
     }
-
-    const double cpu_start =
-        obs::processCpuSeconds() + obs::processChildrenCpuSeconds();
-    const auto start = std::chrono::steady_clock::now();
-    const std::uint64_t trace_eval_start_us = obs::traceNowUs();
 
     // Threads are safe from here on.
-    obs::ProgressReporter progress(spec.progress, totals);
-    {
-        std::lock_guard<std::mutex> lock(state_mutex);
-        for (const SchemeAgg& agg : scheme_aggs) {
-            if (agg.pending_units == 0)
-                progress.schemeDone(); // fully restored
-        }
+    dispatch.start();
+
+    // The in-flight deadline covers the whole unit round-trip —
+    // 0 disables it, because unit evaluation time is spec-dependent.
+    const int deadline_ms =
+        spec.fleet_worker_timeout_s > 0
+            ? static_cast<int>(spec.fleet_worker_timeout_s * 1000.0)
+            : -1;
+
+    for (auto& worker : workers) {
+        if (worker->spawned)
+            worker->thread = std::thread(runPipeLiaison,
+                                         std::ref(dispatch),
+                                         std::ref(*worker), deadline_ms);
     }
-
-    std::atomic<std::uint64_t> requeues{0};
-    std::atomic<std::uint64_t> workers_lost{0};
-
-    // Retire a worker: reclaim fds, reap the process, record how it
-    // went. Called by its own liaison thread only.
-    const auto retireWorker = [&](Liaison& L, const std::string& why) {
-        warn("fleet: losing worker " +
-             std::to_string(L.record.worker) + ": " + why);
-        closeFd(L.child.to_child);
-        killChild(L.child.pid);
-        Result<int> exit = waitForExit(L.child.pid);
-        L.record.exit_code = exit.ok() ? exit.value() : -1;
-        closeFd(L.child.from_child);
-        L.record.lost = true;
-        workers_lost.fetch_add(1, std::memory_order_relaxed);
-        reg.add(mid.workers_lost);
-    };
-
-    // Account a unit that will never produce tallies (its cell
-    // already failed): progress moves on, the checkpoint simply never
-    // lists its tasks.
-    const auto skipUnit = [&](const WorkUnit& u) {
-        std::lock_guard<std::mutex> lock(state_mutex);
-        SchemeAgg& agg = scheme_aggs[u.cell / patterns.size()];
-        if (--agg.pending_units == 0)
-            progress.schemeDone();
-        remaining.fetch_sub(1, std::memory_order_acq_rel);
-    };
-
-    const auto runLiaison = [&](Liaison& L) {
-        for (;;) {
-            if (interruptRequested())
-                break;
-            if (remaining.load(std::memory_order_acquire) == 0)
-                break;
-            std::uint64_t u = 0;
-            if (!queue.tryPop(u)) {
-                // Another liaison holds the last units in flight;
-                // stay subscribed in case its worker dies and the
-                // units come back.
-                std::this_thread::sleep_for(
-                    std::chrono::microseconds(200));
-                continue;
-            }
-            reg.setGauge(mid.queue_depth,
-                         static_cast<std::int64_t>(queue.sizeApprox()));
-            const WorkUnit& unit = units[u];
-            if (cell_failed[unit.cell].load(
-                    std::memory_order_relaxed)) {
-                skipUnit(unit);
-                continue;
-            }
-
-            const auto dispatch_at = std::chrono::steady_clock::now();
-            Status sent =
-                writeAllFd(L.child.to_child, encodeUnitLine(unit));
-            Result<std::string> line =
-                sent.ok() ? L.reader->readLine()
-                          : Result<std::string>(sent);
-            if (!line.ok()) {
-                // The worker died (or the pipe broke) with this unit
-                // in flight: put the unit back for a survivor, retire
-                // the worker, and end this liaison.
-                require(queue.tryPush(u),
-                        "fleet: re-queue cannot fail by construction");
-                requeues.fetch_add(1, std::memory_order_relaxed);
-                reg.add(mid.units_requeued);
-                retireWorker(L, "unit " + std::to_string(u) +
-                                    " in flight: " +
-                                    line.status().toString());
-                return;
-            }
-            Result<WorkerMessage> decoded =
-                decodeWorkerLine(line.value());
-            Status valid = decoded.status();
-            if (valid.ok() &&
-                decoded.value().kind == WorkerMessage::Kind::result) {
-                const WorkerMessage& r = decoded.value();
-                if (r.unit != unit.unit ||
-                    r.checkpoint.fingerprint != fingerprint ||
-                    r.checkpoint.done.size() != unit.task_count) {
-                    valid = Status::dataLoss(
-                        "worker result doesn't match the dispatched "
-                        "unit");
-                }
-                for (const CheckpointEntry& e : r.checkpoint.done) {
-                    if (!valid.ok())
-                        break;
-                    if (e.task < unit.first_task ||
-                        e.task >= unit.first_task + unit.task_count) {
-                        valid = Status::dataLoss(
-                            "worker result entry outside its unit");
-                        break;
-                    }
-                    valid = validateEntry(
-                        e, "worker " +
-                               std::to_string(L.record.worker) +
-                               " unit " + std::to_string(u));
-                }
-            }
-            if (!valid.ok()) {
-                // Protocol corruption is indistinguishable from a
-                // compromised worker: requeue and retire.
-                require(queue.tryPush(u),
-                        "fleet: re-queue cannot fail by construction");
-                requeues.fetch_add(1, std::memory_order_relaxed);
-                reg.add(mid.units_requeued);
-                retireWorker(L, valid.toString());
-                return;
-            }
-
-            const WorkerMessage& msg = decoded.value();
-            if (msg.kind == WorkerMessage::Kind::worker_error) {
-                require(queue.tryPush(u),
-                        "fleet: re-queue cannot fail by construction");
-                requeues.fetch_add(1, std::memory_order_relaxed);
-                reg.add(mid.units_requeued);
-                retireWorker(L, msg.message);
-                return;
-            }
-            if (msg.kind == WorkerMessage::Kind::unit_error) {
-                // The cell failed persistently inside the worker —
-                // the same graceful degradation as in-process: the
-                // scheme is dropped, the campaign continues.
-                cell_failed[unit.cell].store(
-                    true, std::memory_order_relaxed);
-                std::lock_guard<std::mutex> lock(state_mutex);
-                cell_errors.emplace_back(unit.cell, msg.message);
-                SchemeAgg& agg =
-                    scheme_aggs[unit.cell / patterns.size()];
-                if (--agg.pending_units == 0)
-                    progress.schemeDone();
-                remaining.fetch_sub(1, std::memory_order_acq_rel);
-                continue;
-            }
-
-            // A valid result: merge into this liaison's private
-            // accumulators (no lock on the tally path), log for the
-            // checkpoint, update telemetry.
-            const auto done_at = std::chrono::steady_clock::now();
-            std::uint64_t unit_trials = 0;
-            for (const CheckpointEntry& e : msg.checkpoint.done) {
-                L.cells[tasks[e.task].cell].merge(e.counts);
-                task_done[e.task] = 1;
-                if (checkpointing)
-                    partial[e.task] = e.counts;
-                unit_trials += e.counts.trials;
-                progress.shardDone(e.counts.trials);
-            }
-            reg.add(mid.units_completed);
-            reg.add(mid.shards_completed, unit.task_count);
-            reg.add(mid.trials, unit_trials);
-            L.record.units += 1;
-            L.record.shards += unit.task_count;
-            L.record.trials += unit_trials;
-            L.record.busy_seconds +=
-                static_cast<double>(msg.busy_us) * 1e-6;
-
-            {
-                std::lock_guard<std::mutex> lock(state_mutex);
-                SchemeAgg& agg =
-                    scheme_aggs[unit.cell / patterns.size()];
-                agg.busy_us += msg.busy_us;
-                agg.trials += unit_trials;
-                agg.shards += unit.task_count;
-                agg.first_us = std::min(
-                    agg.first_us, microsSince(start, dispatch_at));
-                agg.last_us = std::max(agg.last_us,
-                                       microsSince(start, done_at));
-                if (--agg.pending_units == 0)
-                    progress.schemeDone();
-                for (std::uint64_t i = unit.first_task;
-                     i < unit.first_task + unit.task_count; ++i)
-                    completed_log.push_back(i);
-                fresh_completed += unit.task_count;
-                chaosOnTaskDone(fresh_completed);
-                if (checkpointing && !interruptRequested()) {
-                    const auto now = std::chrono::steady_clock::now();
-                    if (now - last_flush >= interval) {
-                        Status s = flushCheckpoint();
-                        last_flush = std::chrono::steady_clock::now();
-                        if (!s.ok() && !warned_checkpoint_failure) {
-                            warn("fleet: checkpoint write failed (" +
-                                 s.toString() +
-                                 "); continuing without");
-                            warned_checkpoint_failure = true;
-                        }
-                    }
-                }
-            }
-            unit_done[u] = 1;
-            remaining.fetch_sub(1, std::memory_order_acq_rel);
-        }
-        // Normal liaison end: closing the worker's stdin is the
-        // shutdown signal; it exits 0 on the EOF.
-        closeFd(L.child.to_child);
-    };
-
-    {
-        obs::TraceSpan span("evaluate-fleet", "campaign");
-        for (auto& liaison : liaisons) {
-            if (liaison->spawned)
-                liaison->thread =
-                    std::thread(runLiaison, std::ref(*liaison));
-        }
-        for (auto& liaison : liaisons) {
-            if (liaison->thread.joinable())
-                liaison->thread.join();
-        }
+    for (auto& worker : workers) {
+        if (worker->thread.joinable())
+            worker->thread.join();
     }
 
     // Reap surviving workers (lost ones were reaped at retirement).
-    for (auto& liaison : liaisons) {
-        if (!liaison->spawned || liaison->record.lost)
-            continue;
-        closeFd(liaison->child.to_child);
-        Result<int> exit = waitForExit(liaison->child.pid);
-        liaison->record.exit_code = exit.ok() ? exit.value() : -1;
-        closeFd(liaison->child.from_child);
-    }
+    for (auto& worker : workers)
+        reapPipeWorker(*worker);
 
     // All-workers-lost fallback: the campaign still completes, just
     // in-process. Skipped on interrupt — the user asked us to stop.
-    std::vector<OutcomeCounts> fallback_cells(result.cells.size());
-    std::uint64_t fallback_shards = 0;
-    if (!interruptRequested() &&
-        remaining.load(std::memory_order_acquire) > 0) {
-        warn("fleet: all workers lost with " +
-             std::to_string(remaining.load()) +
-             " units pending; finishing in-process");
-        ShardBatchArena arena;
-        std::uint64_t u = 0;
-        while (!interruptRequested() && queue.tryPop(u)) {
-            const WorkUnit& unit = units[u];
-            if (cell_failed[unit.cell].load(
-                    std::memory_order_relaxed)) {
-                skipUnit(unit);
-                continue;
-            }
-            const auto dispatch_at = std::chrono::steady_clock::now();
-            std::uint64_t busy_us = 0;
-            std::uint64_t unit_trials = 0;
-            std::string failure;
-            std::vector<CheckpointEntry> entries;
-            for (std::uint64_t i = unit.first_task;
-                 i < unit.first_task + unit.task_count; ++i) {
-                const Task& t = tasks[i];
-                const std::size_t scheme = t.cell / patterns.size();
-                OutcomeCounts counts;
-                try {
-                    chaosOnTaskAttempt(i);
-                    counts = evaluateShardBatched(
-                        *schemes[scheme], goldens[scheme], spec.seed,
-                        t.shard, arena);
-                } catch (const std::exception& first) {
-                    try {
-                        chaosOnTaskAttempt(i);
-                        counts = evaluateShardBatched(
-                            *schemes[scheme], goldens[scheme],
-                            spec.seed, t.shard, arena);
-                    } catch (const std::exception& second) {
-                        failure =
-                            std::string("shard task failed twice: ") +
-                            second.what();
-                        break;
-                    }
-                }
-                entries.push_back({i, counts});
-                unit_trials += counts.trials;
-            }
-            const auto done_at = std::chrono::steady_clock::now();
-            busy_us = microsSince(dispatch_at, done_at);
-            if (!failure.empty()) {
-                cell_failed[unit.cell].store(
-                    true, std::memory_order_relaxed);
-                std::lock_guard<std::mutex> lock(state_mutex);
-                cell_errors.emplace_back(unit.cell, failure);
-                SchemeAgg& agg =
-                    scheme_aggs[unit.cell / patterns.size()];
-                if (--agg.pending_units == 0)
-                    progress.schemeDone();
-                remaining.fetch_sub(1, std::memory_order_acq_rel);
-                continue;
-            }
-            for (const CheckpointEntry& e : entries) {
-                fallback_cells[tasks[e.task].cell].merge(e.counts);
-                task_done[e.task] = 1;
-                if (checkpointing)
-                    partial[e.task] = e.counts;
-                progress.shardDone(e.counts.trials);
-            }
-            fallback_shards += unit.task_count;
-            reg.add(mid.units_completed);
-            reg.add(mid.shards_completed, unit.task_count);
-            reg.add(mid.trials, unit_trials);
-            {
-                std::lock_guard<std::mutex> lock(state_mutex);
-                SchemeAgg& agg =
-                    scheme_aggs[unit.cell / patterns.size()];
-                agg.busy_us += busy_us;
-                agg.trials += unit_trials;
-                agg.shards += unit.task_count;
-                agg.first_us = std::min(
-                    agg.first_us, microsSince(start, dispatch_at));
-                agg.last_us = std::max(agg.last_us,
-                                       microsSince(start, done_at));
-                if (--agg.pending_units == 0)
-                    progress.schemeDone();
-                for (const CheckpointEntry& e : entries)
-                    completed_log.push_back(e.task);
-                fresh_completed += unit.task_count;
-                chaosOnTaskDone(fresh_completed);
-            }
-            unit_done[u] = 1;
-            remaining.fetch_sub(1, std::memory_order_acq_rel);
-        }
-    }
+    dispatch.finishInProcess();
 
-    const auto stop = std::chrono::steady_clock::now();
-    result.seconds =
-        std::chrono::duration<double>(stop - start).count();
-    result.cpu_seconds = obs::processCpuSeconds() +
-                         obs::processChildrenCpuSeconds() - cpu_start;
-    progress.stop();
-    result.interrupted = interruptRequested();
-
-    // Merge the per-liaison accumulators, then the fallback ones; the
-    // outcome is order-independent (commutative, associative merge).
-    // Empty accumulators' default non-exhaustive flag must not dilute
-    // enumerable cells, hence the trials guard.
-    for (const auto& liaison : liaisons) {
-        for (std::size_t c = 0; c < liaison->cells.size(); ++c) {
-            if (liaison->cells[c].trials > 0)
-                result.cells[c].counts.merge(liaison->cells[c]);
-        }
-    }
-    for (std::size_t c = 0; c < fallback_cells.size(); ++c) {
-        if (fallback_cells[c].trials > 0)
-            result.cells[c].counts.merge(fallback_cells[c]);
-    }
-
-    // Per-scheme timings (worker-side busy time, parent-side wall
-    // span), plus the synthetic per-scheme trace spans the in-process
-    // runner emits.
-    for (std::size_t s = 0; s < schemes.size(); ++s) {
-        const SchemeAgg& agg = scheme_aggs[s];
-        obs::SchemeTiming timing;
-        timing.scheme_id = ids[s];
-        timing.cpu_seconds = static_cast<double>(agg.busy_us) * 1e-6;
-        timing.shards = agg.shards;
-        timing.trials = agg.trials;
-        const bool ran = agg.first_us != ~std::uint64_t{0} &&
-                         agg.last_us > agg.first_us;
-        if (ran)
-            timing.wall_seconds =
-                static_cast<double>(agg.last_us - agg.first_us) * 1e-6;
-        result.scheme_timings.push_back(timing);
-        if (ran && obs::traceEnabled()) {
-            const int tid = 1000 + static_cast<int>(s);
-            obs::setTrackName(tid, "scheme " + ids[s]);
-            obs::emitSpan(
-                ids[s], "scheme", trace_eval_start_us + agg.first_us,
-                agg.last_us - agg.first_us,
-                "\"shards\":" + std::to_string(timing.shards) +
-                    ",\"trials\":" + std::to_string(timing.trials),
-                tid);
-        }
-    }
-
-    // Fleet telemetry for reports and the strong-scaling bench.
-    result.fleet.workers = worker_count;
-    result.fleet.units = units.size();
-    result.fleet.unit_shards = spec.fleet_unit_shards;
-    result.fleet.queue_capacity = queue.capacity();
-    result.fleet.requeues = requeues.load(std::memory_order_relaxed);
-    result.fleet.workers_lost =
-        workers_lost.load(std::memory_order_relaxed);
-    result.fleet.parent_fallback_shards = fallback_shards;
-    for (const auto& liaison : liaisons)
-        result.fleet.worker_records.push_back(liaison->record);
-
-    if (checkpointing) {
-        std::lock_guard<std::mutex> lock(state_mutex);
-        if (Status s = flushCheckpoint(); !s.ok()) {
-            warn("fleet: final checkpoint write failed: " +
-                 s.toString());
-        } else if (result.interrupted) {
-            inform("fleet: interrupted; " +
-                   std::to_string(completed_log.size()) + " of " +
-                   std::to_string(tasks.size()) +
-                   " shard tasks checkpointed to " +
-                   spec.checkpoint_path);
-        }
-    }
-
-    // Drop failed schemes from the cells and record them — a partial
-    // scheme row would read as a measured (wrong) rate.
-    if (!cell_errors.empty()) {
-        std::set<std::string> failed;
-        for (const auto& [cell, message] : cell_errors) {
-            const CampaignCell& c = result.cells[cell];
-            if (failed.insert(c.scheme_id).second) {
-                warn("fleet: dropping scheme " + c.scheme_id + ": " +
-                     message);
-                reg.add(mid.schemes_dropped);
-                result.errors.push_back(
-                    {c.scheme_id,
-                     "unavailable: pattern " +
-                         patternInfo(c.pattern).label + ": " +
-                         message});
-            }
-        }
-        std::erase_if(result.cells, [&](const CampaignCell& c) {
-            return failed.count(c.scheme_id) != 0;
-        });
-    }
-
-    reg.flushThisThread();
-    result.metrics = reg.snapshot().since(metrics_baseline);
-    return result;
+    std::vector<obs::FleetWorkerRecord> records;
+    for (const auto& worker : workers)
+        records.push_back(worker->record);
+    return dispatch.finalize(worker_count, std::move(records));
 }
 
 } // namespace gpuecc::sim::fleet

@@ -1,0 +1,173 @@
+#include "fleet/pipe.hpp"
+
+#include <chrono>
+#include <string>
+
+#include "common/interrupt.hpp"
+#include "common/log.hpp"
+#include "fleet/protocol.hpp"
+#include "fleet/worker.hpp"
+
+namespace gpuecc::sim::fleet {
+
+void
+spawnPipeWorker(FleetDispatch& dispatch, PipeWorker& worker, int w,
+                std::vector<int>& inherited_fds)
+{
+    worker.record.worker = w;
+    Result<ChildProcess> child = spawnChild(
+        [](int read_fd, int write_fd) {
+            return fleetWorkerMain(read_fd, write_fd);
+        },
+        inherited_fds);
+    if (!child.ok()) {
+        warn("fleet: cannot fork worker " + std::to_string(w) + ": " +
+             child.status().toString());
+        worker.record.lost = true;
+        return;
+    }
+    worker.child = child.value();
+    worker.record.pid = worker.child.pid;
+    worker.reader = std::make_unique<LineReader>(
+        worker.child.from_child, kMaxWireLineBytes);
+    worker.spawned = true;
+    inherited_fds.push_back(worker.child.to_child);
+    inherited_fds.push_back(worker.child.from_child);
+
+    if (Status s = writeAllFd(worker.child.to_child,
+                              encodeConfigLine(dispatch.configFor(w)));
+        !s.ok()) {
+        warn("fleet: worker " + std::to_string(w) +
+             " rejected its config: " + s.toString());
+        closeFd(worker.child.to_child);
+        killChild(worker.child.pid);
+        Result<int> exit = waitForExit(worker.child.pid);
+        worker.record.exit_code = exit.ok() ? exit.value() : -1;
+        closeFd(worker.child.from_child);
+        worker.record.lost = true;
+        worker.spawned = false;
+    }
+}
+
+namespace {
+
+/** Reclaim fds, reap the process, record how it went. Called by the
+    worker's own liaison thread only. */
+void
+retireWorker(FleetDispatch& dispatch, PipeWorker& worker,
+             const std::string& why)
+{
+    warn("fleet: losing worker " +
+         std::to_string(worker.record.worker) + ": " + why);
+    closeFd(worker.child.to_child);
+    killChild(worker.child.pid);
+    Result<int> exit = waitForExit(worker.child.pid);
+    worker.record.exit_code = exit.ok() ? exit.value() : -1;
+    closeFd(worker.child.from_child);
+    worker.record.lost = true;
+    dispatch.noteWorkerLost();
+}
+
+} // namespace
+
+void
+runPipeLiaison(FleetDispatch& dispatch, PipeWorker& worker,
+               int deadline_ms)
+{
+    PipeWorker& L = worker;
+    for (;;) {
+        if (interruptRequested() || dispatch.allSettled())
+            break;
+        std::uint64_t u = 0;
+        if (!dispatch.tryClaim(u)) {
+            // Another liaison holds the last units in flight; stay
+            // subscribed in case its worker dies and the units come
+            // back.
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            continue;
+        }
+        const WorkUnit& unit = dispatch.unit(u);
+
+        const auto dispatch_at = std::chrono::steady_clock::now();
+        Status sent = writeAllFd(L.child.to_child, encodeUnitLine(unit),
+                                 deadline_ms);
+        Result<std::string> line =
+            sent.ok() ? L.reader->readLine(deadline_ms)
+                      : Result<std::string>(sent);
+        // Pipe workers don't send heartbeats, but tolerate them: the
+        // shared serving loop is also spoken by agents.
+        while (line.ok()) {
+            Result<WorkerMessage> peek = decodeWorkerLine(line.value());
+            if (peek.ok() &&
+                peek.value().kind == WorkerMessage::Kind::heartbeat) {
+                line = L.reader->readLine(deadline_ms);
+                continue;
+            }
+            break;
+        }
+        if (!line.ok()) {
+            // The worker died, hung past the deadline, or the pipe
+            // broke with this unit in flight: put the unit back for a
+            // survivor, retire the worker, and end this liaison.
+            if (isDeadlineExpired(line.status()))
+                dispatch.noteWorkerTimeout();
+            dispatch.requeueUnit(u, line.status().toString());
+            retireWorker(dispatch, L,
+                         "unit " + std::to_string(u) + " in flight: " +
+                             line.status().toString());
+            return;
+        }
+        Result<WorkerMessage> decoded = decodeWorkerLine(line.value());
+        Status valid = decoded.status();
+        if (valid.ok() &&
+            decoded.value().kind == WorkerMessage::Kind::result)
+            valid = dispatch.validateResult(u, decoded.value());
+        if (!valid.ok()) {
+            // Protocol corruption is indistinguishable from a
+            // compromised worker: requeue and retire.
+            dispatch.requeueUnit(u, valid.toString());
+            retireWorker(dispatch, L, valid.toString());
+            return;
+        }
+
+        const WorkerMessage& msg = decoded.value();
+        if (msg.kind == WorkerMessage::Kind::worker_error) {
+            dispatch.requeueUnit(u, msg.message);
+            retireWorker(dispatch, L, msg.message);
+            return;
+        }
+        if (msg.kind == WorkerMessage::Kind::unit_error) {
+            // The cell failed persistently inside the worker — the
+            // same graceful degradation as in-process: the scheme is
+            // dropped, the campaign continues.
+            dispatch.failUnit(u, msg.message);
+            continue;
+        }
+
+        const auto done_at = std::chrono::steady_clock::now();
+        if (dispatch.completeUnit(u, msg, dispatch_at, done_at)) {
+            L.record.units += 1;
+            L.record.shards += unit.task_count;
+            for (const CheckpointEntry& e : msg.checkpoint.done)
+                L.record.trials += e.counts.trials;
+            L.record.busy_seconds +=
+                static_cast<double>(msg.busy_us) * 1e-6;
+        }
+    }
+    // Normal liaison end: closing the worker's stdin is the shutdown
+    // signal; it exits 0 on the EOF.
+    closeFd(L.child.to_child);
+}
+
+void
+reapPipeWorker(PipeWorker& worker)
+{
+    if (!worker.spawned || worker.record.lost)
+        return;
+    closeFd(worker.child.to_child);
+    Result<int> exit = waitForExit(worker.child.pid);
+    worker.record.exit_code = exit.ok() ? exit.value() : -1;
+    closeFd(worker.child.from_child);
+}
+
+} // namespace gpuecc::sim::fleet

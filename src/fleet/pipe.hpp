@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Forked pipe-worker plumbing shared by the two fleet transports.
+ *
+ * Both the classic pipe dispatcher (fleet/fleet.cpp) and the socket
+ * campaign service (net/service.cpp, which keeps local standby
+ * workers as its first degradation rung) drive forked single-threaded
+ * worker processes the same way: fork before any thread exists, send
+ * the config line at fork time, then run one liaison thread per
+ * worker that claims units from the FleetDispatch and round-trips
+ * them over the pipe pair. These helpers are that shared plumbing.
+ */
+
+#ifndef GPUECC_FLEET_PIPE_HPP
+#define GPUECC_FLEET_PIPE_HPP
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/subprocess.hpp"
+#include "fleet/dispatch.hpp"
+#include "obs/manifest.hpp"
+
+namespace gpuecc::sim::fleet {
+
+/** One forked worker process plus its parent-side liaison state. */
+struct PipeWorker
+{
+    ChildProcess child;
+    std::unique_ptr<LineReader> reader;
+    obs::FleetWorkerRecord record;
+    bool spawned = false;
+    std::thread thread;
+};
+
+/**
+ * Fork worker @p w and send its config line. Appends the child's pipe
+ * fds to @p inherited_fds (later children close them); callers add
+ * any other fds a child must not inherit — a listening socket, say —
+ * before the first spawn. On failure the worker is marked lost, never
+ * fatal. Must run while the process is single-threaded (fork safety).
+ */
+void spawnPipeWorker(FleetDispatch& dispatch, PipeWorker& worker,
+                     int w, std::vector<int>& inherited_fds);
+
+/**
+ * Liaison loop: claim units, round-trip them over @p worker's pipes,
+ * settle them via the dispatcher. Returns when the campaign settles,
+ * an interrupt is requested, or the worker dies / breaks protocol
+ * (in-flight unit requeued, worker retired and reaped). Runs on its
+ * own thread; call dispatch.start() before the first liaison starts.
+ * @p deadline_ms bounds each unit round-trip (<= 0: no deadline).
+ */
+void runPipeLiaison(FleetDispatch& dispatch, PipeWorker& worker,
+                    int deadline_ms);
+
+/** Close the pipes and reap a surviving worker (lost ones already
+    were, at retirement). */
+void reapPipeWorker(PipeWorker& worker);
+
+} // namespace gpuecc::sim::fleet
+
+#endif // GPUECC_FLEET_PIPE_HPP

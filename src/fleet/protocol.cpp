@@ -221,6 +221,161 @@ encodeWorkerErrorLine(int worker, const std::string& message)
     return w.str() + "\n";
 }
 
+std::string
+encodeChallengeLine(const std::string& nonce_hex)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "challenge");
+    w.kv("nonce", nonce_hex);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+Result<std::string>
+decodeChallengeLine(const std::string& line)
+{
+    Result<JsonValue> doc = parseLine(line, "challenge");
+    if (!doc.ok())
+        return doc.status();
+    return getString(doc.value(), "nonce");
+}
+
+std::string
+encodeAuthLine(const std::string& agent, const std::string& mac_hex)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "auth");
+    w.kv("agent", agent);
+    w.kv("mac", mac_hex);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+Result<AuthRequest>
+decodeAuthLine(const std::string& line)
+{
+    Result<JsonValue> doc = parseLine(line, "auth");
+    if (!doc.ok())
+        return doc.status();
+    AuthRequest out;
+    Result<std::string> agent = getString(doc.value(), "agent");
+    Result<std::string> mac = getString(doc.value(), "mac");
+    if (!agent.ok())
+        return agent.status();
+    if (!mac.ok())
+        return mac.status();
+    out.agent = agent.value();
+    out.mac = mac.value();
+    return out;
+}
+
+std::string
+encodeWelcomeLine(int worker, const std::string& mac_hex)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "welcome");
+    w.kv("worker", worker);
+    w.kv("mac", mac_hex);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string
+encodeAuthErrorLine(const std::string& message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "auth_error");
+    w.kv("message", message);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+Result<Welcome>
+decodeWelcomeLine(const std::string& line)
+{
+    Result<JsonValue> doc = parseLine(line, "");
+    if (!doc.ok())
+        return doc.status();
+    const JsonValue& root = doc.value();
+    const std::string type =
+        getString(root, "type").value(); // parseLine validated it
+    if (type == "auth_error") {
+        Result<std::string> message = getString(root, "message");
+        return Status::failedPrecondition(
+            "fleet auth rejected: " +
+            (message.ok() ? message.value() : std::string("(no detail)")));
+    }
+    if (type != "welcome") {
+        return Status::dataLoss("fleet handshake: expected a welcome "
+                                "line, got " +
+                                type);
+    }
+    Welcome out;
+    Result<std::uint64_t> worker = getUint(root, "worker");
+    Result<std::string> mac = getString(root, "mac");
+    if (!worker.ok())
+        return worker.status();
+    if (!mac.ok())
+        return mac.status();
+    out.worker = static_cast<int>(worker.value());
+    out.mac = mac.value();
+    return out;
+}
+
+std::string
+encodeHeartbeatLine(int worker)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "heartbeat");
+    w.kv("worker", worker);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string
+encodeShutdownLine()
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "shutdown");
+    w.endObject();
+    return w.str() + "\n";
+}
+
+Result<ServerMessage>
+decodeServerLine(const std::string& line)
+{
+    Result<JsonValue> doc = parseLine(line, "");
+    if (!doc.ok())
+        return doc.status();
+    const std::string type =
+        getString(doc.value(), "type").value(); // parseLine validated
+    ServerMessage out;
+    if (type == "heartbeat") {
+        out.kind = ServerMessage::Kind::heartbeat;
+        return out;
+    }
+    if (type == "shutdown") {
+        out.kind = ServerMessage::Kind::shutdown;
+        return out;
+    }
+    if (type == "unit") {
+        out.kind = ServerMessage::Kind::unit;
+        Result<WorkUnit> unit = decodeUnitLine(line);
+        if (!unit.ok())
+            return unit.status();
+        out.unit = unit.value();
+        return out;
+    }
+    return Status::dataLoss("fleet protocol: unknown server line type '" +
+                            type + "'");
+}
+
 Result<WorkerMessage>
 decodeWorkerLine(const std::string& line)
 {
@@ -276,6 +431,10 @@ decodeWorkerLine(const std::string& line)
         if (!message.ok())
             return message.status();
         out.message = message.value();
+        return out;
+    }
+    if (type == "heartbeat") {
+        out.kind = WorkerMessage::Kind::heartbeat;
         return out;
     }
     return Status::dataLoss("fleet protocol: unknown line type '" +

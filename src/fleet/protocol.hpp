@@ -14,6 +14,15 @@
  * come back as structured lines too: a unit_error fails one
  * (scheme, pattern) cell gracefully, a worker_error retires the whole
  * worker and requeues its unit.
+ *
+ * The socket transport (src/net) speaks the same lines plus a small
+ * session layer: a challenge → auth → welcome handshake (HMAC over a
+ * server nonce proves both sides hold the shared secret before any
+ * plan data moves), *heartbeat* lines in both directions (liveness —
+ * a host whose heartbeats stop is retired and its unit requeued), and
+ * a *shutdown* line for graceful drain. Every line is bounded by
+ * kMaxWireLineBytes at the parser; an oversized line is a structured
+ * dataLoss, never unbounded buffer growth.
  */
 
 #ifndef GPUECC_FLEET_PROTOCOL_HPP
@@ -28,6 +37,13 @@
 #include "sim/checkpoint.hpp"
 
 namespace gpuecc::sim::fleet {
+
+/**
+ * Hard cap on one wire line. Generous — a result line carries one
+ * checkpoint entry per shard task of its unit — but bounded, so a
+ * corrupt or hostile peer cannot grow a read buffer without limit.
+ */
+constexpr std::size_t kMaxWireLineBytes = std::size_t{64} << 20;
 
 /** Everything a worker needs to rebuild the campaign plan. */
 struct FleetConfig
@@ -67,6 +83,7 @@ struct WorkerMessage
         result,       //!< unit completed; checkpoint holds tallies
         unit_error,   //!< unit's cell failed persistently (message)
         worker_error, //!< worker unusable; message says why
+        heartbeat,    //!< liveness beacon (socket transport only)
     };
 
     Kind kind = Kind::result;
@@ -75,6 +92,39 @@ struct WorkerMessage
     std::uint64_t busy_us = 0; //!< worker-side evaluation time
     CampaignCheckpoint checkpoint; //!< result only
     std::string message;           //!< error kinds only
+};
+
+/**
+ * One parsed parent → worker line on the socket transport, where the
+ * stream carries session-layer lines interleaved with work units.
+ * (The pipe transport sends only unit lines and signals completion by
+ * closing the pipe, so the plain decodeUnitLine path still serves it.)
+ */
+struct ServerMessage
+{
+    enum class Kind
+    {
+        unit,      //!< a work unit to evaluate
+        heartbeat, //!< liveness beacon; refresh the server deadline
+        shutdown,  //!< graceful drain: finish nothing more, hang up
+    };
+
+    Kind kind = Kind::unit;
+    WorkUnit unit; //!< kind == unit only
+};
+
+/** Agent's identity + proof from an auth line. */
+struct AuthRequest
+{
+    std::string agent; //!< free-form agent name (for logs)
+    std::string mac;   //!< hex HMAC over the server's nonce
+};
+
+/** Worker index + server proof from a welcome line. */
+struct Welcome
+{
+    int worker = 0;  //!< dense worker index assigned to this agent
+    std::string mac; //!< hex HMAC proving the server holds the secret
 };
 
 /** @name Line encoders (each returns one '\n'-terminated line) */
@@ -86,6 +136,13 @@ std::string encodeUnitErrorLine(std::uint64_t unit, int worker,
                                 const std::string& message);
 std::string encodeWorkerErrorLine(int worker,
                                   const std::string& message);
+std::string encodeChallengeLine(const std::string& nonce_hex);
+std::string encodeAuthLine(const std::string& agent,
+                           const std::string& mac_hex);
+std::string encodeWelcomeLine(int worker, const std::string& mac_hex);
+std::string encodeAuthErrorLine(const std::string& message);
+std::string encodeHeartbeatLine(int worker);
+std::string encodeShutdownLine();
 ///@}
 
 /** @name Line decoders (structural validation; dataLoss on garbage) */
@@ -93,6 +150,11 @@ std::string encodeWorkerErrorLine(int worker,
 Result<FleetConfig> decodeConfigLine(const std::string& line);
 Result<WorkUnit> decodeUnitLine(const std::string& line);
 Result<WorkerMessage> decodeWorkerLine(const std::string& line);
+Result<ServerMessage> decodeServerLine(const std::string& line);
+Result<std::string> decodeChallengeLine(const std::string& line);
+Result<AuthRequest> decodeAuthLine(const std::string& line);
+/** An auth_error line decodes as failedPrecondition (do not retry). */
+Result<Welcome> decodeWelcomeLine(const std::string& line);
 ///@}
 
 } // namespace gpuecc::sim::fleet

@@ -1,18 +1,20 @@
 #include "fleet/worker.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/codec_mode.hpp"
 #include "common/status.hpp"
-#include "common/subprocess.hpp"
 #include "ecc/registry.hpp"
 #include "faultsim/shard.hpp"
-#include "fleet/protocol.hpp"
 #include "sim/chaos.hpp"
 #include "sim/checkpoint.hpp"
 
@@ -36,44 +38,87 @@ microsSince(std::chrono::steady_clock::time_point origin)
             .count());
 }
 
+/**
+ * Background heartbeat: writes a liveness line on an interval so the
+ * dispatcher can tell "busy evaluating" from "dead". A chaos-stalled
+ * process stops beating (chaosStalled), which is what makes the
+ * silent-host scenario reproducible.
+ */
+class Heartbeat
+{
+  public:
+    Heartbeat(int interval_ms, const std::function<void()>& beat)
+    {
+        thread_ = std::thread([this, interval_ms, beat] {
+            std::unique_lock<std::mutex> lock(mutex_);
+            for (;;) {
+                cv_.wait_for(lock,
+                             std::chrono::milliseconds(interval_ms),
+                             [this] { return stop_; });
+                if (stop_)
+                    return;
+                if (chaosStalled())
+                    continue;
+                lock.unlock();
+                beat();
+                lock.lock();
+            }
+        });
+    }
+
+    ~Heartbeat()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
 } // namespace
 
-int
-fleetWorkerMain(int read_fd, int write_fd)
+ServeEnd
+serveFleetUnits(const FleetConfig& cfg, LineReader& in,
+                const WriteLineFn& write_line,
+                const ServeOptions& opts)
 {
-    LineReader in(read_fd);
-
-    // Setup failures travel back as a worker_error line so the parent
-    // can log *why* instead of just seeing EOF; the nonzero exit code
-    // is the backstop for when even the write fails.
-    const auto bail = [&](const std::string& message, int worker,
-                          int code) {
-        writeAllFd(write_fd, encodeWorkerErrorLine(worker, message));
-        return code;
+    // Writes come from this thread (results) and the heartbeat
+    // thread; serialize them so lines never interleave mid-frame.
+    std::mutex write_mutex;
+    const auto send = [&](const std::string& line) -> Status {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        return write_line(line);
     };
 
-    Result<std::string> config_line = in.readLine();
-    if (!config_line.ok())
-        return kWorkerProtocolExit;
-    Result<FleetConfig> config = decodeConfigLine(config_line.value());
-    if (!config.ok())
-        return bail(config.status().toString(), -1, kWorkerSetupExit);
-    const FleetConfig& cfg = config.value();
+    // Setup failures travel back as a worker_error line so the
+    // dispatcher can log *why* instead of just seeing a hangup.
+    const auto bail = [&](const std::string& message) {
+        send(encodeWorkerErrorLine(cfg.worker, message));
+        return ServeEnd::setup;
+    };
 
     setCodecBackend(cfg.codec_backend == "reference"
                         ? CodecBackend::reference
                         : CodecBackend::compiled);
 
-    // The parent resolved these same ids before forking, so a failure
-    // here is a genuine environment fault, not a planning error.
+    // The dispatcher resolved these same ids before sending the
+    // config, so a failure here is a genuine environment fault, not a
+    // planning error.
     std::vector<std::shared_ptr<EntryScheme>> schemes;
     std::vector<GoldenEntry> goldens;
     for (const std::string& id : cfg.scheme_ids) {
         Result<std::shared_ptr<EntryScheme>> scheme = findScheme(id);
         if (!scheme.ok()) {
             return bail("scheme " + id + ": " +
-                            scheme.status().toString(),
-                        cfg.worker, kWorkerSetupExit);
+                        scheme.status().toString());
         }
         schemes.push_back(scheme.value());
         goldens.push_back(makeGolden(*schemes.back(), cfg.seed));
@@ -95,33 +140,60 @@ fleetWorkerMain(int read_fd, int write_fd)
         codecBackendName(), tasks.size());
     if (fingerprint != cfg.fingerprint) {
         return bail("plan fingerprint mismatch\n  parent: " +
-                        cfg.fingerprint + "\n  worker: " + fingerprint,
-                    cfg.worker, kWorkerSetupExit);
+                    cfg.fingerprint + "\n  worker: " + fingerprint);
+    }
+
+    std::unique_ptr<Heartbeat> heartbeat;
+    if (opts.heartbeats) {
+        heartbeat = std::make_unique<Heartbeat>(
+            opts.heartbeat_interval_ms, [&] {
+                // A failed beat is not fatal here — the read loop
+                // surfaces the broken stream on its next pass.
+                send(encodeHeartbeatLine(cfg.worker));
+            });
     }
 
     ShardBatchArena arena;
     std::uint64_t units_done = 0;
     for (;;) {
-        Result<std::string> line = in.readLine();
+        Result<std::string> line = in.readLine(opts.read_deadline_ms);
         if (line.status().code() == ErrorCode::notFound)
-            return 0; // EOF: the dispatcher is done with us
+            return ServeEnd::eof; // dispatcher hung up
+        if (isDeadlineExpired(line.status()))
+            return ServeEnd::silent; // dispatcher went quiet
         if (!line.ok())
-            return kWorkerProtocolExit;
-        Result<WorkUnit> decoded = decodeUnitLine(line.value());
-        if (!decoded.ok()) {
-            return bail(decoded.status().toString(), cfg.worker,
-                        kWorkerProtocolExit);
+            return ServeEnd::protocol;
+
+        WorkUnit unit;
+        if (opts.session_lines) {
+            Result<ServerMessage> decoded =
+                decodeServerLine(line.value());
+            if (!decoded.ok()) {
+                bail(decoded.status().toString());
+                return ServeEnd::protocol;
+            }
+            if (decoded.value().kind == ServerMessage::Kind::heartbeat)
+                continue; // liveness only; the read itself sufficed
+            if (decoded.value().kind == ServerMessage::Kind::shutdown)
+                return ServeEnd::shutdown;
+            unit = decoded.value().unit;
+        } else {
+            Result<WorkUnit> decoded = decodeUnitLine(line.value());
+            if (!decoded.ok()) {
+                bail(decoded.status().toString());
+                return ServeEnd::protocol;
+            }
+            unit = decoded.value();
         }
-        const WorkUnit& unit = decoded.value();
         if (unit.first_task + unit.task_count > tasks.size()) {
-            return bail("unit " + std::to_string(unit.unit) +
-                            " is outside the plan",
-                        cfg.worker, kWorkerProtocolExit);
+            bail("unit " + std::to_string(unit.unit) +
+                 " is outside the plan");
+            return ServeEnd::protocol;
         }
 
-        // Chaos kill-point: simulates this worker crashing as the
-        // unit arrives — before any result bytes are written.
-        chaosOnFleetUnitStart(cfg.worker, units_done);
+        // Chaos kill-point: simulates this host crashing (or hanging)
+        // as the unit arrives — before any result bytes are written.
+        chaosOnFleetUnitStart(cfg.worker, unit.unit, units_done);
 
         WorkerMessage result;
         result.unit = unit.unit;
@@ -163,9 +235,45 @@ fleetWorkerMain(int read_fd, int write_fd)
             failure.empty()
                 ? encodeResultLine(result)
                 : encodeUnitErrorLine(unit.unit, cfg.worker, failure);
-        if (!writeAllFd(write_fd, reply).ok())
-            return kWorkerProtocolExit;
+        if (!send(reply).ok())
+            return ServeEnd::protocol;
     }
+}
+
+int
+fleetWorkerMain(int read_fd, int write_fd)
+{
+    LineReader in(read_fd, kMaxWireLineBytes);
+
+    Result<std::string> config_line = in.readLine();
+    if (!config_line.ok())
+        return kWorkerProtocolExit;
+    Result<FleetConfig> config = decodeConfigLine(config_line.value());
+    if (!config.ok()) {
+        // The nonzero exit code is the backstop for when even the
+        // write fails.
+        writeAllFd(write_fd,
+                   encodeWorkerErrorLine(-1, config.status().toString()));
+        return kWorkerSetupExit;
+    }
+
+    const ServeOptions opts; // pipe mode: EOF shutdown, no beats
+    switch (serveFleetUnits(
+        config.value(), in,
+        [write_fd](const std::string& line) {
+            return writeAllFd(write_fd, line);
+        },
+        opts)) {
+      case ServeEnd::eof:
+      case ServeEnd::shutdown:
+        return 0;
+      case ServeEnd::setup:
+        return kWorkerSetupExit;
+      case ServeEnd::silent:
+      case ServeEnd::protocol:
+        return kWorkerProtocolExit;
+    }
+    return kWorkerProtocolExit;
 }
 
 } // namespace gpuecc::sim::fleet

@@ -1,20 +1,30 @@
 /**
  * @file
- * Fleet worker process entry point.
+ * Fleet worker unit-serving loop, shared by pipe workers and agents.
  *
- * A worker is the child half of the fleet dispatcher: it reads one
+ * A worker is the serving half of the fleet dispatcher: it takes one
  * config line, independently rebuilds the campaign task plan from it,
  * refuses to serve (worker_error) if its re-derived fingerprint
- * differs from the parent's, then evaluates work units until the
- * parent closes the pipe (EOF is the normal shutdown). Each unit's
- * tallies travel back as a checkpoint document, so the parent
- * validates them with the same code that validates a resume. Workers
- * are single-threaded on purpose — fleet parallelism is process-level
- * — which keeps fork() safe and each worker's memory footprint flat.
+ * differs from the dispatcher's, then evaluates work units until the
+ * stream ends. serveFleetUnits is that loop, transport-agnostic: the
+ * forked pipe worker (fleetWorkerMain) runs it with EOF as the normal
+ * shutdown and no session lines; the socket agent (net/agent) runs it
+ * with heartbeats on, a read deadline for dead-server detection, and
+ * shutdown lines for graceful drain. Workers are single-threaded on
+ * the evaluation path on purpose — fleet parallelism is process-level
+ * — which keeps fork() safe and each worker's memory footprint flat
+ * (the optional heartbeat thread only writes liveness lines).
  */
 
 #ifndef GPUECC_FLEET_WORKER_HPP
 #define GPUECC_FLEET_WORKER_HPP
+
+#include <functional>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/subprocess.hpp"
+#include "fleet/protocol.hpp"
 
 namespace gpuecc::sim::fleet {
 
@@ -23,6 +33,42 @@ constexpr int kWorkerProtocolExit = 3;
 
 /** Exit code: setup failed (bad config, plan fingerprint mismatch). */
 constexpr int kWorkerSetupExit = 4;
+
+/** How a serveFleetUnits session ended. */
+enum class ServeEnd
+{
+    eof,      //!< dispatcher closed the stream (pipe-mode shutdown)
+    shutdown, //!< dispatcher sent a shutdown line (graceful drain)
+    silent,   //!< read deadline expired: the dispatcher went quiet
+    protocol, //!< unreadable/unwritable stream or a garbage line
+    setup,    //!< config didn't check out (fingerprint mismatch, ...)
+};
+
+/** Knobs distinguishing the pipe worker from the socket agent. */
+struct ServeOptions
+{
+    /** Decode session lines (heartbeat/shutdown), not just units. */
+    bool session_lines = false;
+    /** Send heartbeat lines from a background thread. */
+    bool heartbeats = false;
+    int heartbeat_interval_ms = 2000;
+    /** Max wire silence before ServeEnd::silent; -1 blocks forever. */
+    int read_deadline_ms = -1;
+};
+
+/** Sink for one '\n'-terminated protocol line. */
+using WriteLineFn = std::function<Status(const std::string&)>;
+
+/**
+ * Serve work units for @p cfg from @p in, replying through
+ * @p write_line, until the stream ends. Rebuilds and fingerprints the
+ * plan first (ServeEnd::setup on mismatch, after a worker_error
+ * line). Writes — results and heartbeats — are serialized internally,
+ * so @p write_line needs no locking of its own.
+ */
+ServeEnd serveFleetUnits(const FleetConfig& cfg, LineReader& in,
+                         const WriteLineFn& write_line,
+                         const ServeOptions& opts);
 
 /**
  * Child-process main loop: serve work units over the pipe pair until

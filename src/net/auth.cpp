@@ -1,0 +1,221 @@
+#include "net/auth.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace gpuecc::net {
+
+namespace {
+
+/** SHA-256 round constants (FIPS 180-4 §4.2.2). */
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+std::uint32_t
+rotr(std::uint32_t x, int n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+/** One 64-byte block into the running state. */
+void
+sha256Block(std::uint32_t state[8], const std::uint8_t block[64])
+{
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (std::uint32_t{block[4 * i]} << 24) |
+               (std::uint32_t{block[4 * i + 1]} << 16) |
+               (std::uint32_t{block[4 * i + 2]} << 8) |
+               std::uint32_t{block[4 * i + 3]};
+    }
+    for (int i = 16; i < 64; ++i) {
+        const std::uint32_t s0 = rotr(w[i - 15], 7) ^
+                                 rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+        const std::uint32_t s1 = rotr(w[i - 2], 17) ^
+                                 rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = state[0], b = state[1], c = state[2],
+                  d = state[3], e = state[4], f = state[5],
+                  g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+        const std::uint32_t s1 =
+            rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        const std::uint32_t ch = (e & f) ^ (~e & g);
+        const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+        const std::uint32_t s0 =
+            rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        const std::uint32_t t2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+std::string
+toHex(const std::uint8_t* data, std::size_t size)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string out;
+    out.reserve(size * 2);
+    for (std::size_t i = 0; i < size; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xF]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::array<std::uint8_t, 32>
+sha256(const std::string& data)
+{
+    std::uint32_t state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                              0xa54ff53a, 0x510e527f, 0x9b05688c,
+                              0x1f83d9ab, 0x5be0cd19};
+    const std::uint8_t* bytes =
+        reinterpret_cast<const std::uint8_t*>(data.data());
+    std::size_t remaining = data.size();
+    while (remaining >= 64) {
+        sha256Block(state, bytes);
+        bytes += 64;
+        remaining -= 64;
+    }
+    // Final block(s): message || 0x80 || zeros || 64-bit bit length.
+    std::uint8_t tail[128] = {};
+    std::memcpy(tail, bytes, remaining);
+    tail[remaining] = 0x80;
+    const std::size_t tail_blocks = remaining + 9 <= 64 ? 1 : 2;
+    const std::uint64_t bit_length =
+        static_cast<std::uint64_t>(data.size()) * 8;
+    for (int i = 0; i < 8; ++i) {
+        tail[tail_blocks * 64 - 1 - i] =
+            static_cast<std::uint8_t>(bit_length >> (8 * i));
+    }
+    sha256Block(state, tail);
+    if (tail_blocks == 2)
+        sha256Block(state, tail + 64);
+    std::array<std::uint8_t, 32> digest;
+    for (int i = 0; i < 8; ++i) {
+        digest[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+    }
+    return digest;
+}
+
+std::string
+hmacSha256Hex(const std::string& key, const std::string& message)
+{
+    // RFC 2104: H((K' ^ opad) || H((K' ^ ipad) || m)), block = 64.
+    std::string k = key;
+    if (k.size() > 64) {
+        const auto digest = sha256(k);
+        k.assign(reinterpret_cast<const char*>(digest.data()),
+                 digest.size());
+    }
+    k.resize(64, '\0');
+    std::string inner(64, '\0');
+    std::string outer(64, '\0');
+    for (int i = 0; i < 64; ++i) {
+        inner[i] = static_cast<char>(k[i] ^ 0x36);
+        outer[i] = static_cast<char>(k[i] ^ 0x5c);
+    }
+    const auto inner_digest = sha256(inner + message);
+    const auto outer_digest = sha256(
+        outer + std::string(reinterpret_cast<const char*>(
+                                inner_digest.data()),
+                            inner_digest.size()));
+    return toHex(outer_digest.data(), outer_digest.size());
+}
+
+std::string
+makeNonceHex()
+{
+    std::uint8_t bytes[32];
+#if defined(__unix__) || defined(__APPLE__)
+    if (FILE* urandom = std::fopen("/dev/urandom", "rb")) {
+        const std::size_t got =
+            std::fread(bytes, 1, sizeof(bytes), urandom);
+        std::fclose(urandom);
+        if (got == sizeof(bytes))
+            return toHex(bytes, sizeof(bytes));
+    }
+#endif
+    // Fallback: unique (clock + pid + counter), if less unpredictable.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::uint64_t now = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    std::uint64_t pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+    pid = static_cast<std::uint64_t>(getpid());
+#endif
+    const std::string seed =
+        std::to_string(now) + "/" + std::to_string(pid) + "/" +
+        std::to_string(counter.fetch_add(1));
+    const auto digest = sha256(seed);
+    return toHex(digest.data(), digest.size());
+}
+
+bool
+constantTimeEquals(const std::string& a, const std::string& b)
+{
+    if (a.size() != b.size())
+        return false;
+    unsigned char acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        acc = static_cast<unsigned char>(
+            acc | (static_cast<unsigned char>(a[i]) ^
+                   static_cast<unsigned char>(b[i])));
+    }
+    return acc == 0;
+}
+
+std::string
+agentMac(const std::string& secret, const std::string& nonce_hex,
+         const std::string& agent_name)
+{
+    return hmacSha256Hex(secret, "gpuecc-fleet-agent\n" + nonce_hex +
+                                     "\n" + agent_name);
+}
+
+std::string
+serverMac(const std::string& secret, const std::string& nonce_hex)
+{
+    return hmacSha256Hex(secret, "gpuecc-fleet-server\n" + nonce_hex);
+}
+
+} // namespace gpuecc::net

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared-secret authentication for the fleet service handshake.
+ *
+ * The campaign server and its agents prove possession of a shared
+ * secret with an HMAC-SHA-256 challenge-response: the server sends a
+ * per-connection random nonce, the agent answers with
+ * HMAC(secret, "gpuecc-fleet-agent\n" + nonce + "\n" + name), and the
+ * server's welcome carries HMAC(secret, "gpuecc-fleet-server\n" +
+ * nonce) so authentication is mutual — a rogue listener cannot feed a
+ * bogus plan to an agent that checks the proof. The secret itself
+ * never travels, and MACs are compared in constant time. SHA-256 is
+ * implemented here (FIPS 180-4) because the toolchain ships no crypto
+ * library and the repo takes no external dependencies; it is used for
+ * authentication only, never for confidentiality — the wire itself is
+ * plaintext, suitable for trusted lab networks and loopback CI.
+ */
+
+#ifndef GPUECC_NET_AUTH_HPP
+#define GPUECC_NET_AUTH_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gpuecc::net {
+
+/** SHA-256 digest of @p data (FIPS 180-4). */
+std::array<std::uint8_t, 32> sha256(const std::string& data);
+
+/** HMAC-SHA-256 (RFC 2104) of @p message under @p key, hex-encoded. */
+std::string hmacSha256Hex(const std::string& key,
+                          const std::string& message);
+
+/**
+ * A fresh random nonce, hex-encoded (32 bytes of entropy). Reads
+ * /dev/urandom; falls back to a clock/pid/counter hash where that is
+ * unavailable — still unique per connection, just less unpredictable.
+ */
+std::string makeNonceHex();
+
+/** Constant-time string equality (for MAC comparison). */
+bool constantTimeEquals(const std::string& a, const std::string& b);
+
+/** The agent's proof for a challenge nonce. */
+std::string agentMac(const std::string& secret,
+                     const std::string& nonce_hex,
+                     const std::string& agent_name);
+
+/** The server's mutual-auth proof for the same nonce. */
+std::string serverMac(const std::string& secret,
+                      const std::string& nonce_hex);
+
+} // namespace gpuecc::net
+
+#endif // GPUECC_NET_AUTH_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Failure-hardened multi-host fleet campaign service.
+ *
+ * FleetService runs a campaign as a TCP server: it binds
+ * spec.fleet_listen, streams the fleet wire protocol to remote agent
+ * processes (tools/fleet_agent) that connect, and merges their
+ * checkpoint-format results through the same FleetDispatch core as
+ * the pipe transport — so the tallies and the CSV report are
+ * bit-identical to an in-process run of the same spec, no matter how
+ * hosts come and go.
+ *
+ * Liveness and failure model:
+ *  - Every connection is authenticated with an HMAC challenge-response
+ *    over spec.fleet_secret before any plan data moves (net/auth.hpp);
+ *    a failed proof is rejected and counted (fleet.auth_failures).
+ *  - Agents heartbeat while evaluating; a host silent past
+ *    spec.fleet_heartbeat_timeout_s is retired and its in-flight unit
+ *    requeued (fleet.heartbeat_expiries). An optional per-unit
+ *    round-trip deadline (spec.fleet_worker_timeout_s) catches hosts
+ *    that beat but never answer (fleet.worker_timeouts).
+ *  - Requeues are capped (spec.fleet_max_unit_attempts): a poison
+ *    unit is retired into the report instead of cycling forever.
+ *  - Degradation ladder: when no agent is connected for
+ *    spec.fleet_grace_s, the service engages its local standby forked
+ *    workers (spec.fleet_workers of them); when those are gone too,
+ *    it finishes the remaining units in-process. The campaign
+ *    completes unless interrupted.
+ *  - SIGTERM/SIGINT drain gracefully: in-flight units are requeued
+ *    into the final checkpoint, agents get shutdown lines, and the
+ *    partial result is reported — same contract as the pipe transport.
+ */
+
+#ifndef GPUECC_NET_SERVICE_HPP
+#define GPUECC_NET_SERVICE_HPP
+
+#include <memory>
+
+#include "common/status.hpp"
+#include "net/socket.hpp"
+#include "sim/campaign.hpp"
+
+namespace gpuecc::net {
+
+class FleetService
+{
+  public:
+    /**
+     * Validate the spec and bind the listener (spec.fleet_listen,
+     * port 0 for an ephemeral port). Binding before run() lets a
+     * caller learn port() first and point agents at it — tests and
+     * scripts launch agents before the campaign plan finishes
+     * building, and the connects simply wait in the backlog.
+     */
+    static Result<std::unique_ptr<FleetService>>
+    create(const sim::CampaignSpec& spec);
+
+    ~FleetService();
+
+    /** The bound port (the ephemeral one when the spec said 0). */
+    int port() const { return listener_.port(); }
+
+    /**
+     * Run the campaign to completion (or interrupt). Call once, while
+     * the process is single-threaded — local standby workers are
+     * forked inside. Returns the merged campaign result; errors are
+     * unrecoverable setup problems only.
+     */
+    Result<sim::CampaignResult> run();
+
+  private:
+    FleetService() = default;
+
+    sim::CampaignSpec spec_;
+    TcpListener listener_;
+    bool ran_ = false;
+};
+
+/** Convenience: create + run (the campaign runner's entry point). */
+Result<sim::CampaignResult>
+runFleetService(const sim::CampaignSpec& spec);
+
+} // namespace gpuecc::net
+
+#endif // GPUECC_NET_SERVICE_HPP

@@ -1,0 +1,279 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GPUECC_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define GPUECC_HAS_SOCKETS 0
+#endif
+
+namespace gpuecc::net {
+
+bool
+socketsSupported()
+{
+    return GPUECC_HAS_SOCKETS != 0;
+}
+
+Result<SocketAddress>
+parseSocketAddress(const std::string& text)
+{
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos) {
+        return Status::invalidArgument(
+            "address '" + text + "' is not host:port");
+    }
+    SocketAddress out;
+    out.host = text.substr(0, colon);
+    if (out.host == "*")
+        out.host.clear();
+    const std::string port_text = text.substr(colon + 1);
+    if (port_text.empty()) {
+        return Status::invalidArgument(
+            "address '" + text + "' has no port");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (errno == ERANGE || end != port_text.c_str() + port_text.size() ||
+        port < 0 || port > 65535) {
+        return Status::invalidArgument(
+            "address '" + text + "' has a bad port '" + port_text +
+            "'");
+    }
+    out.port = static_cast<int>(port);
+    return out;
+}
+
+#if GPUECC_HAS_SOCKETS
+
+namespace {
+
+constexpr const char* kDeadlineMessage = "io deadline expired";
+
+/** Resolve an IPv4 sockaddr for host (empty/any handled by caller). */
+Result<sockaddr_in>
+resolveIpv4(const std::string& host, int port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (host.empty()) {
+        addr.sin_addr.s_addr = htonl(INADDR_ANY);
+        return addr;
+    }
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1)
+        return addr;
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    const int rc = getaddrinfo(host.c_str(), nullptr, &hints, &found);
+    if (rc != 0 || found == nullptr) {
+        return Status::notFound("cannot resolve host '" + host +
+                                "': " + gai_strerror(rc));
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(found->ai_addr)->sin_addr;
+    freeaddrinfo(found);
+    return addr;
+}
+
+} // namespace
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_)
+{
+    other.fd_ = -1;
+}
+
+TcpListener&
+TcpListener::operator=(TcpListener&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        port_ = other.port_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Result<TcpListener>
+TcpListener::listen(const SocketAddress& address)
+{
+    Result<sockaddr_in> addr = resolveIpv4(address.host, address.port);
+    if (!addr.ok())
+        return addr.status();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno));
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa = addr.value();
+    if (bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status::ioError("bind " + address.host + ":" +
+                               std::to_string(address.port) + ": " +
+                               std::strerror(err));
+    }
+    if (::listen(fd, 16) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status::ioError(std::string("listen: ") +
+                               std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+        const int err = errno;
+        ::close(fd);
+        return Status::ioError(std::string("getsockname: ") +
+                               std::strerror(err));
+    }
+    TcpListener out;
+    out.fd_ = fd;
+    out.port_ = static_cast<int>(ntohs(bound.sin_port));
+    return out;
+}
+
+Result<int>
+TcpListener::accept(int timeout_ms)
+{
+    if (fd_ < 0)
+        return Status::unavailable("listener is closed");
+    struct pollfd p;
+    p.fd = fd_;
+    p.events = POLLIN;
+    p.revents = 0;
+    for (;;) {
+        const int r = poll(&p, 1, timeout_ms);
+        if (r < 0) {
+            if (errno == EINTR)
+                return Status::unavailable(kDeadlineMessage);
+            return Status::ioError(std::string("poll: ") +
+                                   std::strerror(errno));
+        }
+        if (r == 0)
+            return Status::unavailable(kDeadlineMessage);
+        break;
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+        if (errno == EINTR || errno == EAGAIN ||
+            errno == EWOULDBLOCK || errno == ECONNABORTED)
+            return Status::unavailable(kDeadlineMessage);
+        return Status::ioError(std::string("accept: ") +
+                               std::strerror(errno));
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Result<int>
+connectTcp(const SocketAddress& address)
+{
+    const std::string host =
+        address.host.empty() ? "127.0.0.1" : address.host;
+    Result<sockaddr_in> addr = resolveIpv4(host, address.port);
+    if (!addr.ok())
+        return addr.status();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno));
+    }
+    sockaddr_in sa = addr.value();
+    for (;;) {
+        if (connect(fd, reinterpret_cast<sockaddr*>(&sa),
+                    sizeof(sa)) == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        const int err = errno;
+        ::close(fd);
+        return Status::unavailable("connect " + host + ":" +
+                                   std::to_string(address.port) +
+                                   ": " + std::strerror(err));
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+#else // !GPUECC_HAS_SOCKETS
+
+namespace {
+Status
+unsupported()
+{
+    return Status::unavailable(
+        "sockets are not supported on this platform");
+}
+} // namespace
+
+TcpListener::~TcpListener() = default;
+
+TcpListener::TcpListener(TcpListener&&) noexcept {}
+
+TcpListener&
+TcpListener::operator=(TcpListener&&) noexcept
+{
+    return *this;
+}
+
+Result<TcpListener>
+TcpListener::listen(const SocketAddress&)
+{
+    return unsupported();
+}
+
+Result<int>
+TcpListener::accept(int)
+{
+    return unsupported();
+}
+
+void
+TcpListener::close()
+{
+}
+
+Result<int>
+connectTcp(const SocketAddress&)
+{
+    return unsupported();
+}
+
+#endif // GPUECC_HAS_SOCKETS
+
+} // namespace gpuecc::net

@@ -1,0 +1,43 @@
+#include "net/wire.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/subprocess.hpp"
+#include "sim/chaos.hpp"
+
+namespace gpuecc::net {
+
+Status
+sendWireLine(int fd, const std::string& line, int deadline_ms)
+{
+    const sim::WireLineFault fault = sim::chaosOnWireLine();
+    if (fault.delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.delay_ms));
+    }
+    if (fault.drop)
+        return Status();
+    // Accept both bare and already-'\n'-terminated lines (the
+    // protocol encoders emit the latter).
+    std::string payload = line;
+    if (!payload.empty() && payload.back() == '\n')
+        payload.pop_back();
+    if (fault.truncate) {
+        // First half only, no terminator: the peer's framing stalls
+        // until its read deadline or the next (now-corrupt) line.
+        return writeAllFd(fd, payload.substr(0, payload.size() / 2),
+                          deadline_ms);
+    }
+    if (fault.garble) {
+        for (char& c : payload)
+            c = static_cast<char>(c ^ 0x24);
+    }
+    payload.push_back('\n');
+    Status st = writeAllFd(fd, payload, deadline_ms);
+    if (st.ok() && fault.duplicate)
+        st = writeAllFd(fd, payload, deadline_ms);
+    return st;
+}
+
+} // namespace gpuecc::net

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Chaos-aware wire-line sender for the fleet service.
+ *
+ * Every protocol line that crosses a socket goes through
+ * sendWireLine, which consults the chaos harness before writing so a
+ * test can deterministically drop, duplicate, truncate, garble, or
+ * delay the Nth wire line a process emits (see sim/chaos.hpp's
+ * net_* keys). With no chaos armed it is just writeAllFd of
+ * line + '\n' under the caller's deadline.
+ */
+
+#ifndef GPUECC_NET_WIRE_HPP
+#define GPUECC_NET_WIRE_HPP
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace gpuecc::net {
+
+/**
+ * Write @p line plus a terminating newline to @p fd, honoring an
+ * optional deadline (milliseconds; <= 0 blocks) and any armed
+ * network chaos fault for this wire-line index. A dropped line
+ * reports ok — the fault models a lost datagram, and the failure has
+ * to surface at the peer's read deadline, not at the sender.
+ */
+Status sendWireLine(int fd, const std::string& line,
+                    int deadline_ms = -1);
+
+} // namespace gpuecc::net
+
+#endif // GPUECC_NET_WIRE_HPP

@@ -83,6 +83,10 @@ struct FleetWorkerRecord
     int exit_code = 0;
     /** Died (or broke protocol) before the queue drained. */
     bool lost = false;
+    /** Served over a socket by a remote agent (pid is meaningless). */
+    bool remote = false;
+    /** Remote agent's self-reported name ("" for local workers). */
+    std::string agent;
 };
 
 /** Fleet-level execution telemetry (workers == 0: in-process run). */
@@ -97,6 +101,18 @@ struct FleetTelemetry
     std::uint64_t workers_lost = 0;
     /** Shard tasks the parent evaluated itself (all workers lost). */
     std::uint64_t parent_fallback_shards = 0;
+    /** Units retired at the requeue-attempt cap (cell failed). */
+    std::uint64_t units_poisoned = 0;
+    /** Late/duplicated result lines discarded by idempotent merge. */
+    std::uint64_t duplicate_results = 0;
+    /** Hosts retired by the in-flight unit deadline. */
+    std::uint64_t worker_timeouts = 0;
+    /** Remote agents retired for wire silence (missed heartbeats). */
+    std::uint64_t heartbeat_expiries = 0;
+    /** Remote agent connections accepted (reconnects count again). */
+    std::uint64_t agents_connected = 0;
+    /** Connections rejected by the shared-secret handshake. */
+    std::uint64_t auth_failures = 0;
     std::vector<FleetWorkerRecord> worker_records;
 };
 

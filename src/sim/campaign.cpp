@@ -10,6 +10,7 @@
 #include "common/codec_mode.hpp"
 #include "common/interrupt.hpp"
 #include "fleet/fleet.hpp"
+#include "net/service.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "ecc/registry.hpp"
@@ -213,7 +214,11 @@ CampaignRunner::tryRun() const
     // Fleet mode forks worker processes and must do so before this
     // process spawns any threads — the fleet dispatcher owns that
     // ordering, so hand over before the pool (or progress reporter)
-    // exists.
+    // exists. A listen address selects the multi-host socket service
+    // (with --fleet-workers as its local standby rung); plain
+    // --fleet-workers selects the single-host pipe transport.
+    if (!spec_.fleet_listen.empty())
+        return net::runFleetService(spec_);
     if (spec_.fleet_workers > 0)
         return fleet::runFleetCampaign(spec_);
 

@@ -84,6 +84,50 @@ struct CampaignSpec
     std::uint64_t fleet_unit_shards = 4;
 
     /**
+     * Fleet service mode: a "host:port" address to listen on for
+     * remote worker agents (tools/fleet_agent); empty (the default)
+     * disables the socket service. Port 0 binds an ephemeral port
+     * (tests read it back). In service mode fleet_workers is the
+     * *local standby* worker count — forked but left idle, engaged
+     * only if every remote agent is lost (and with 0 of them the
+     * service degrades all the way to in-process execution).
+     */
+    std::string fleet_listen;
+    /**
+     * Shared secret for the agent handshake. Both sides prove
+     * possession with an HMAC over a per-connection server nonce
+     * before any plan data moves; the secret itself never travels.
+     * Required (non-empty) in service mode.
+     */
+    std::string fleet_secret;
+    /**
+     * Seconds a dispatched unit may stay in flight before its host is
+     * declared hung — the host is retired (killed, for a local
+     * worker) and the unit requeued. 0 (the default) disables the
+     * deadline: a unit's evaluation time is spec-dependent and the
+     * caller knows the scale. Applies to both pipe and socket
+     * transports.
+     */
+    double fleet_worker_timeout_s = 0.0;
+    /**
+     * Seconds of wire silence (no result, no heartbeat) before the
+     * service declares a remote agent dead and requeues its in-flight
+     * unit. Agents beat at a quarter of this interval.
+     */
+    double fleet_heartbeat_timeout_s = 10.0;
+    /**
+     * Seconds the service keeps work parked for remote agents while
+     * none is connected before degrading: engage the local standby
+     * workers, or — with none configured — finish in-process.
+     */
+    double fleet_grace_s = 30.0;
+    /**
+     * Dispatch attempts per unit before it is declared poison and
+     * retired (its cell fails, the fleet survives). Minimum 1.
+     */
+    int fleet_max_unit_attempts = 3;
+
+    /**
      * Checkpoint sidecar path; empty disables checkpointing. When
      * set, completed shard tallies are flushed atomically to this
      * file on an interval and on SIGINT/SIGTERM, and the final

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
 
 #include "common/interrupt.hpp"
 #include "common/log.hpp"
@@ -20,6 +22,11 @@ struct ChaosState
     std::atomic<int> task_faults_left{0};
     std::atomic<int> ckpt_fails_left{0};
     std::atomic<bool> killed{false};
+    /** Remaining unit-targeted kills; <0 means unlimited (poison). */
+    std::atomic<int> exit_unit_left{0};
+    std::atomic<bool> stalled{false};
+    /** Wire lines sent by this process so far (0-based index next). */
+    std::atomic<std::int64_t> wire_lines{0};
     bool active = false;
 };
 
@@ -99,6 +106,28 @@ parseChaosSpec(const std::string& text)
             spec.fleet_exit_worker = value.value();
         } else if (key == "fleet_exit_after") {
             spec.fleet_exit_after = value.value();
+        } else if (key == "fleet_exit_unit") {
+            spec.fleet_exit_unit = value.value();
+        } else if (key == "fleet_exit_unit_count") {
+            spec.fleet_exit_unit_count = static_cast<int>(value.value());
+        } else if (key == "fleet_stall_worker") {
+            spec.fleet_stall_worker = value.value();
+        } else if (key == "fleet_stall_after") {
+            spec.fleet_stall_after = value.value();
+        } else if (key == "fleet_stall_unit") {
+            spec.fleet_stall_unit = value.value();
+        } else if (key == "net_drop") {
+            spec.net_drop = value.value();
+        } else if (key == "net_dup") {
+            spec.net_dup = value.value();
+        } else if (key == "net_trunc") {
+            spec.net_trunc = value.value();
+        } else if (key == "net_garble") {
+            spec.net_garble = value.value();
+        } else if (key == "net_delay") {
+            spec.net_delay = value.value();
+        } else if (key == "net_delay_ms") {
+            spec.net_delay_ms = value.value();
         } else {
             return Status::invalidArgument("unknown chaos key '" + key +
                                            "'");
@@ -117,6 +146,11 @@ setChaosSpec(const ChaosSpec& spec)
         std::memory_order_relaxed);
     s.ckpt_fails_left.store(spec.ckpt_fail, std::memory_order_relaxed);
     s.killed.store(false, std::memory_order_relaxed);
+    s.exit_unit_left.store(
+        spec.fleet_exit_unit >= 0 ? spec.fleet_exit_unit_count : 0,
+        std::memory_order_relaxed);
+    s.stalled.store(false, std::memory_order_relaxed);
+    s.wire_lines.store(0, std::memory_order_relaxed);
     s.active = true;
 }
 
@@ -175,12 +209,60 @@ chaosOnTaskDone(std::uint64_t completed_total)
     }
 }
 
+namespace {
+
+/** Park the calling thread forever: the silent-host scenario. */
+[[noreturn]] void
+chaosStallForever(const std::string& why)
+{
+    warn("chaos: " + why + "; stalling forever");
+    state().stalled.store(true, std::memory_order_relaxed);
+    for (;;)
+        std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+} // namespace
+
 void
-chaosOnFleetUnitStart(int worker, std::uint64_t units_completed)
+chaosOnFleetUnitStart(int worker, std::uint64_t unit,
+                      std::uint64_t units_completed)
 {
     if (!chaosActive())
         return;
     ChaosState& s = state();
+    if (s.spec.fleet_exit_unit >= 0 &&
+        unit == static_cast<std::uint64_t>(s.spec.fleet_exit_unit)) {
+        // Budget <0 = unlimited: the poison unit kills every host it
+        // ever lands on. Otherwise decrement; starts past the budget
+        // proceed normally (the requeue succeeds elsewhere).
+        bool fire = s.spec.fleet_exit_unit_count < 0;
+        if (!fire) {
+            int left = s.exit_unit_left.load(std::memory_order_relaxed);
+            while (left > 0 && !fire) {
+                fire = s.exit_unit_left.compare_exchange_weak(
+                    left, left - 1, std::memory_order_relaxed);
+            }
+        }
+        if (fire) {
+            warn("chaos: host self-killing on start of unit " +
+                 std::to_string(unit));
+            std::_Exit(kChaosFleetExitCode);
+        }
+    }
+    if (s.spec.fleet_stall_unit >= 0 &&
+        unit == static_cast<std::uint64_t>(s.spec.fleet_stall_unit)) {
+        chaosStallForever("host hanging on start of unit " +
+                          std::to_string(unit));
+    }
+    if (s.spec.fleet_stall_worker >= 0 &&
+        worker == static_cast<int>(s.spec.fleet_stall_worker) &&
+        units_completed >=
+            static_cast<std::uint64_t>(std::max<std::int64_t>(
+                0, s.spec.fleet_stall_after))) {
+        chaosStallForever("fleet worker " + std::to_string(worker) +
+                          " hanging after " +
+                          std::to_string(units_completed) + " units");
+    }
     if (s.spec.fleet_exit_worker < 0 ||
         worker != static_cast<int>(s.spec.fleet_exit_worker))
         return;
@@ -194,6 +276,42 @@ chaosOnFleetUnitStart(int worker, std::uint64_t units_completed)
          " self-killing after " + std::to_string(units_completed) +
          " units");
     std::_Exit(kChaosFleetExitCode);
+}
+
+bool
+chaosStalled()
+{
+    return chaosActive() &&
+           state().stalled.load(std::memory_order_relaxed);
+}
+
+WireLineFault
+chaosOnWireLine()
+{
+    WireLineFault fault;
+    if (!chaosActive())
+        return fault;
+    ChaosState& s = state();
+    const ChaosSpec& spec = s.spec;
+    if (spec.net_drop < 0 && spec.net_dup < 0 && spec.net_trunc < 0 &&
+        spec.net_garble < 0 && spec.net_delay < 0)
+        return fault;
+    const std::int64_t line =
+        s.wire_lines.fetch_add(1, std::memory_order_relaxed);
+    fault.drop = line == spec.net_drop;
+    fault.duplicate = line == spec.net_dup;
+    fault.truncate = line == spec.net_trunc;
+    fault.garble = line == spec.net_garble;
+    if (line == spec.net_delay) {
+        fault.delay_ms = static_cast<int>(std::clamp<std::int64_t>(
+            spec.net_delay_ms, 0, 60 * 1000));
+    }
+    if (fault.drop || fault.duplicate || fault.truncate ||
+        fault.garble || fault.delay_ms > 0) {
+        warn("chaos: wire fault armed for line " +
+             std::to_string(line));
+    }
+    return fault;
 }
 
 Status

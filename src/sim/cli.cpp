@@ -1,6 +1,7 @@
 #include "sim/cli.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/log.hpp"
 #include "obs/trace.hpp"
@@ -30,6 +31,30 @@ addCampaignFlags(Cli& cli, const std::string& default_samples)
                 "shard tasks per fleet work unit (dispatch "
                 "granularity; larger amortizes pipe round-trips, "
                 "smaller rebalances and re-queues faster)");
+    cli.addFlag("fleet-listen", "",
+                "serve this campaign as a multi-host fleet service on "
+                "host:port (\":0\" picks a free port; remote "
+                "fleet_agent processes connect and evaluate work "
+                "units; --fleet-workers become local standby workers; "
+                "tallies and CSV stay bit-identical)");
+    cli.addFlag("fleet-secret", "",
+                "shared secret authenticating fleet agents (falls "
+                "back to $GPUECC_FLEET_SECRET; both sides must "
+                "agree, including on the empty default)");
+    cli.addFlag("fleet-worker-timeout", "0",
+                "seconds a dispatched work unit may stay in flight "
+                "before its host is presumed hung and the unit is "
+                "re-queued (0 = no deadline)");
+    cli.addFlag("fleet-heartbeat-timeout", "10",
+                "seconds of wire silence before a connected agent is "
+                "presumed dead (agents beat at a quarter of this)");
+    cli.addFlag("fleet-grace", "30",
+                "seconds the fleet service waits for (re)connecting "
+                "agents before degrading to local standby workers, "
+                "then to in-process execution");
+    cli.addFlag("fleet-max-unit-attempts", "3",
+                "dispatch attempts before a work unit is declared "
+                "poisonous and its (scheme, pattern) cell failed");
     cli.addFlag("json", "", "write campaign results to this JSON file");
     cli.addFlag("csv", "", "write campaign results to this CSV file");
     cli.addFlag("checkpoint", "",
@@ -66,6 +91,19 @@ campaignSpecFromCli(const Cli& cli)
         static_cast<int>(cli.getInt("fleet-workers"));
     spec.fleet_unit_shards =
         static_cast<std::uint64_t>(cli.getInt("fleet-unit"));
+    spec.fleet_listen = cli.getString("fleet-listen");
+    spec.fleet_secret = cli.getString("fleet-secret");
+    if (spec.fleet_secret.empty()) {
+        if (const char* env = std::getenv("GPUECC_FLEET_SECRET"))
+            spec.fleet_secret = env;
+    }
+    spec.fleet_worker_timeout_s =
+        cli.getDouble("fleet-worker-timeout");
+    spec.fleet_heartbeat_timeout_s =
+        cli.getDouble("fleet-heartbeat-timeout");
+    spec.fleet_grace_s = cli.getDouble("fleet-grace");
+    spec.fleet_max_unit_attempts =
+        static_cast<int>(cli.getInt("fleet-max-unit-attempts"));
     spec.checkpoint_path = cli.getString("checkpoint");
     spec.resume = cli.getBool("resume");
     spec.checkpoint_interval_s = cli.getDouble("checkpoint-interval");
@@ -77,6 +115,14 @@ campaignSpecFromCli(const Cli& cli)
         fatal("--fleet-workers must be in [0, 4096]");
     if (spec.fleet_unit_shards == 0)
         fatal("--fleet-unit must be positive");
+    if (spec.fleet_worker_timeout_s < 0)
+        fatal("--fleet-worker-timeout must be >= 0");
+    if (spec.fleet_heartbeat_timeout_s <= 0)
+        fatal("--fleet-heartbeat-timeout must be positive");
+    if (spec.fleet_grace_s < 0)
+        fatal("--fleet-grace must be >= 0");
+    if (spec.fleet_max_unit_attempts < 1)
+        fatal("--fleet-max-unit-attempts must be >= 1");
     if (spec.resume && spec.checkpoint_path.empty())
         fatal("--resume needs --checkpoint to name the file");
     if (spec.checkpoint_interval_s < 0)

@@ -291,6 +291,12 @@ writeCampaignTiming(JsonWriter& w, const CampaignResult& result)
         w.kv("requeues", f.requeues);
         w.kv("workers_lost", f.workers_lost);
         w.kv("parent_fallback_shards", f.parent_fallback_shards);
+        w.kv("units_poisoned", f.units_poisoned);
+        w.kv("duplicate_results", f.duplicate_results);
+        w.kv("worker_timeouts", f.worker_timeouts);
+        w.kv("heartbeat_expiries", f.heartbeat_expiries);
+        w.kv("agents_connected", f.agents_connected);
+        w.kv("auth_failures", f.auth_failures);
         w.key("worker_records").beginArray();
         for (const obs::FleetWorkerRecord& r : f.worker_records) {
             w.beginObject();
@@ -303,6 +309,8 @@ writeCampaignTiming(JsonWriter& w, const CampaignResult& result)
             w.kv("busy_seconds", r.busy_seconds);
             w.kv("exit_code", r.exit_code);
             w.kv("lost", r.lost);
+            w.kv("remote", r.remote);
+            w.kv("agent", r.agent);
             w.endObject();
         }
         w.endArray();

@@ -232,6 +232,72 @@ TEST(Fleet, AllWorkersLostFallsBackToParent)
     expectCellsIdentical(reference, fleet);
 }
 
+TEST(Fleet, PoisonUnitIsRetiredAtTheRequeueCap)
+{
+    sim::CampaignSpec spec = smallSpec();
+    const sim::CampaignResult reference =
+        sim::CampaignRunner(spec).run();
+
+    // Unit 0 kills every worker it lands on; after
+    // fleet_max_unit_attempts hosts die, the dispatcher must retire
+    // it as poisoned (dropping its scheme) instead of feeding it the
+    // whole fleet.
+    sim::ChaosSpec chaos;
+    chaos.fleet_exit_unit = 0;
+    chaos.fleet_exit_unit_count = -1;
+    sim::setChaosSpec(chaos);
+    spec.fleet_workers = 4;
+    spec.fleet_max_unit_attempts = 3;
+    const sim::CampaignResult fleet =
+        sim::CampaignRunner(spec).run();
+    sim::clearChaosSpec();
+
+    EXPECT_EQ(fleet.fleet.units_poisoned, 1u);
+    EXPECT_EQ(fleet.fleet.workers_lost, 3u);
+    ASSERT_FALSE(fleet.errors.empty());
+    // Unit 0 belongs to the first scheme of the plan; that scheme is
+    // dropped and reported, the survivor stays bit-identical.
+    EXPECT_EQ(fleet.errors[0].scheme_id, "ni-secded");
+    EXPECT_FALSE(fleet.hasScheme("ni-secded"));
+    ASSERT_TRUE(fleet.hasScheme("duet"));
+    for (const ErrorPattern pattern :
+         {ErrorPattern::oneBit, ErrorPattern::oneBeat}) {
+        const OutcomeCounts& want = reference.counts("duet", pattern);
+        const OutcomeCounts& got = fleet.counts("duet", pattern);
+        EXPECT_EQ(want.trials, got.trials);
+        EXPECT_EQ(want.dce, got.dce);
+        EXPECT_EQ(want.due, got.due);
+        EXPECT_EQ(want.sdc, got.sdc);
+    }
+}
+
+TEST(Fleet, HungWorkerTripsTheUnitDeadline)
+{
+    sim::CampaignSpec spec = smallSpec();
+    const sim::CampaignResult reference =
+        sim::CampaignRunner(spec).run();
+
+    // Worker 0 hangs on its first unit without dying; only the
+    // --fleet-worker-timeout round-trip deadline can catch it.
+    sim::ChaosSpec chaos;
+    chaos.fleet_stall_worker = 0;
+    chaos.fleet_stall_after = 0;
+    sim::setChaosSpec(chaos);
+    spec.fleet_workers = 2;
+    spec.fleet_worker_timeout_s = 1.0;
+    const sim::CampaignResult fleet =
+        sim::CampaignRunner(spec).run();
+    sim::clearChaosSpec();
+
+    EXPECT_GE(fleet.fleet.worker_timeouts, 1u);
+    EXPECT_GE(fleet.fleet.requeues, 1u);
+    EXPECT_EQ(fleet.fleet.workers_lost, 1u);
+    ASSERT_EQ(fleet.fleet.worker_records.size(), 2u);
+    EXPECT_TRUE(fleet.fleet.worker_records[0].lost);
+    EXPECT_TRUE(fleet.errors.empty());
+    expectCellsIdentical(reference, fleet);
+}
+
 TEST(Fleet, ResumesFromInterruptedFleetCheckpoint)
 {
     const std::string path = tempPath("gpuecc_fleet_resume_ck.json");
