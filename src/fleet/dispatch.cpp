@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <set>
 
@@ -142,6 +143,44 @@ struct FleetDispatch::Impl
     std::atomic<std::uint64_t> agents_connected{0};
     std::atomic<std::uint64_t> auth_failures{0};
 
+    /** Live progress for status() (atomic: sampled by HTTP thread). */
+    std::atomic<std::uint64_t> shards_done{0};
+    std::atomic<std::uint64_t> trials_done{0};
+    std::atomic<std::uint64_t> units_settled_live{0};
+
+    /**
+     * One slot per host *connection* (a reconnecting agent gets a new
+     * slot; finalize merges slots by label). Guarded by state_mutex.
+     */
+    struct HostSlot
+    {
+        int worker = -1;
+        std::string label;
+        bool remote = false;
+        std::uint64_t units = 0;
+        std::uint64_t shards = 0;
+        std::uint64_t trials = 0;
+        std::uint64_t busy_us = 0;
+        /** Shipped counter deltas, accumulated by name. */
+        std::vector<std::pair<std::string, std::uint64_t>> counters;
+        /** Shipped spans, timestamps in the host's config clock. */
+        std::vector<SpanRecord> spans;
+        std::chrono::steady_clock::time_point config_sent_at;
+        std::uint64_t config_sent_trace_us = 0;
+        /**
+         * Best (minimum) observed "server µs since config send minus
+         * host µs since config receipt" — converges on the one-way
+         * config delivery latency, the wall-clock correction remote
+         * span timestamps need.
+         */
+        bool has_offset = false;
+        std::int64_t min_offset_us = 0;
+    };
+    std::vector<HostSlot> hosts; // state_mutex
+
+    /** The --journal event stream (null when not journaling). */
+    std::unique_ptr<obs::EventJournal> journal;
+
     obs::MetricsSnapshot metrics_baseline;
     obs::ProgressTotals totals;
     std::unique_ptr<obs::ProgressReporter> progress;
@@ -203,7 +242,22 @@ struct FleetDispatch::Impl
             scheme_aggs[units[u].cell / patterns.size()];
         if (--agg.pending_units == 0 && progress)
             progress->schemeDone();
+        units_settled_live.fetch_add(1, std::memory_order_relaxed);
         remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    /**
+     * Account a unit retired through a failure path — no trials ran,
+     * but its shards are disposed of. Without this the progress line
+     * and /status freeze short of 100% whenever a cell fails or a
+     * poison unit retires. State_mutex held.
+     */
+    void skipShardsLocked(std::uint64_t u)
+    {
+        const std::uint64_t n = units[u].task_count;
+        if (progress)
+            progress->shardsSkipped(n);
+        shards_done.fetch_add(n, std::memory_order_relaxed);
     }
 
     /**
@@ -215,7 +269,51 @@ struct FleetDispatch::Impl
         cell_failed[units[u].cell].store(true,
                                          std::memory_order_relaxed);
         cell_errors.emplace_back(units[u].cell, message);
+        skipShardsLocked(u);
         settleLocked(u);
+    }
+
+    /** Append to the journal if one is open (any thread, any locks). */
+    void journalAppend(const std::string& event,
+                       const obs::EventJournal::Fields& fields = {},
+                       const obs::EventJournal::Nums& nums = {})
+    {
+        if (journal)
+            journal->append(event, fields, nums);
+    }
+
+    /** Latest slot registered for @p worker; state_mutex held. */
+    HostSlot* slotForLocked(int worker)
+    {
+        for (auto it = hosts.rbegin(); it != hosts.rend(); ++it)
+            if (it->worker == worker)
+                return &*it;
+        return nullptr;
+    }
+
+    /** Host label for journal events; state_mutex held. */
+    std::string hostLabelLocked(int worker)
+    {
+        const HostSlot* slot = slotForLocked(worker);
+        if (slot != nullptr)
+            return slot->label;
+        return "worker-" + std::to_string(worker);
+    }
+
+    /** Fold one now_us report into the offset; state_mutex held. */
+    void clockSampleLocked(HostSlot& slot, std::uint64_t now_us)
+    {
+        if (now_us == 0)
+            return;
+        const std::int64_t elapsed = static_cast<std::int64_t>(
+            microsSince(slot.config_sent_at,
+                        std::chrono::steady_clock::now()));
+        const std::int64_t offset =
+            elapsed - static_cast<std::int64_t>(now_us);
+        if (!slot.has_offset || offset < slot.min_offset_us) {
+            slot.has_offset = true;
+            slot.min_offset_us = offset;
+        }
     }
 
     // Plan facts duplicated from the owner for internal use.
@@ -231,6 +329,13 @@ FleetDispatch::create(const CampaignSpec& spec)
     auto impl = std::make_unique<Impl>();
     impl->spec = spec;
     impl->max_attempts = std::max(1, spec.fleet_max_unit_attempts);
+
+    if (!spec.journal_path.empty()) {
+        auto journal = obs::EventJournal::open(spec.journal_path);
+        if (!journal.ok())
+            return journal.status();
+        impl->journal = std::move(journal).value();
+    }
 
     const FleetMetricIds& mid = fleetMetricIds();
     (void)mid;
@@ -466,6 +571,9 @@ FleetDispatch::create(const CampaignSpec& spec)
         };
     }
 
+    impl->shards_done.store(result.resumed_shards,
+                            std::memory_order_relaxed);
+
     auto out = std::unique_ptr<FleetDispatch>(new FleetDispatch());
     out->fingerprint_ = impl->fingerprint;
     out->units_ = impl->units;
@@ -511,6 +619,12 @@ FleetDispatch::start()
         std::make_unique<obs::TraceSpan>("evaluate-fleet", "campaign");
     d.progress = std::make_unique<obs::ProgressReporter>(
         d.spec.progress, d.totals);
+    d.journalAppend(
+        "start", {},
+        {{"units", units_.size()},
+         {"pending", initial_pending_},
+         {"resumed", units_.size() - initial_pending_},
+         {"shards", d.tasks.size()}});
     std::lock_guard<std::mutex> lock(d.state_mutex);
     for (const SchemeAgg& agg : d.scheme_aggs) {
         if (agg.pending_units == 0)
@@ -538,8 +652,11 @@ FleetDispatch::tryClaim(std::uint64_t& u)
             // Its cell already failed: settle it silently (progress
             // moves on; the checkpoint just never lists its tasks).
             std::lock_guard<std::mutex> lock(d.state_mutex);
-            if (d.unit_settled[candidate] == 0)
+            if (d.unit_settled[candidate] == 0) {
+                d.skipShardsLocked(candidate);
                 d.settleLocked(candidate);
+                d.journalAppend("skip", {}, {{"unit", candidate}});
+            }
             continue;
         }
         {
@@ -602,6 +719,7 @@ FleetDispatch::completeUnit(std::uint64_t u, const WorkerMessage& msg,
         // wire line) re-delivered a settled unit — discard, count.
         d.duplicates.fetch_add(1, std::memory_order_relaxed);
         reg.add(mid.duplicate_results);
+        d.journalAppend("duplicate", {}, {{"unit", u}});
         return false;
     }
 
@@ -628,6 +746,24 @@ FleetDispatch::completeUnit(std::uint64_t u, const WorkerMessage& msg,
     agg.last_us =
         std::max(agg.last_us, microsSince(d.start_at, done_at));
 
+    // Host credit rides the same settled-exactly-once gate as the
+    // tallies, so a duplicated delivery can never double-count a
+    // host's unit/shard/trial series.
+    d.shards_done.fetch_add(unit.task_count,
+                            std::memory_order_relaxed);
+    d.trials_done.fetch_add(unit_trials, std::memory_order_relaxed);
+    if (Impl::HostSlot* slot = d.slotForLocked(msg.worker)) {
+        slot->units += 1;
+        slot->shards += unit.task_count;
+        slot->trials += unit_trials;
+        slot->busy_us += msg.busy_us;
+    }
+    d.journalAppend("result", {{"host", d.hostLabelLocked(msg.worker)}},
+                    {{"unit", u},
+                     {"shards", unit.task_count},
+                     {"trials", unit_trials},
+                     {"busy_us", msg.busy_us}});
+
     d.settleLocked(u);
     d.fresh_completed += unit.task_count;
     chaosOnTaskDone(d.fresh_completed);
@@ -642,6 +778,8 @@ FleetDispatch::failUnit(std::uint64_t u, const std::string& message)
     std::lock_guard<std::mutex> lock(d.state_mutex);
     if (d.unit_settled[u] != 0)
         return;
+    d.journalAppend("unit_error", {{"error", message.substr(0, 200)}},
+                    {{"unit", u}});
     d.failCellLocked(u, message);
 }
 
@@ -668,6 +806,10 @@ FleetDispatch::requeueUnit(std::uint64_t u, const std::string& why)
         warn("fleet: " + message);
         d.poisoned.fetch_add(1, std::memory_order_relaxed);
         obs::metrics().add(mid.units_poisoned);
+        d.journalAppend(
+            "poison", {},
+            {{"unit", u},
+             {"attempts", static_cast<std::uint64_t>(attempts)}});
         d.failCellLocked(u, message);
         return RequeueOutcome::poisoned;
     }
@@ -675,6 +817,10 @@ FleetDispatch::requeueUnit(std::uint64_t u, const std::string& why)
             "fleet: re-queue cannot fail by construction");
     d.requeues.fetch_add(1, std::memory_order_relaxed);
     obs::metrics().add(mid.units_requeued);
+    d.journalAppend(
+        "requeue", {},
+        {{"unit", u},
+         {"attempts", static_cast<std::uint64_t>(attempts)}});
     return RequeueOutcome::requeued;
 }
 
@@ -687,6 +833,11 @@ FleetDispatch::finishInProcess()
     warn("fleet: no hosts left with " +
          std::to_string(d.remaining.load(std::memory_order_acquire)) +
          " units pending; finishing in-process");
+    registerHost(-1, "parent", false);
+    d.journalAppend(
+        "fallback", {},
+        {{"remaining",
+          d.remaining.load(std::memory_order_acquire)}});
     ShardBatchArena arena;
     std::uint64_t u = 0;
     while (!interruptRequested() && tryClaim(u)) {
@@ -745,6 +896,7 @@ FleetDispatch::noteWorkerLost()
 {
     impl_->workers_lost.fetch_add(1, std::memory_order_relaxed);
     obs::metrics().add(fleetMetricIds().workers_lost);
+    impl_->journalAppend("host_lost");
 }
 
 void
@@ -752,6 +904,7 @@ FleetDispatch::noteWorkerTimeout()
 {
     impl_->worker_timeouts.fetch_add(1, std::memory_order_relaxed);
     obs::metrics().add(fleetMetricIds().worker_timeouts);
+    impl_->journalAppend("timeout");
 }
 
 void
@@ -759,6 +912,7 @@ FleetDispatch::noteHeartbeatExpiry()
 {
     impl_->heartbeat_expiries.fetch_add(1, std::memory_order_relaxed);
     obs::metrics().add(fleetMetricIds().heartbeat_expiries);
+    impl_->journalAppend("expiry");
 }
 
 void
@@ -773,6 +927,134 @@ FleetDispatch::noteAuthFailure()
 {
     impl_->auth_failures.fetch_add(1, std::memory_order_relaxed);
     obs::metrics().add(fleetMetricIds().auth_failures);
+    impl_->journalAppend("auth_fail");
+}
+
+void
+FleetDispatch::registerHost(int worker, const std::string& label,
+                            bool remote)
+{
+    Impl& d = *impl_;
+    std::lock_guard<std::mutex> lock(d.state_mutex);
+    Impl::HostSlot slot;
+    slot.worker = worker;
+    slot.label = label;
+    slot.remote = remote;
+    slot.config_sent_at = std::chrono::steady_clock::now();
+    slot.config_sent_trace_us = obs::traceNowUs();
+    d.hosts.push_back(std::move(slot));
+    d.journalAppend("connect", {{"host", label}},
+                    {{"remote", std::uint64_t{remote ? 1u : 0u}}});
+}
+
+void
+FleetDispatch::noteUnitDispatched(std::uint64_t u, int worker)
+{
+    Impl& d = *impl_;
+    if (!d.journal)
+        return;
+    std::lock_guard<std::mutex> lock(d.state_mutex);
+    d.journalAppend("dispatch",
+                    {{"host", d.hostLabelLocked(worker)}},
+                    {{"unit", u}});
+}
+
+void
+FleetDispatch::absorbTelemetry(const WorkerMessage& msg)
+{
+    Impl& d = *impl_;
+    std::lock_guard<std::mutex> lock(d.state_mutex);
+    Impl::HostSlot* slot = d.slotForLocked(msg.worker);
+    if (slot == nullptr)
+        return;
+    for (const auto& [name, value] : msg.counters) {
+        auto it = std::find_if(
+            slot->counters.begin(), slot->counters.end(),
+            [&](const auto& c) { return c.first == name; });
+        if (it == slot->counters.end())
+            slot->counters.emplace_back(name, value);
+        else
+            it->second += value;
+    }
+    slot->spans.insert(slot->spans.end(), msg.spans.begin(),
+                       msg.spans.end());
+    d.clockSampleLocked(*slot, msg.now_us);
+}
+
+void
+FleetDispatch::noteHeartbeat(int worker, std::uint64_t now_us)
+{
+    if (now_us == 0)
+        return;
+    Impl& d = *impl_;
+    std::lock_guard<std::mutex> lock(d.state_mutex);
+    if (Impl::HostSlot* slot = d.slotForLocked(worker))
+        d.clockSampleLocked(*slot, now_us);
+}
+
+void
+FleetDispatch::journalEvent(const std::string& event,
+                            const obs::EventJournal::Fields& fields,
+                            const obs::EventJournal::Nums& nums)
+{
+    impl_->journalAppend(event, fields, nums);
+}
+
+DispatchStatus
+FleetDispatch::status() const
+{
+    Impl& d = *impl_;
+    DispatchStatus s;
+    s.units_total = units_.size();
+    s.units_resumed = units_.size() - initial_pending_;
+    const std::uint64_t live =
+        d.units_settled_live.load(std::memory_order_acquire);
+    s.units_settled = s.units_resumed + live;
+    s.shards_total = d.tasks.size();
+    s.shards_done = d.shards_done.load(std::memory_order_relaxed);
+    s.trials_done = d.trials_done.load(std::memory_order_relaxed);
+    s.queue_depth = d.queue->sizeApprox();
+    const std::uint64_t pending =
+        d.remaining.load(std::memory_order_acquire);
+    s.units_in_flight =
+        pending > s.queue_depth ? pending - s.queue_depth : 0;
+    s.requeues = d.requeues.load(std::memory_order_relaxed);
+    s.poisoned = d.poisoned.load(std::memory_order_relaxed);
+    s.duplicates = d.duplicates.load(std::memory_order_relaxed);
+    s.workers_lost = d.workers_lost.load(std::memory_order_relaxed);
+    s.worker_timeouts =
+        d.worker_timeouts.load(std::memory_order_relaxed);
+    s.heartbeat_expiries =
+        d.heartbeat_expiries.load(std::memory_order_relaxed);
+    s.agents_connected =
+        d.agents_connected.load(std::memory_order_relaxed);
+    s.auth_failures = d.auth_failures.load(std::memory_order_relaxed);
+    if (d.started) {
+        s.elapsed_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                d.start_at)
+                                .count();
+        if (s.elapsed_seconds > 0.0 && live > 0) {
+            s.units_per_second =
+                static_cast<double>(live) / s.elapsed_seconds;
+            s.eta_seconds =
+                static_cast<double>(pending) / s.units_per_second;
+        }
+    }
+    std::lock_guard<std::mutex> lock(d.state_mutex);
+    s.hosts.reserve(d.hosts.size());
+    for (const Impl::HostSlot& slot : d.hosts) {
+        HostStatus h;
+        h.worker = slot.worker;
+        h.label = slot.label;
+        h.remote = slot.remote;
+        h.units = slot.units;
+        h.shards = slot.shards;
+        h.trials = slot.trials;
+        h.busy_us = slot.busy_us;
+        s.hosts.push_back(std::move(h));
+    }
+    return s;
 }
 
 CampaignResult
@@ -891,6 +1173,84 @@ FleetDispatch::finalize(int workers,
 
     reg.flushThisThread();
     result.metrics = reg.snapshot().since(d.metrics_baseline);
+
+    // Observability-plane merge: replay each host's shipped spans
+    // onto its own trace track (rebased from "µs since config
+    // receipt" to the parent's trace clock via the minimum-latency
+    // offset), and append host-labelled counter series to the
+    // campaign metrics. Slots merge by label so a reconnecting agent
+    // reports as one host.
+    {
+        std::lock_guard<std::mutex> lock(d.state_mutex);
+        if (obs::traceEnabled()) {
+            for (std::size_t i = 0; i < d.hosts.size(); ++i) {
+                const Impl::HostSlot& slot = d.hosts[i];
+                if (slot.spans.empty())
+                    continue;
+                const int tid = 2000 + static_cast<int>(i);
+                obs::setTrackName(tid, "host " + slot.label);
+                const std::int64_t base =
+                    static_cast<std::int64_t>(
+                        slot.config_sent_trace_us) +
+                    (slot.has_offset ? slot.min_offset_us : 0);
+                for (const SpanRecord& span : slot.spans) {
+                    std::int64_t ts =
+                        base + static_cast<std::int64_t>(span.ts_us);
+                    if (ts < 0)
+                        ts = 0;
+                    obs::emitSpan(
+                        span.name, span.cat.c_str(),
+                        static_cast<std::uint64_t>(ts), span.dur_us,
+                        "\"unit\":" + std::to_string(span.unit), tid);
+                }
+            }
+        }
+
+        std::vector<std::string> labels;
+        std::map<std::string, Impl::HostSlot> merged;
+        for (const Impl::HostSlot& slot : d.hosts) {
+            auto [it, fresh] = merged.emplace(slot.label, slot);
+            if (fresh) {
+                labels.push_back(slot.label);
+                continue;
+            }
+            Impl::HostSlot& into = it->second;
+            into.units += slot.units;
+            into.shards += slot.shards;
+            into.trials += slot.trials;
+            into.busy_us += slot.busy_us;
+            for (const auto& [name, value] : slot.counters) {
+                auto found = std::find_if(
+                    into.counters.begin(), into.counters.end(),
+                    [&](const auto& c) { return c.first == name; });
+                if (found == into.counters.end())
+                    into.counters.emplace_back(name, value);
+                else
+                    found->second += value;
+            }
+        }
+        for (const std::string& label : labels) {
+            const Impl::HostSlot& slot = merged.at(label);
+            const std::string prefix = "fleet.host." + label + ".";
+            result.metrics.counters.push_back(
+                {prefix + "units", slot.units});
+            result.metrics.counters.push_back(
+                {prefix + "shards", slot.shards});
+            result.metrics.counters.push_back(
+                {prefix + "trials", slot.trials});
+            for (const auto& [name, value] : slot.counters)
+                result.metrics.counters.push_back(
+                    {prefix + name, value});
+        }
+    }
+
+    d.journalAppend(
+        "drain", {},
+        {{"settled",
+          units_.size() - d.remaining.load(std::memory_order_acquire)},
+         {"interrupted",
+          std::uint64_t{result.interrupted ? 1u : 0u}}});
+
     d.campaign_span.reset();
     return std::move(result);
 }

@@ -38,6 +38,7 @@
 
 #include "common/status.hpp"
 #include "fleet/protocol.hpp"
+#include "obs/journal.hpp"
 #include "sim/campaign.hpp"
 
 namespace gpuecc::sim::fleet {
@@ -48,6 +49,50 @@ enum class RequeueOutcome
     requeued, //!< back in the queue for another host
     poisoned, //!< attempt cap hit: cell failed, unit retired
     settled,  //!< a late result settled it first; nothing to do
+};
+
+/** One registered host's live accounting (a /status row). */
+struct HostStatus
+{
+    int worker = -1;
+    std::string label;
+    bool remote = false;
+    std::uint64_t units = 0;
+    std::uint64_t shards = 0;
+    std::uint64_t trials = 0;
+    std::uint64_t busy_us = 0;
+};
+
+/**
+ * One consistent sample of the live campaign, cheap enough to take
+ * from an HTTP handler thread mid-run: unit/shard/trial progress,
+ * every transport fault counter, throughput and an ETA, and the
+ * per-host credit rows. Reading it never touches the tallies or the
+ * queue ordering, so sampling cannot perturb determinism.
+ */
+struct DispatchStatus
+{
+    std::uint64_t units_total = 0;
+    std::uint64_t units_settled = 0; //!< includes resumed units
+    std::uint64_t units_resumed = 0;
+    std::uint64_t units_in_flight = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t shards_total = 0;
+    std::uint64_t shards_done = 0; //!< includes resumed shards
+    std::uint64_t trials_done = 0; //!< evaluated this run
+    std::uint64_t requeues = 0;
+    std::uint64_t poisoned = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t workers_lost = 0;
+    std::uint64_t worker_timeouts = 0;
+    std::uint64_t heartbeat_expiries = 0;
+    std::uint64_t agents_connected = 0;
+    std::uint64_t auth_failures = 0;
+    double elapsed_seconds = 0.0;
+    double units_per_second = 0.0;
+    /** Negative = unknown (nothing settled live yet). */
+    double eta_seconds = -1.0;
+    std::vector<HostStatus> hosts;
 };
 
 class FleetDispatch
@@ -145,6 +190,51 @@ class FleetDispatch
     void noteHeartbeatExpiry();
     void noteAgentConnected();
     void noteAuthFailure();
+    ///@}
+
+    /** @name Observability plane */
+    ///@{
+
+    /**
+     * Register a host connection — a forked pipe worker, an
+     * authenticated remote agent, or the in-process fallback. Call at
+     * config-send time: the instant is captured on both the steady
+     * and trace clocks and becomes the reference every span timestamp
+     * the host later ships is rebased against (a host's clock reads
+     * "µs since it received the config"). Journals the connect.
+     */
+    void registerHost(int worker, const std::string& label,
+                      bool remote);
+
+    /** Journal one unit dispatch (host looked up by @p worker). */
+    void noteUnitDispatched(std::uint64_t u, int worker);
+
+    /**
+     * Merge one telemetry line from a host: shipped counter deltas
+     * accumulate under the host's slot (surfaced at finalize as
+     * fleet.host.<label>.<name> series), completed spans queue for
+     * replay onto the host's trace track, and now_us contributes a
+     * clock-offset sample. Hosts ship telemetry *before* the result
+     * it accompanies, so absorbing is always safe pre-settlement and
+     * never double-counts: the counters are deltas, shipped once.
+     */
+    void absorbTelemetry(const WorkerMessage& msg);
+
+    /**
+     * A heartbeat's now_us as a clock-offset sample (0 = heartbeat
+     * from an older worker; ignored). More samples tighten the
+     * minimum-latency offset estimate used for span rebasing.
+     */
+    void noteHeartbeat(int worker, std::uint64_t now_us);
+
+    /** Append one event to the journal (no-op without --journal). */
+    void journalEvent(const std::string& event,
+                      const obs::EventJournal::Fields& fields = {},
+                      const obs::EventJournal::Nums& nums = {});
+
+    /** Sample the live state — the /status and /metrics source. */
+    DispatchStatus status() const;
+
     ///@}
 
     /**

@@ -34,6 +34,7 @@ spawnPipeWorker(FleetDispatch& dispatch, PipeWorker& worker, int w,
     inherited_fds.push_back(worker.child.to_child);
     inherited_fds.push_back(worker.child.from_child);
 
+    dispatch.registerHost(w, "local-" + std::to_string(w), false);
     if (Status s = writeAllFd(worker.child.to_child,
                               encodeConfigLine(dispatch.configFor(w)));
         !s.ok()) {
@@ -87,6 +88,7 @@ runPipeLiaison(FleetDispatch& dispatch, PipeWorker& worker,
             continue;
         }
         const WorkUnit& unit = dispatch.unit(u);
+        dispatch.noteUnitDispatched(u, L.record.worker);
 
         const auto dispatch_at = std::chrono::steady_clock::now();
         Status sent = writeAllFd(L.child.to_child, encodeUnitLine(unit),
@@ -94,12 +96,22 @@ runPipeLiaison(FleetDispatch& dispatch, PipeWorker& worker,
         Result<std::string> line =
             sent.ok() ? L.reader->readLine(deadline_ms)
                       : Result<std::string>(sent);
-        // Pipe workers don't send heartbeats, but tolerate them: the
-        // shared serving loop is also spoken by agents.
+        // Absorb the informational lines that precede a settlement:
+        // telemetry (shipped before every result by design) merges
+        // into the host's slot, heartbeats — which pipe workers don't
+        // send but the shared serving loop can — feed the clock.
         while (line.ok()) {
             Result<WorkerMessage> peek = decodeWorkerLine(line.value());
             if (peek.ok() &&
                 peek.value().kind == WorkerMessage::Kind::heartbeat) {
+                dispatch.noteHeartbeat(peek.value().worker,
+                                       peek.value().now_us);
+                line = L.reader->readLine(deadline_ms);
+                continue;
+            }
+            if (peek.ok() &&
+                peek.value().kind == WorkerMessage::Kind::telemetry) {
+                dispatch.absorbTelemetry(peek.value());
                 line = L.reader->readLine(deadline_ms);
                 continue;
             }

@@ -327,12 +327,45 @@ decodeWelcomeLine(const std::string& line)
 }
 
 std::string
-encodeHeartbeatLine(int worker)
+encodeHeartbeatLine(int worker, std::uint64_t now_us)
 {
     JsonWriter w;
     w.beginObject();
     w.kv("type", "heartbeat");
     w.kv("worker", worker);
+    if (now_us != 0)
+        w.kv("now_us", now_us);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string
+encodeTelemetryLine(const WorkerMessage& telemetry)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("type", "telemetry");
+    w.kv("worker", telemetry.worker);
+    w.kv("now_us", telemetry.now_us);
+    w.key("counters").beginArray();
+    for (const auto& counter : telemetry.counters) {
+        w.beginObject();
+        w.kv("k", counter.first);
+        w.kv("v", counter.second);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("spans").beginArray();
+    for (const SpanRecord& span : telemetry.spans) {
+        w.beginObject();
+        w.kv("n", span.name);
+        w.kv("c", span.cat);
+        w.kv("ts", span.ts_us);
+        w.kv("d", span.dur_us);
+        w.kv("u", span.unit);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     return w.str() + "\n";
 }
@@ -435,6 +468,75 @@ decodeWorkerLine(const std::string& line)
     }
     if (type == "heartbeat") {
         out.kind = WorkerMessage::Kind::heartbeat;
+        // Optional worker clock sample (absent on the pipe transport
+        // and on lines from pre-PR-10 agents).
+        if (root.get("now_us").ok()) {
+            Result<std::uint64_t> now = getUint(root, "now_us");
+            if (!now.ok())
+                return now.status();
+            out.now_us = now.value();
+        }
+        return out;
+    }
+    if (type == "telemetry") {
+        out.kind = WorkerMessage::Kind::telemetry;
+        Result<std::uint64_t> now = getUint(root, "now_us");
+        if (!now.ok())
+            return now.status();
+        out.now_us = now.value();
+
+        Result<const JsonValue*> counters = root.get("counters");
+        if (!counters.ok())
+            return counters.status();
+        if (!counters.value()->isArray())
+            return Status::dataLoss(
+                "fleet telemetry: counters not an array");
+        for (const JsonValue& c : counters.value()->elements()) {
+            if (!c.isObject())
+                return Status::dataLoss(
+                    "fleet telemetry: counter not an object");
+            Result<std::string> k = getString(c, "k");
+            Result<std::uint64_t> v = getUint(c, "v");
+            if (!k.ok())
+                return k.status();
+            if (!v.ok())
+                return v.status();
+            out.counters.emplace_back(k.value(), v.value());
+        }
+
+        Result<const JsonValue*> spans = root.get("spans");
+        if (!spans.ok())
+            return spans.status();
+        if (!spans.value()->isArray())
+            return Status::dataLoss(
+                "fleet telemetry: spans not an array");
+        for (const JsonValue& s : spans.value()->elements()) {
+            if (!s.isObject())
+                return Status::dataLoss(
+                    "fleet telemetry: span not an object");
+            SpanRecord span;
+            Result<std::string> name = getString(s, "n");
+            Result<std::string> cat = getString(s, "c");
+            Result<std::uint64_t> ts = getUint(s, "ts");
+            Result<std::uint64_t> dur = getUint(s, "d");
+            Result<std::uint64_t> unit = getUint(s, "u");
+            if (!name.ok())
+                return name.status();
+            if (!cat.ok())
+                return cat.status();
+            if (!ts.ok())
+                return ts.status();
+            if (!dur.ok())
+                return dur.status();
+            if (!unit.ok())
+                return unit.status();
+            span.name = name.value();
+            span.cat = cat.value();
+            span.ts_us = ts.value();
+            span.dur_us = dur.value();
+            span.unit = unit.value();
+            out.spans.push_back(std::move(span));
+        }
         return out;
     }
     return Status::dataLoss("fleet protocol: unknown line type '" +

@@ -75,6 +75,22 @@ struct WorkUnit
     std::uint64_t task_count = 0;
 };
 
+/**
+ * One completed worker-side trace span, timestamped on the *worker's*
+ * clock as microseconds since that worker received its config line.
+ * The server rebases these onto its own trace timeline using the
+ * config-send timestamp plus the clock-offset estimate refined by
+ * heartbeat `now_us` samples (see DESIGN.md §17).
+ */
+struct SpanRecord
+{
+    std::string name; //!< span name ("unit 12", scheme id, ...)
+    std::string cat;  //!< trace category ("fleet")
+    std::uint64_t ts_us = 0;  //!< start, worker-relative µs
+    std::uint64_t dur_us = 0; //!< duration µs
+    std::uint64_t unit = 0;   //!< unit index the span covers
+};
+
 /** One parsed worker → parent line. */
 struct WorkerMessage
 {
@@ -84,6 +100,7 @@ struct WorkerMessage
         unit_error,   //!< unit's cell failed persistently (message)
         worker_error, //!< worker unusable; message says why
         heartbeat,    //!< liveness beacon (socket transport only)
+        telemetry,    //!< metrics delta + finished spans (PR 10)
     };
 
     Kind kind = Kind::result;
@@ -92,6 +109,16 @@ struct WorkerMessage
     std::uint64_t busy_us = 0; //!< worker-side evaluation time
     CampaignCheckpoint checkpoint; //!< result only
     std::string message;           //!< error kinds only
+
+    /** @name telemetry / heartbeat payload */
+    ///@{
+    /** Worker-relative clock sample (µs since config receipt). */
+    std::uint64_t now_us = 0;
+    /** Monotonic counter deltas since the previous telemetry line. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    /** Spans completed since the previous telemetry line. */
+    std::vector<SpanRecord> spans;
+    ///@}
 };
 
 /**
@@ -141,7 +168,10 @@ std::string encodeAuthLine(const std::string& agent,
                            const std::string& mac_hex);
 std::string encodeWelcomeLine(int worker, const std::string& mac_hex);
 std::string encodeAuthErrorLine(const std::string& message);
-std::string encodeHeartbeatLine(int worker);
+/** `now_us` is the worker-relative clock sample used for clock-offset
+    refinement; 0 (the pipe transport) means "no sample". */
+std::string encodeHeartbeatLine(int worker, std::uint64_t now_us = 0);
+std::string encodeTelemetryLine(const WorkerMessage& telemetry);
 std::string encodeShutdownLine();
 ///@}
 

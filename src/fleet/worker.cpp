@@ -15,6 +15,7 @@
 #include "common/status.hpp"
 #include "ecc/registry.hpp"
 #include "faultsim/shard.hpp"
+#include "obs/metrics.hpp"
 #include "sim/chaos.hpp"
 #include "sim/checkpoint.hpp"
 
@@ -35,6 +36,16 @@ microsSince(std::chrono::steady_clock::time_point origin)
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - origin)
+            .count());
+}
+
+std::uint64_t
+microsBetween(std::chrono::steady_clock::time_point origin,
+              std::chrono::steady_clock::time_point at)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            at - origin)
             .count());
 }
 
@@ -90,6 +101,12 @@ serveFleetUnits(const FleetConfig& cfg, LineReader& in,
                 const WriteLineFn& write_line,
                 const ServeOptions& opts)
 {
+    // Config receipt is this host's clock epoch: every timestamp it
+    // ships (heartbeat now_us, telemetry spans) is "µs since now", so
+    // the dispatcher can rebase them onto its own clock without the
+    // two machines sharing one.
+    const auto config_at = std::chrono::steady_clock::now();
+
     // Writes come from this thread (results) and the heartbeat
     // thread; serialize them so lines never interleave mid-frame.
     std::mutex write_mutex;
@@ -148,13 +165,25 @@ serveFleetUnits(const FleetConfig& cfg, LineReader& in,
         heartbeat = std::make_unique<Heartbeat>(
             opts.heartbeat_interval_ms, [&] {
                 // A failed beat is not fatal here — the read loop
-                // surfaces the broken stream on its next pass.
-                send(encodeHeartbeatLine(cfg.worker));
+                // surfaces the broken stream on its next pass. The
+                // beat carries this host's clock so every heartbeat
+                // doubles as a clock-offset sample.
+                send(encodeHeartbeatLine(cfg.worker,
+                                         microsSince(config_at)));
             });
     }
 
     ShardBatchArena arena;
     std::uint64_t units_done = 0;
+
+    // Telemetry shipping: the metrics this host accrues per unit are
+    // shipped as deltas against this rolling baseline, so the
+    // dispatcher can re-aggregate them host-labelled without ever
+    // double-counting.
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.flushThisThread();
+    obs::MetricsSnapshot metrics_baseline = reg.snapshot();
+
     for (;;) {
         Result<std::string> line = in.readLine(opts.read_deadline_ms);
         if (line.status().code() == ErrorCode::notFound)
@@ -230,6 +259,39 @@ serveFleetUnits(const FleetConfig& cfg, LineReader& in,
         }
         result.busy_us = microsSince(unit_start);
         ++units_done;
+
+        // Ship telemetry *before* the unit's settlement line: the
+        // liaison awaiting that settlement is guaranteed to still be
+        // reading, so the last unit's telemetry can never be lost to
+        // a liaison that shuts down right after the final result.
+        {
+            WorkerMessage telemetry;
+            telemetry.kind = WorkerMessage::Kind::telemetry;
+            telemetry.worker = cfg.worker;
+            telemetry.unit = unit.unit;
+            telemetry.now_us = microsSince(config_at);
+            reg.flushThisThread();
+            obs::MetricsSnapshot now = reg.snapshot();
+            const obs::MetricsSnapshot delta =
+                now.since(metrics_baseline);
+            metrics_baseline = std::move(now);
+            for (const obs::CounterValue& c : delta.counters) {
+                if (c.value > 0)
+                    telemetry.counters.emplace_back(c.name, c.value);
+            }
+            if (failure.empty()) {
+                SpanRecord span;
+                span.name = "unit " + std::to_string(unit.unit);
+                span.cat = "fleet";
+                span.ts_us = microsBetween(config_at, unit_start);
+                span.dur_us = result.busy_us;
+                span.unit = unit.unit;
+                telemetry.spans.push_back(std::move(span));
+            }
+            // Best-effort: a failed send surfaces on the settlement
+            // line right below.
+            send(encodeTelemetryLine(telemetry));
+        }
 
         const std::string reply =
             failure.empty()

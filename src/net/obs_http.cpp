@@ -1,0 +1,142 @@
+#include "net/obs_http.hpp"
+
+#include <utility>
+
+#include "common/subprocess.hpp"
+
+namespace gpuecc::net {
+
+namespace {
+
+/** Accept poll granularity — also the stop() latency bound. */
+constexpr int kPollMs = 200;
+/** Per-read and per-write deadline for one HTTP exchange. */
+constexpr int kIoDeadlineMs = 2000;
+/** Request-line and header-line size cap. */
+constexpr std::size_t kMaxRequestLineBytes = 8192;
+/** Header lines tolerated before the blank line. */
+constexpr int kMaxHeaderLines = 100;
+
+/** "GET /path HTTP/1.1" -> "/path"; empty on anything else. */
+std::string
+parseRequestPath(const std::string& request_line)
+{
+    if (request_line.rfind("GET ", 0) != 0)
+        return "";
+    const std::size_t path_begin = 4;
+    const std::size_t path_end = request_line.find(' ', path_begin);
+    if (path_end == std::string::npos || path_end == path_begin)
+        return "";
+    if (request_line.compare(path_end + 1, 5, "HTTP/") != 0)
+        return "";
+    return request_line.substr(path_begin, path_end - path_begin);
+}
+
+std::string
+httpResponse(int code, const std::string& reason,
+             const std::string& content_type, const std::string& body)
+{
+    return "HTTP/1.1 " + std::to_string(code) + " " + reason +
+           "\r\nContent-Type: " + content_type +
+           "\r\nContent-Length: " + std::to_string(body.size()) +
+           "\r\nConnection: close\r\n\r\n" + body;
+}
+
+} // namespace
+
+Result<std::unique_ptr<ObsHttpServer>>
+ObsHttpServer::create(const SocketAddress& address)
+{
+    Result<TcpListener> listener = TcpListener::listen(address);
+    if (!listener.ok())
+        return listener.status();
+    auto server = std::unique_ptr<ObsHttpServer>(new ObsHttpServer());
+    server->listener_ = std::move(listener).value();
+    return server;
+}
+
+ObsHttpServer::~ObsHttpServer() { stop(); }
+
+void
+ObsHttpServer::serve(ObsHandler handler)
+{
+    handler_ = std::move(handler);
+    serving_ = true;
+    thread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+ObsHttpServer::stop()
+{
+    if (!serving_)
+        return;
+    serving_ = false;
+    stopping_.store(true, std::memory_order_release);
+    thread_.join();
+    listener_.close();
+}
+
+void
+ObsHttpServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        Result<int> accepted = listener_.accept(kPollMs);
+        if (!accepted.ok())
+            continue; // deadline tick or transient error; poll again
+        int fd = accepted.value();
+
+        // One bounded request per connection. Anything that is not a
+        // clean GET within the deadlines — truncated bytes, garbage,
+        // an oversized request line, a stalled sender — just closes
+        // the connection; the campaign never notices.
+        LineReader reader(fd, kMaxRequestLineBytes);
+        Result<std::string> request = reader.readLine(kIoDeadlineMs);
+        if (!request.ok()) {
+            closeFd(fd);
+            continue;
+        }
+        std::string request_line = request.value();
+        if (!request_line.empty() && request_line.back() == '\r')
+            request_line.pop_back();
+        const std::string path = parseRequestPath(request_line);
+
+        bool clean = !path.empty();
+        for (int h = 0; clean && h < kMaxHeaderLines; ++h) {
+            Result<std::string> header = reader.readLine(kIoDeadlineMs);
+            if (!header.ok()) {
+                // EOF before the blank line still gets a response —
+                // curl --http1.0 style clients may shut down their
+                // write side early. Deadlines and oversize do not.
+                clean = header.status().code() == ErrorCode::notFound;
+                break;
+            }
+            if (header.value().empty() || header.value() == "\r")
+                break;
+        }
+
+        std::string response;
+        if (!clean && path.empty()) {
+            response = httpResponse(400, "Bad Request",
+                                    "text/plain; charset=utf-8",
+                                    "bad request\n");
+        } else if (!clean) {
+            closeFd(fd);
+            continue;
+        } else {
+            const ObsResponse out = handler_(path);
+            response =
+                out.found
+                    ? httpResponse(200, "OK", out.content_type,
+                                   out.body)
+                    : httpResponse(404, "Not Found",
+                                   "text/plain; charset=utf-8",
+                                   "not found\n");
+        }
+        // Best-effort write: a peer that stopped reading hits the
+        // deadline and is dropped.
+        writeAllFd(fd, response, kIoDeadlineMs);
+        closeFd(fd);
+    }
+}
+
+} // namespace gpuecc::net

@@ -17,8 +17,11 @@
 #include "fleet/pipe.hpp"
 #include "fleet/protocol.hpp"
 #include "net/auth.hpp"
+#include "net/obs_http.hpp"
 #include "net/wire.hpp"
+#include "obs/exposition.hpp"
 #include "sim/chaos.hpp"
+#include "sim/report.hpp"
 
 namespace gpuecc::net {
 
@@ -52,6 +55,103 @@ struct RemoteHost
     std::thread thread;
 };
 
+/** The /status document: one DispatchStatus snapshot as JSON. */
+std::string
+renderStatusJson(const fleet::DispatchStatus& s)
+{
+    sim::JsonWriter w;
+    w.beginObject();
+    w.key("units").beginObject();
+    w.kv("total", s.units_total);
+    w.kv("settled", s.units_settled);
+    w.kv("resumed", s.units_resumed);
+    w.kv("in_flight", s.units_in_flight);
+    w.kv("queue_depth", s.queue_depth);
+    w.endObject();
+    w.key("shards").beginObject();
+    w.kv("total", s.shards_total);
+    w.kv("done", s.shards_done);
+    w.endObject();
+    w.kv("trials_done", s.trials_done);
+    w.key("fleet").beginObject();
+    w.kv("requeues", s.requeues);
+    w.kv("units_poisoned", s.poisoned);
+    w.kv("duplicate_results", s.duplicates);
+    w.kv("workers_lost", s.workers_lost);
+    w.kv("worker_timeouts", s.worker_timeouts);
+    w.kv("heartbeat_expiries", s.heartbeat_expiries);
+    w.kv("agents_connected", s.agents_connected);
+    w.kv("auth_failures", s.auth_failures);
+    w.endObject();
+    w.kv("elapsed_seconds", s.elapsed_seconds);
+    w.kv("units_per_second", s.units_per_second);
+    w.kv("eta_seconds", s.eta_seconds);
+    w.key("hosts").beginArray();
+    for (const fleet::HostStatus& h : s.hosts) {
+        w.beginObject();
+        w.kv("worker", static_cast<std::uint64_t>(
+                           h.worker < 0 ? 0 : h.worker));
+        w.kv("label", h.label);
+        w.kv("remote", h.remote);
+        w.kv("units", h.units);
+        w.kv("shards", h.shards);
+        w.kv("trials", h.trials);
+        w.kv("busy_seconds", static_cast<double>(h.busy_us) * 1e-6);
+        w.kv("units_per_second",
+             s.elapsed_seconds > 0.0
+                 ? static_cast<double>(h.units) / s.elapsed_seconds
+                 : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+/** The /metrics document: the same snapshot as Prometheus text. */
+std::string
+renderMetricsText(const fleet::DispatchStatus& s)
+{
+    std::vector<obs::PromSample> samples = {
+        {"fleet.units_total", s.units_total},
+        {"fleet.units_settled", s.units_settled},
+        {"fleet.units_in_flight", s.units_in_flight},
+        {"fleet.shards_total", s.shards_total},
+        {"fleet.shards_done", s.shards_done},
+        {"fleet.trials_done", s.trials_done},
+        {"fleet.units_requeued", s.requeues},
+        {"fleet.units_poisoned", s.poisoned},
+        {"fleet.duplicate_results", s.duplicates},
+        {"fleet.workers_lost", s.workers_lost},
+        {"fleet.worker_timeouts", s.worker_timeouts},
+        {"fleet.heartbeat_expiries", s.heartbeat_expiries},
+        {"fleet.agents_connected", s.agents_connected},
+        {"fleet.auth_failures", s.auth_failures},
+    };
+    // Slots merge by label so a reconnecting agent reports one series
+    // per metric, same as the finalize-time merge.
+    std::vector<std::pair<std::string, fleet::HostStatus>> merged;
+    for (const fleet::HostStatus& h : s.hosts) {
+        auto it = std::find_if(
+            merged.begin(), merged.end(),
+            [&](const auto& m) { return m.first == h.label; });
+        if (it == merged.end()) {
+            merged.emplace_back(h.label, h);
+            continue;
+        }
+        it->second.units += h.units;
+        it->second.shards += h.shards;
+        it->second.trials += h.trials;
+    }
+    for (const auto& [label, h] : merged) {
+        const std::string prefix = "fleet.host." + label + ".";
+        samples.push_back({prefix + "units", h.units});
+        samples.push_back({prefix + "shards", h.shards});
+        samples.push_back({prefix + "trials", h.trials});
+    }
+    return obs::renderPrometheusText(samples);
+}
+
 } // namespace
 
 Result<std::unique_ptr<FleetService>>
@@ -72,10 +172,33 @@ FleetService::create(const sim::CampaignSpec& spec)
     auto service = std::unique_ptr<FleetService>(new FleetService());
     service->spec_ = spec;
     service->listener_ = std::move(listener.value());
+    // The observability endpoint binds here too, so callers can learn
+    // obsPort() before run() — and so its fd exists before the local
+    // standby fork and can go on the children's close list.
+    if (!spec.obs_listen.empty()) {
+        Result<SocketAddress> obs_address =
+            parseSocketAddress(spec.obs_listen);
+        if (!obs_address.ok())
+            return obs_address.status();
+        Result<std::unique_ptr<ObsHttpServer>> obs =
+            ObsHttpServer::create(obs_address.value());
+        if (!obs.ok())
+            return obs.status();
+        service->obs_server_ = std::move(obs).value();
+        inform("fleet: observability endpoint on port " +
+               std::to_string(service->obs_server_->port()) +
+               " (/metrics, /status)");
+    }
     return service;
 }
 
 FleetService::~FleetService() = default;
+
+int
+FleetService::obsPort() const
+{
+    return obs_server_ != nullptr ? obs_server_->port() : -1;
+}
 
 Result<sim::CampaignResult>
 FleetService::run()
@@ -101,6 +224,9 @@ FleetService::run()
     // single-threaded; they sit blocked on their config'd pipes until
     // the degradation ladder engages them (or never, if agents carry
     // the campaign). The listening socket must not leak into them.
+    // The observability endpoint (bound in create()) serves nothing
+    // until the campaign threads exist, but its fd must go on the
+    // children's close list.
     const std::uint64_t pending = dispatch.initialPendingUnits();
     const int local_count =
         pending == 0 ? 0
@@ -110,6 +236,8 @@ FleetService::run()
                            pending));
     std::vector<std::unique_ptr<fleet::PipeWorker>> locals;
     std::vector<int> inherited_fds = {listener_.fd()};
+    if (obs_server_)
+        inherited_fds.push_back(obs_server_->fd());
     for (int w = 0; w < local_count; ++w) {
         auto worker = std::make_unique<fleet::PipeWorker>();
         fleet::spawnPipeWorker(dispatch, *worker, w, inherited_fds);
@@ -118,6 +246,21 @@ FleetService::run()
 
     // Threads are safe from here on.
     dispatch.start();
+    if (obs_server_) {
+        obs_server_->serve([&dispatch](const std::string& path) {
+            ObsResponse out;
+            if (path == "/metrics") {
+                out.found = true;
+                out.content_type = "text/plain; version=0.0.4";
+                out.body = renderMetricsText(dispatch.status());
+            } else if (path == "/status") {
+                out.found = true;
+                out.content_type = "application/json";
+                out.body = renderStatusJson(dispatch.status());
+            }
+            return out;
+        });
+    }
 
     const int unit_deadline_ms =
         spec_.fleet_worker_timeout_s > 0
@@ -188,11 +331,23 @@ FleetService::run()
             std::uint64_t u = 0;
             if (!dispatch.tryClaim(u)) {
                 // Nothing to hand out right now (the last units are
-                // in flight elsewhere): drain heartbeats, watch for
-                // silence, stay subscribed.
+                // in flight elsewhere): drain heartbeats and stray
+                // telemetry, watch for silence, stay subscribed.
                 Result<std::string> line = H.reader->readLine(kPollMs);
                 if (line.ok()) {
                     last_heard = Clock::now();
+                    Result<fleet::WorkerMessage> idle =
+                        fleet::decodeWorkerLine(line.value());
+                    if (idle.ok()) {
+                        if (idle.value().kind ==
+                            fleet::WorkerMessage::Kind::telemetry)
+                            dispatch.absorbTelemetry(idle.value());
+                        else if (idle.value().kind ==
+                                 fleet::WorkerMessage::Kind::heartbeat)
+                            dispatch.noteHeartbeat(
+                                idle.value().worker,
+                                idle.value().now_us);
+                    }
                     continue;
                 }
                 bool dead = false;
@@ -203,6 +358,7 @@ FleetService::run()
             }
 
             const fleet::WorkUnit& unit = dispatch.unit(u);
+            dispatch.noteUnitDispatched(u, H.record.worker);
             const auto dispatch_at = Clock::now();
             if (Status sent = sendWireLine(
                     H.fd, fleet::encodeUnitLine(unit), heartbeat_ms);
@@ -255,8 +411,17 @@ FleetService::run()
                 }
                 const fleet::WorkerMessage& msg = decoded.value();
                 if (msg.kind ==
-                    fleet::WorkerMessage::Kind::heartbeat)
+                    fleet::WorkerMessage::Kind::heartbeat) {
+                    dispatch.noteHeartbeat(msg.worker, msg.now_us);
                     continue;
+                }
+                if (msg.kind ==
+                    fleet::WorkerMessage::Kind::telemetry) {
+                    // Shipped ahead of the settlement it accompanies;
+                    // merge and keep awaiting.
+                    dispatch.absorbTelemetry(msg);
+                    continue;
+                }
                 if (msg.kind ==
                     fleet::WorkerMessage::Kind::worker_error) {
                     dispatch.requeueUnit(u, msg.message);
@@ -346,11 +511,18 @@ FleetService::run()
                 kHandshakeMs);
             !s.ok())
             return s;
-        return sendWireLine(
-            fd,
-            fleet::encodeConfigLine(
-                dispatch.configFor(H.record.worker)),
-            kHandshakeMs);
+        if (Status s = sendWireLine(
+                fd,
+                fleet::encodeConfigLine(
+                    dispatch.configFor(H.record.worker)),
+                kHandshakeMs);
+            !s.ok())
+            return s;
+        // Registration is the clock-rebasing reference: the host's
+        // telemetry timestamps count from its config receipt, which
+        // happened within one network hop of right now.
+        dispatch.registerHost(H.record.worker, H.record.agent, true);
+        return Status{};
     };
 
     // ---- Accept / lifecycle loop ------------------------------------
@@ -449,6 +621,11 @@ FleetService::run()
     // Last rung: whatever is still pending runs right here. A no-op
     // when the campaign settled or an interrupt asked us to stop.
     dispatch.finishInProcess();
+
+    // The endpoint outlives the liaisons (a curl mid-drain is fine)
+    // but not finalize, which consumes the dispatcher.
+    if (obs_server_)
+        obs_server_->stop();
 
     std::vector<obs::FleetWorkerRecord> records;
     for (const auto& worker : locals)

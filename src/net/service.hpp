@@ -42,6 +42,8 @@
 
 namespace gpuecc::net {
 
+class ObsHttpServer;
+
 class FleetService
 {
   public:
@@ -61,6 +63,14 @@ class FleetService
     int port() const { return listener_.port(); }
 
     /**
+     * The bound observability endpoint port, or -1 when the spec did
+     * not ask for one. Like the fleet listener, the endpoint binds in
+     * create() so a caller (or test) can learn the port before run();
+     * it serves nothing until the campaign starts.
+     */
+    int obsPort() const;
+
+    /**
      * Run the campaign to completion (or interrupt). Call once, while
      * the process is single-threaded — local standby workers are
      * forked inside. Returns the merged campaign result; errors are
@@ -73,6 +83,7 @@ class FleetService
 
     sim::CampaignSpec spec_;
     TcpListener listener_;
+    std::unique_ptr<ObsHttpServer> obs_server_;
     bool ran_ = false;
 };
 

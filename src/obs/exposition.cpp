@@ -1,0 +1,112 @@
+#include "obs/exposition.hpp"
+
+#include <map>
+
+namespace gpuecc::obs {
+
+namespace {
+
+bool
+legalNameChar(char c, bool first)
+{
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':')
+        return true;
+    return !first && c >= '0' && c <= '9';
+}
+
+/** Split "fleet.host.<id>.<rest>" into (id, rest); false otherwise. */
+bool
+splitHostSeries(const std::string& dotted, std::string* host,
+                std::string* rest)
+{
+    static const std::string kPrefix = "fleet.host.";
+    if (dotted.rfind(kPrefix, 0) != 0)
+        return false;
+    const std::size_t id_begin = kPrefix.size();
+    const std::size_t id_end = dotted.find('.', id_begin);
+    if (id_end == std::string::npos || id_end + 1 >= dotted.size())
+        return false;
+    *host = dotted.substr(id_begin, id_end - id_begin);
+    *rest = dotted.substr(id_end + 1);
+    return true;
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string& dotted)
+{
+    std::string out = "gpuecc_";
+    for (char c : dotted)
+        out.push_back(legalNameChar(c, false) ? c : '_');
+    if (out.size() > 7 && !legalNameChar(out[7], true))
+        out[7] = '_';
+    return out;
+}
+
+std::string
+prometheusLabelValue(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+renderPrometheusText(const std::vector<PromSample>& samples)
+{
+    // Group host series into families keyed by their <rest> suffix so
+    // every host's sample sits under one TYPE header; plain samples
+    // are single-sample families. First-appearance order throughout.
+    struct Family
+    {
+        std::string metric;                 //!< rendered metric name
+        std::vector<std::string> lines;     //!< sample lines
+    };
+    std::vector<Family> families;
+    std::map<std::string, std::size_t> index;
+
+    const auto family = [&](const std::string& metric) -> Family& {
+        auto [it, fresh] = index.emplace(metric, families.size());
+        if (fresh)
+            families.push_back({metric, {}});
+        return families[it->second];
+    };
+
+    for (const PromSample& s : samples) {
+        std::string host;
+        std::string rest;
+        if (splitHostSeries(s.name, &host, &rest)) {
+            const std::string metric =
+                prometheusName("fleet.host." + rest);
+            family(metric).lines.push_back(
+                metric + "{host=\"" + prometheusLabelValue(host) +
+                "\"} " + std::to_string(s.value));
+        } else {
+            const std::string metric = prometheusName(s.name);
+            family(metric).lines.push_back(
+                metric + " " + std::to_string(s.value));
+        }
+    }
+
+    std::string out;
+    for (const Family& f : families) {
+        out += "# TYPE " + f.metric + " counter\n";
+        for (const std::string& line : f.lines)
+            out += line + "\n";
+    }
+    return out;
+}
+
+} // namespace gpuecc::obs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Prometheus text exposition for campaign metrics.
+ *
+ * Pure rendering: dotted metric names ("fleet.units_settled") become
+ * Prometheus-legal names ("gpuecc_fleet_units_settled"), and the
+ * host-labelled series the fleet dispatcher aggregates
+ * ("fleet.host.<id>.<rest>") become one metric family per <rest> with
+ * a host label ("gpuecc_fleet_host_<rest>{host=\"<id>\"}") so a
+ * scrape can sum per-host unit counters across the fleet. No I/O and
+ * no registry access here — the caller (net/obs_http's handler)
+ * passes a consistent sample set and this module only formats it,
+ * which is what keeps the live endpoint incapable of perturbing
+ * campaign determinism.
+ */
+
+#ifndef GPUECC_OBS_EXPOSITION_HPP
+#define GPUECC_OBS_EXPOSITION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpuecc::obs {
+
+/** One counter sample under its dotted internal name. */
+struct PromSample
+{
+    std::string name; //!< dotted, e.g. "fleet.host.alpha.units"
+    std::uint64_t value = 0;
+};
+
+/**
+ * A dotted name as a Prometheus metric name: prefixed "gpuecc_", dots
+ * and every other illegal character mapped to '_'.
+ */
+std::string prometheusName(const std::string& dotted);
+
+/**
+ * Escape a label value per the exposition format (backslash, quote,
+ * newline).
+ */
+std::string prometheusLabelValue(const std::string& value);
+
+/**
+ * Render samples as Prometheus text format (version 0.0.4). Samples
+ * named "fleet.host.<id>.<rest>" are grouped into one family per
+ * <rest> with a host="<id>" label; everything else renders as a plain
+ * counter. Families keep first-appearance order; a "# TYPE ... counter"
+ * header precedes each family.
+ */
+std::string
+renderPrometheusText(const std::vector<PromSample>& samples);
+
+} // namespace gpuecc::obs
+
+#endif // GPUECC_OBS_EXPOSITION_HPP

@@ -136,6 +136,13 @@ struct RunManifest
     bool affinity = false;
     std::vector<std::string> schemes;
     bool traced = false;
+    /**
+     * Per-host execution records for fleet runs (empty otherwise, so
+     * in-process manifests keep their pre-fleet shape byte-for-byte).
+     * tools/compare_runs diffs this section with older-baseline
+     * tolerance: a baseline without it compares clean.
+     */
+    std::vector<FleetWorkerRecord> hosts;
 };
 
 /** The GPUECC_CHAOS environment text ("" when unset). */

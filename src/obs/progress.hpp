@@ -85,6 +85,20 @@ class ProgressReporter
         trials_done_.fetch_add(trials, std::memory_order_relaxed);
     }
 
+    /**
+     * Record @p shards shards settled without running any trials — a
+     * failed cell's units skipped at claim time, a poison unit
+     * retired at the requeue cap. Without these the fleet status line
+     * freezes short of 100% whenever a unit retires through a failure
+     * path instead of completing.
+     */
+    void shardsSkipped(std::uint64_t shards)
+    {
+        if (!enabled_)
+            return;
+        shards_done_.fetch_add(shards, std::memory_order_relaxed);
+    }
+
     /** Record one scheme fully evaluated. */
     void schemeDone()
     {
@@ -95,6 +109,9 @@ class ProgressReporter
 
     /** Join the render thread and erase the status line. */
     void stop();
+
+    /** The counters as one consistent sample (exposed for tests). */
+    ProgressSample sample() const { return sampleNow(); }
 
   private:
     void renderLoop();

@@ -128,6 +128,22 @@ struct CampaignSpec
     int fleet_max_unit_attempts = 3;
 
     /**
+     * Live observability endpoint ("HOST:PORT"; empty disables).
+     * Fleet modes serve read-only Prometheus text at /metrics and
+     * campaign status JSON at /status on this address, safe to curl
+     * mid-campaign without perturbing determinism.
+     */
+    std::string obs_listen;
+    /**
+     * Append-only NDJSON event journal path; empty disables. Every
+     * fleet lifecycle event (connect, dispatch, result, requeue,
+     * poison, fallback, drain, ...) is written through with the
+     * checkpoint's fsync discipline for post-mortem replay via
+     * tools/fleet_journal.
+     */
+    std::string journal_path;
+
+    /**
      * Checkpoint sidecar path; empty disables checkpointing. When
      * set, completed shard tallies are flushed atomically to this
      * file on an interval and on SIGINT/SIGTERM, and the final

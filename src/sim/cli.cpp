@@ -55,6 +55,17 @@ addCampaignFlags(Cli& cli, const std::string& default_samples)
     cli.addFlag("fleet-max-unit-attempts", "3",
                 "dispatch attempts before a work unit is declared "
                 "poisonous and its (scheme, pattern) cell failed");
+    cli.addFlag("obs-listen", "",
+                "serve read-only live observability for a fleet "
+                "campaign on host:port (\":0\" picks a free port): "
+                "Prometheus text at /metrics, campaign status JSON at "
+                "/status; safe to curl mid-run, never perturbs "
+                "determinism (needs --fleet-listen)");
+    cli.addFlag("journal", "",
+                "append every fleet lifecycle event (connect, "
+                "dispatch, result, requeue, poison, fallback, drain) "
+                "to this NDJSON file, written through with fsync; "
+                "replay it with fleet_journal (needs fleet mode)");
     cli.addFlag("json", "", "write campaign results to this JSON file");
     cli.addFlag("csv", "", "write campaign results to this CSV file");
     cli.addFlag("checkpoint", "",
@@ -104,6 +115,8 @@ campaignSpecFromCli(const Cli& cli)
     spec.fleet_grace_s = cli.getDouble("fleet-grace");
     spec.fleet_max_unit_attempts =
         static_cast<int>(cli.getInt("fleet-max-unit-attempts"));
+    spec.obs_listen = cli.getString("obs-listen");
+    spec.journal_path = cli.getString("journal");
     spec.checkpoint_path = cli.getString("checkpoint");
     spec.resume = cli.getBool("resume");
     spec.checkpoint_interval_s = cli.getDouble("checkpoint-interval");
@@ -123,6 +136,14 @@ campaignSpecFromCli(const Cli& cli)
         fatal("--fleet-grace must be >= 0");
     if (spec.fleet_max_unit_attempts < 1)
         fatal("--fleet-max-unit-attempts must be >= 1");
+    if (!spec.obs_listen.empty() && spec.fleet_listen.empty())
+        fatal("--obs-listen needs --fleet-listen (the live endpoint "
+              "samples the fleet dispatcher)");
+    if (!spec.journal_path.empty() && spec.fleet_listen.empty() &&
+        spec.fleet_workers == 0)
+        fatal("--journal needs a fleet mode (--fleet-workers or "
+              "--fleet-listen); the journal records fleet dispatch "
+              "events");
     if (spec.resume && spec.checkpoint_path.empty())
         fatal("--resume needs --checkpoint to name the file");
     if (spec.checkpoint_interval_s < 0)

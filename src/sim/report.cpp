@@ -218,6 +218,7 @@ campaignRunManifest(const CampaignResult& result)
     m.affinity = result.pool.affinity;
     m.schemes = result.spec.scheme_ids;
     m.traced = obs::traceEnabled();
+    m.hosts = result.fleet.worker_records;
     return m;
 }
 
@@ -244,6 +245,25 @@ writeRunManifest(JsonWriter& w, const obs::RunManifest& manifest)
         w.value(id);
     w.endArray();
     w.kv("traced", manifest.traced);
+    // Only fleet runs carry host records; omitting the key otherwise
+    // keeps in-process manifests byte-identical to pre-fleet ones.
+    if (!manifest.hosts.empty()) {
+        w.key("hosts").beginArray();
+        for (const obs::FleetWorkerRecord& h : manifest.hosts) {
+            w.beginObject();
+            w.kv("worker", h.worker);
+            w.kv("agent", h.agent);
+            w.kv("remote", h.remote);
+            w.kv("units", h.units);
+            w.kv("shards", h.shards);
+            w.kv("trials", h.trials);
+            w.kv("busy_seconds", h.busy_seconds);
+            w.kv("exit_code", h.exit_code);
+            w.kv("lost", h.lost);
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
 }
 

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -621,6 +622,63 @@ TEST(FleetService, GarbledUnitLineTriggersBackoffReconnect)
     EXPECT_FALSE(r.fleet.worker_records[1].lost);
     EXPECT_TRUE(r.errors.empty());
     expectCellsIdentical(reference, r);
+}
+
+TEST(FleetService, ServerRestartResumesFromCheckpointBitIdentically)
+{
+    if (!netTestsSupported())
+        GTEST_SKIP() << "sockets/fork unavailable";
+    const sim::CampaignResult reference =
+        sim::CampaignRunner(smallSpec()).run();
+
+    const std::string checkpoint =
+        ::testing::TempDir() + "net_server_restart.ckpt";
+    std::remove(checkpoint.c_str());
+
+    // Server #1 checkpoints after every settlement and dies to a
+    // simulated SIGTERM mid-campaign (the chaos kill-point fires in
+    // the parent after 10 merged shard tasks).
+    sim::CampaignSpec spec = serviceSpec();
+    spec.checkpoint_path = checkpoint;
+    spec.checkpoint_interval_s = 0;
+    auto first = net::FleetService::create(spec);
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    std::vector<int> inherited;
+    ChildProcess alpha = forkAgent(first.value()->port(),
+                                   spec.fleet_secret, "alpha",
+                                   inherited);
+    sim::ChaosSpec chaos;
+    chaos.kill_after = 10;
+    sim::setChaosSpec(chaos);
+    const auto interrupted = first.value()->run();
+    sim::clearChaosSpec();
+    clearInterrupt(); // the simulated SIGTERM latches until cleared
+    ASSERT_TRUE(interrupted.ok()) << interrupted.status().toString();
+    EXPECT_TRUE(interrupted.value().interrupted);
+    EXPECT_EQ(reapAgent(alpha), 0); // drained, not hung up on
+
+    // Server #2: the same campaign on a fresh ephemeral port resumes
+    // from the checkpoint sidecar; a fresh agent finishes the rest.
+    // The merged tallies must be bit-identical to an uninterrupted
+    // in-process run.
+    sim::CampaignSpec resume_spec = serviceSpec();
+    resume_spec.checkpoint_path = checkpoint;
+    resume_spec.resume = true;
+    auto second = net::FleetService::create(resume_spec);
+    ASSERT_TRUE(second.ok()) << second.status().toString();
+    ChildProcess beta = forkAgent(second.value()->port(),
+                                  resume_spec.fleet_secret, "beta",
+                                  inherited);
+    const auto result = second.value()->run();
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(reapAgent(beta), 0);
+
+    const sim::CampaignResult& r = result.value();
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_GT(r.resumed_shards, 0u);
+    EXPECT_TRUE(r.errors.empty());
+    expectCellsIdentical(reference, r);
+    std::remove(checkpoint.c_str());
 }
 
 TEST(FleetService, InterruptDrainsAgentsGracefully)

@@ -174,6 +174,100 @@ lookupFlat(
     return "<absent>";
 }
 
+/**
+ * Flatten a manifest, excluding the "hosts" array: per-host unit
+ * splits are scheduling, not provenance — two correct fleet runs of
+ * the same spec legitimately divide the units differently, so diffing
+ * them scalar-by-scalar would cry wolf on every rerun. The section
+ * gets its own tolerant comparison below.
+ */
+void
+flattenManifest(const sim::JsonValue& manifest,
+                std::vector<std::pair<std::string, std::string>>& out)
+{
+    if (!manifest.isObject()) {
+        flattenScalars(manifest, "", out);
+        return;
+    }
+    for (const auto& [key, member] : manifest.members()) {
+        if (key == "hosts")
+            continue;
+        flattenScalars(member, key, out);
+    }
+}
+
+/** Sum one numeric field over a manifest "hosts" array. */
+double
+sumHostField(const sim::JsonValue& hosts, const char* field)
+{
+    double total = 0.0;
+    for (const sim::JsonValue& host : hosts.elements()) {
+        if (const sim::JsonValue* v = host.find(field))
+            total += v->asDouble().valueOr(0.0);
+    }
+    return total;
+}
+
+/**
+ * Compare the manifest "hosts" sections with older-baseline
+ * tolerance: a baseline that predates the section (or an in-process
+ * run, which omits it) compares clean. When both sides carry it, the
+ * per-host split is scheduling noise, so only the fleet-wide sums —
+ * host count, units, shards, trials — are diffed, informationally.
+ */
+void
+compareHostsSections(const sim::JsonValue* base_manifest,
+                     const sim::JsonValue* cand_manifest)
+{
+    const sim::JsonValue* base_hosts =
+        base_manifest != nullptr ? base_manifest->find("hosts")
+                                 : nullptr;
+    const sim::JsonValue* cand_hosts =
+        cand_manifest != nullptr ? cand_manifest->find("hosts")
+                                 : nullptr;
+    if (cand_hosts == nullptr && base_hosts == nullptr)
+        return; // neither run was a fleet campaign
+    if (cand_hosts == nullptr) {
+        std::printf("manifest hosts: baseline has %zu host(s), "
+                    "candidate ran in-process (informational)\n",
+                    base_hosts->elements().size());
+        return;
+    }
+    if (base_hosts == nullptr) {
+        std::printf("manifest hosts: candidate has %zu host(s); "
+                    "baseline predates the section or ran "
+                    "in-process (skipped)\n",
+                    cand_hosts->elements().size());
+        return;
+    }
+    const char* const sums[] = {"units", "shards", "trials"};
+    bool differs =
+        base_hosts->elements().size() != cand_hosts->elements().size();
+    for (const char* field : sums) {
+        if (sumHostField(*base_hosts, field) !=
+            sumHostField(*cand_hosts, field))
+            differs = true;
+    }
+    if (!differs) {
+        std::printf("manifest hosts: %zu host(s), fleet-wide sums "
+                    "match\n",
+                    cand_hosts->elements().size());
+        return;
+    }
+    std::printf("manifest hosts: %zu -> %zu host(s)\n",
+                base_hosts->elements().size(),
+                cand_hosts->elements().size());
+    for (const char* field : sums) {
+        const double b = sumHostField(*base_hosts, field);
+        const double c = sumHostField(*cand_hosts, field);
+        if (b != c) {
+            std::printf("manifest hosts.%-22s %.0f -> %.0f "
+                        "(fleet-wide sum)\n",
+                        field, b, c);
+        }
+    }
+}
+
 sim::JsonValue
 loadReport(const std::string& path)
 {
@@ -314,10 +408,12 @@ main(int argc, char** argv)
     // a throughput comparison.
     std::vector<std::pair<std::string, std::string>> base_manifest;
     std::vector<std::pair<std::string, std::string>> cand_manifest;
-    if (const sim::JsonValue* m = base.find("manifest"))
-        flattenScalars(*m, "", base_manifest);
-    if (const sim::JsonValue* m = cand.find("manifest"))
-        flattenScalars(*m, "", cand_manifest);
+    const sim::JsonValue* base_manifest_doc = base.find("manifest");
+    const sim::JsonValue* cand_manifest_doc = cand.find("manifest");
+    if (base_manifest_doc != nullptr)
+        flattenManifest(*base_manifest_doc, base_manifest);
+    if (cand_manifest_doc != nullptr)
+        flattenManifest(*cand_manifest_doc, cand_manifest);
     if (base_manifest.empty() && cand_manifest.empty()) {
         std::printf("note: neither report carries a manifest "
                     "(pre-telemetry artifact)\n");
@@ -345,6 +441,7 @@ main(int argc, char** argv)
         }
         if (!any_diff)
             std::printf("manifests match\n");
+        compareHostsSections(base_manifest_doc, cand_manifest_doc);
     }
 
     std::vector<Metric> base_metrics;

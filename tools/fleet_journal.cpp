@@ -1,0 +1,65 @@
+/**
+ * @file
+ * fleet_journal: replay a fleet campaign's event journal.
+ *
+ * Reads the NDJSON file a campaign wrote under --journal, validates
+ * it end to end (schema version on every line, consecutive sequence
+ * numbers — any gap is lost events, reported as an error), then
+ * prints a post-mortem: unit-settlement counts by disposition,
+ * per-host activity with dispatch→result latencies, and a latency
+ * histogram. --timeline additionally prints every event as one
+ * readable line, in order.
+ *
+ * Exit codes: 0 on a valid journal, 1 on a file or validation error —
+ * so CI can treat a gapped or version-skewed journal as a failure.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "fleet/journal.hpp"
+#include "sim/report.hpp"
+
+using namespace gpuecc;
+
+int
+main(int argc, char** argv)
+{
+    Cli cli;
+    cli.addFlag("journal", "",
+                "journal NDJSON file written by a campaign's "
+                "--journal flag (required)");
+    cli.addFlag("timeline", "false",
+                "also print every event as one line, in order");
+    cli.parse(argc, argv,
+              "Validate and summarize a fleet campaign event "
+              "journal.");
+
+    const std::string path = cli.getString("journal");
+    if (path.empty())
+        fatal("--journal is required");
+
+    Result<std::string> text = sim::loadTextFile(path);
+    if (!text.ok())
+        fatal(path + ": " + text.status().toString());
+
+    Result<std::vector<sim::fleet::JournalEvent>> events =
+        sim::fleet::parseJournal(text.value());
+    if (!events.ok())
+        fatal(path + ": " + events.status().toString());
+
+    if (cli.getBool("timeline")) {
+        std::fputs(
+            sim::fleet::formatJournalTimeline(events.value()).c_str(),
+            stdout);
+        std::fputs("\n", stdout);
+    }
+    const sim::fleet::JournalSummary summary =
+        sim::fleet::summarizeJournal(events.value());
+    std::fputs(sim::fleet::formatJournalSummary(summary).c_str(),
+               stdout);
+    return 0;
+}
